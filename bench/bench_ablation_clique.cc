@@ -1,0 +1,46 @@
+// Ablation: greedy vs exact non-conflict rule selection (Section 5). The
+// paper argues greedy is near-optimal in practice; this bench measures the
+// realized |A(e)| and derived-dictionary size under both modes, plus the
+// offline build time.
+
+#include <iomanip>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/common/stopwatch.h"
+
+int main() {
+  using namespace aeetes;
+  bench::PrintHeader("Ablation: greedy vs exact clique selection",
+                     "Section 5");
+
+  std::cout << std::left << std::setw(14) << "dataset" << std::setw(9)
+            << "mode" << std::right << std::setw(12) << "avg|A(e)|"
+            << std::setw(12) << "#derived" << std::setw(14) << "build(ms)"
+            << "\n";
+
+  for (const DatasetProfile& profile : bench::EvaluationProfiles(0.5)) {
+    const SyntheticDataset ds = GenerateDataset(profile);
+    for (CliqueMode mode : {CliqueMode::kGreedy, CliqueMode::kExact}) {
+      AeetesOptions options;
+      options.derivation.expander.clique_mode = mode;
+      Stopwatch sw;
+      auto built =
+          Aeetes::BuildFromText(ds.entity_texts, ds.rule_lines, options);
+      const double build_ms = sw.ElapsedMillis();
+      AEETES_CHECK(built.ok());
+      const auto& dd = (*built)->derived_dictionary();
+      std::cout << std::left << std::setw(14) << profile.name << std::setw(9)
+                << (mode == CliqueMode::kGreedy ? "greedy" : "exact")
+                << std::right << std::fixed << std::setw(12)
+                << std::setprecision(2) << dd.avg_applicable_rules()
+                << std::setw(12) << dd.num_derived() << std::setw(14)
+                << std::setprecision(1) << build_ms << "\n";
+    }
+  }
+  std::cout << "\nexpected shape: greedy matches the exact optimum on "
+               "realistic span-conflict structures at comparable build cost "
+               "(conflicts are interval overlaps, where the greedy heuristic "
+               "is rarely beaten) — validating the paper's greedy choice.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Ablation: plain clustered index vs varint/delta-compressed storage —
+// resident size against full-scan decode throughput.
+
+#include <iomanip>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/common/stopwatch.h"
+#include "src/index/compressed_index.h"
+
+int main() {
+  using namespace aeetes;
+  bench::PrintHeader("Ablation: clustered vs compressed index storage",
+                     "extension");
+
+  std::cout << std::left << std::setw(14) << "dataset" << std::right
+            << std::setw(12) << "postings" << std::setw(12) << "plain(KB)"
+            << std::setw(13) << "packed(KB)" << std::setw(8) << "ratio"
+            << std::setw(15) << "scan-plain(ms)" << std::setw(16)
+            << "scan-packed(ms)" << "\n";
+
+  for (const DatasetProfile& profile : bench::EvaluationProfiles()) {
+    bench::Workload w = bench::PrepareWorkload(profile);
+    const auto& dd = w.aeetes->derived_dictionary();
+    const auto& plain = w.aeetes->index();
+    auto packed = CompressedIndex::Build(plain, dd.token_dict().size());
+
+    // Full sweep over every posting, both representations.
+    Stopwatch sw;
+    uint64_t checksum_plain = 0;
+    for (const PostingEntry& e : plain.entries()) {
+      checksum_plain += e.derived + e.pos;
+    }
+    const double plain_ms = sw.ElapsedMillis();
+
+    sw.Restart();
+    uint64_t checksum_packed = 0;
+    for (TokenId t = 0; t < dd.token_dict().size(); ++t) {
+      packed->Scan(t, [&](uint32_t, EntityId, DerivedId derived,
+                          uint32_t pos) { checksum_packed += derived + pos; });
+    }
+    const double packed_ms = sw.ElapsedMillis();
+    AEETES_CHECK(checksum_plain == checksum_packed)
+        << "representations diverged";
+
+    const double plain_kb = static_cast<double>(plain.MemoryBytes()) / 1024;
+    const double packed_kb =
+        static_cast<double>(packed->MemoryBytes()) / 1024;
+    std::cout << std::left << std::setw(14) << profile.name << std::right
+              << std::setw(12) << plain.num_entries() << std::fixed
+              << std::setprecision(0) << std::setw(12) << plain_kb
+              << std::setw(13) << packed_kb << std::setprecision(2)
+              << std::setw(8) << plain_kb / packed_kb << std::setprecision(3)
+              << std::setw(15) << plain_ms << std::setw(16) << packed_ms
+              << "\n";
+  }
+  std::cout << "\nexpected shape: several-fold smaller resident size, paid "
+               "for with decode cost per scan.\n";
+  return 0;
+}

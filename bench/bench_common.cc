@@ -1,0 +1,77 @@
+#include "bench/bench_common.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "src/common/logging.h"
+
+namespace aeetes {
+namespace bench {
+
+double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v) return fallback;
+  return parsed;
+}
+
+std::vector<DatasetProfile> EvaluationProfiles(double scale) {
+  const double s = EnvDouble("AEETES_BENCH_SCALE", 1.0) * scale;
+  return {WithScale(PubMedLikeProfile(), s), WithScale(DBWorldLikeProfile(), s),
+          WithScale(USJobLikeProfile(), s)};
+}
+
+std::vector<DatasetProfile> EfficiencyProfiles() {
+  const double s = EnvDouble("AEETES_BENCH_EFF_SCALE", 16.0);
+  // Vocabulary grows much slower than the dictionary (Heaps' law), so
+  // token sharing — and inverted-list length — rises with scale.
+  const double root = std::pow(s, 0.25);
+  std::vector<DatasetProfile> out;
+  for (DatasetProfile p : EvaluationProfiles()) {
+    p.num_entities =
+        static_cast<size_t>(static_cast<double>(p.num_entities) * s);
+    p.entity_vocab =
+        static_cast<size_t>(static_cast<double>(p.entity_vocab) * root);
+    p.synonym_vocab =
+        static_cast<size_t>(static_cast<double>(p.synonym_vocab) * root);
+    p.background_vocab =
+        static_cast<size_t>(static_cast<double>(p.background_vocab) * root);
+    p.num_documents = 6;
+    out.push_back(p);
+  }
+  return out;
+}
+
+Workload PrepareWorkload(const DatasetProfile& profile, size_t max_derived) {
+  Workload w;
+  w.dataset = GenerateDataset(profile);
+  AeetesOptions options;
+  options.derivation.expander.max_derived = max_derived;
+  auto built =
+      Aeetes::BuildFromText(w.dataset.entity_texts, w.dataset.rule_lines,
+                            options);
+  AEETES_CHECK(built.ok()) << built.status();
+  w.aeetes = std::move(*built);
+  w.documents.reserve(w.dataset.documents.size());
+  for (const std::string& d : w.dataset.documents) {
+    w.documents.push_back(w.aeetes->EncodeDocument(d));
+  }
+  return w;
+}
+
+const std::vector<double>& ThresholdSweep() {
+  static const std::vector<double> kSweep = {0.7, 0.75, 0.8, 0.85, 0.9};
+  return kSweep;
+}
+
+void PrintHeader(const std::string& title, const std::string& paper_ref) {
+  std::cout << "\n=== " << title << " (" << paper_ref << ") ===\n"
+            << "corpora are synthetic substitutes matching the paper's shape "
+               "statistics; see DESIGN.md\n\n";
+}
+
+}  // namespace bench
+}  // namespace aeetes

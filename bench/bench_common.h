@@ -1,0 +1,55 @@
+#ifndef AEETES_BENCH_BENCH_COMMON_H_
+#define AEETES_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baseline/faerie_r.h"
+#include "src/common/logging.h"
+#include "src/core/aeetes.h"
+#include "src/datagen/generator.h"
+#include "src/datagen/profile.h"
+
+namespace aeetes {
+namespace bench {
+
+/// Reads a double from the environment (benchmark scaling knobs).
+double EnvDouble(const char* name, double fallback);
+
+/// The three evaluation corpora of the paper, regenerated synthetically.
+/// `scale` multiplies entity/document/rule counts (see
+/// AEETES_BENCH_SCALE); quality experiments use dedicated smaller
+/// profiles.
+std::vector<DatasetProfile> EvaluationProfiles(double scale = 1.0);
+
+/// Profiles for the efficiency experiments (Figs. 9-12): the dictionary is
+/// enlarged (entities x AEETES_BENCH_EFF_SCALE, default 8, vocabulary by
+/// its square root) while the rule count — and therefore avg |A(e)| —
+/// stays put, and fewer documents are used (time is reported per
+/// document). The paper's corpora have 113k-10M entities; the filter-cost
+/// differences it measures only appear at dictionary scale.
+std::vector<DatasetProfile> EfficiencyProfiles();
+
+/// A fully prepared workload: corpus + built extractor + encoded docs.
+struct Workload {
+  SyntheticDataset dataset;
+  std::unique_ptr<Aeetes> aeetes;
+  std::vector<Document> documents;
+};
+
+/// Generates the corpus and runs the offline stage. `max_derived` caps
+/// |D(e)| (see DESIGN.md).
+Workload PrepareWorkload(const DatasetProfile& profile,
+                         size_t max_derived = 64);
+
+/// Thresholds swept in the paper's efficiency experiments.
+const std::vector<double>& ThresholdSweep();
+
+/// Prints the standard bench header naming the experiment.
+void PrintHeader(const std::string& title, const std::string& paper_ref);
+
+}  // namespace bench
+}  // namespace aeetes
+
+#endif  // AEETES_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,48 @@
+// Regenerates Figure 10: average extraction time per document for the four
+// filtering strategies (Simple, Skip, Dynamic, Lazy) across thresholds.
+
+#include <iomanip>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/common/stopwatch.h"
+
+int main() {
+  using namespace aeetes;
+  bench::PrintHeader("Effect of filtering techniques: query time",
+                     "Figure 10");
+
+  constexpr FilterStrategy kStrategies[] = {
+      FilterStrategy::kSimple, FilterStrategy::kSkip,
+      FilterStrategy::kDynamic, FilterStrategy::kLazy};
+
+  std::cout << std::left << std::setw(14) << "dataset" << std::setw(6)
+            << "tau";
+  for (FilterStrategy s : kStrategies) {
+    std::cout << std::right << std::setw(13)
+              << (std::string(FilterStrategyName(s)) + "(ms)");
+  }
+  std::cout << "\n";
+
+  for (const DatasetProfile& profile : bench::EfficiencyProfiles()) {
+    bench::Workload w = bench::PrepareWorkload(profile);
+    for (double tau : bench::ThresholdSweep()) {
+      std::cout << std::left << std::setw(14) << profile.name << std::setw(6)
+                << std::setprecision(2) << tau << std::right << std::fixed
+                << std::setprecision(3);
+      for (FilterStrategy s : kStrategies) {
+        Stopwatch sw;
+        for (const Document& doc : w.documents) {
+          auto r = w.aeetes->ExtractWithStrategy(doc, tau, s);
+          AEETES_CHECK(r.ok());
+        }
+        std::cout << std::setw(13)
+                  << sw.ElapsedMillis() /
+                         static_cast<double>(w.documents.size());
+      }
+      std::cout << "\n";
+    }
+  }
+  std::cout << "\nexpected shape (paper): Lazy < Dynamic < Skip < Simple.\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Regenerates Figure 12: average extraction time while the number of
+// dictionary entities grows, for thresholds 0.7..0.9. The paper reports
+// near-linear scaling.
+
+#include <iomanip>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/common/stopwatch.h"
+
+int main() {
+  using namespace aeetes;
+  bench::PrintHeader("Scalability: varying number of entities", "Figure 12");
+
+  const std::vector<double> kSizeFactors = {0.2, 0.4, 0.6, 0.8, 1.0};
+
+  for (const DatasetProfile& base : bench::EfficiencyProfiles()) {
+    std::cout << std::left << std::setw(14) << "dataset" << std::setw(10)
+              << "entities";
+    for (double tau : bench::ThresholdSweep()) {
+      std::cout << std::right << std::setw(12)
+                << ("tau=" + std::to_string(tau).substr(0, 4));
+    }
+    std::cout << "   (ms/doc)\n";
+    for (double f : kSizeFactors) {
+      DatasetProfile profile = base;
+      profile.num_entities = std::max<size_t>(
+          1, static_cast<size_t>(static_cast<double>(base.num_entities) * f));
+      profile.num_rules = std::max<size_t>(
+          1, static_cast<size_t>(static_cast<double>(base.num_rules) * f));
+      bench::Workload w = bench::PrepareWorkload(profile);
+      std::cout << std::left << std::setw(14) << profile.name << std::setw(10)
+                << w.dataset.entity_texts.size() << std::right << std::fixed
+                << std::setprecision(3);
+      for (double tau : bench::ThresholdSweep()) {
+        Stopwatch sw;
+        for (const Document& doc : w.documents) {
+          auto r = w.aeetes->Extract(doc, tau);
+          AEETES_CHECK(r.ok());
+        }
+        std::cout << std::setw(12)
+                  << sw.ElapsedMillis() /
+                         static_cast<double>(w.documents.size());
+      }
+      std::cout << "\n";
+    }
+    std::cout << "\n";
+  }
+  std::cout << "expected shape (paper): near-linear growth in the number of "
+               "entities for every threshold.\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Regenerates Figure 9: end-to-end average extraction time per document,
+// Aeetes (Lazy strategy) vs FaerieR, thresholds 0.7..0.9, three corpora.
+// FaerieR's time excludes its offline preprocessing (applying rules to the
+// dictionary), matching the paper's measurement.
+
+#include <iomanip>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/common/stopwatch.h"
+
+int main() {
+  using namespace aeetes;
+  bench::PrintHeader("End-to-end performance", "Figure 9");
+
+  std::cout << std::left << std::setw(14) << "dataset" << std::setw(6)
+            << "tau" << std::right << std::setw(16) << "FaerieR(ms/doc)"
+            << std::setw(16) << "Aeetes(ms/doc)" << std::setw(10)
+            << "speedup" << "\n";
+
+  for (const DatasetProfile& profile : bench::EfficiencyProfiles()) {
+    bench::Workload w = bench::PrepareWorkload(profile);
+    auto faerie_r = FaerieR::Build(w.aeetes->derived_dictionary());
+    AEETES_CHECK(faerie_r.ok());
+
+    for (double tau : bench::ThresholdSweep()) {
+      Stopwatch sw;
+      size_t faerie_matches = 0;
+      for (const Document& doc : w.documents) {
+        faerie_matches += (*faerie_r)->Extract(doc, tau).size();
+      }
+      const double faerie_ms =
+          sw.ElapsedMillis() / static_cast<double>(w.documents.size());
+
+      sw.Restart();
+      size_t aeetes_matches = 0;
+      for (const Document& doc : w.documents) {
+        auto r = w.aeetes->Extract(doc, tau);
+        AEETES_CHECK(r.ok());
+        aeetes_matches += r->matches.size();
+      }
+      const double aeetes_ms =
+          sw.ElapsedMillis() / static_cast<double>(w.documents.size());
+
+      AEETES_CHECK(faerie_matches == aeetes_matches)
+          << "result sets diverged: " << faerie_matches << " vs "
+          << aeetes_matches;
+
+      std::cout << std::left << std::setw(14) << profile.name << std::setw(6)
+                << std::setprecision(2) << tau << std::right << std::fixed
+                << std::setw(16) << std::setprecision(3) << faerie_ms
+                << std::setw(16) << aeetes_ms << std::setw(9)
+                << std::setprecision(1) << (faerie_ms / std::max(aeetes_ms, 1e-9))
+                << "x\n";
+    }
+    std::cout << "  index sizes: Aeetes=" << w.aeetes->index().MemoryBytes()
+              << " B, FaerieR=" << (*faerie_r)->faerie().MemoryBytes()
+              << " B (paper Sec. 6.3 reports ~2x for Aeetes)\n";
+  }
+  std::cout << "\nexpected shape (paper): Aeetes outperforms FaerieR by 1-2 "
+               "orders of magnitude; both result sets are identical.\n";
+  return 0;
+}

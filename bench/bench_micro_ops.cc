@@ -1,0 +1,135 @@
+// Micro-benchmarks (google-benchmark) for the primitive operations that
+// dominate the paper's cost model: prefix maintenance (Window Extend /
+// Migrate vs rebuild), set similarity, index probing and derived-entity
+// expansion.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "src/core/candidate_generator.h"
+#include "src/core/window.h"
+#include "src/index/clustered_index.h"
+#include "src/sim/similarity.h"
+#include "src/synonym/expander.h"
+#include "src/text/token_set.h"
+#include "tests/test_util.h"
+
+namespace aeetes {
+namespace {
+
+struct MicroWorld {
+  MicroWorld() {
+    std::mt19937_64 rng(7);
+    world = testutil::MakeRandomWorld(rng, /*vocab=*/200,
+                                      /*num_entities=*/300, /*num_rules=*/80,
+                                      /*doc_len=*/1200);
+    doc = Document::FromTokens(world.doc_tokens);
+    index = ClusteredIndex::Build(*world.dd);
+  }
+  testutil::RandomWorld world;
+  Document doc;
+  std::unique_ptr<ClusteredIndex> index;
+};
+
+MicroWorld& World() {
+  static MicroWorld* w = new MicroWorld();
+  return *w;
+}
+
+void BM_WindowRebuild(benchmark::State& state) {
+  auto& w = World();
+  SlidingWindow win(w.doc, w.world.dd->token_dict());
+  const size_t len = static_cast<size_t>(state.range(0));
+  size_t p = 0;
+  for (auto _ : state) {
+    win.Reset(p, len);
+    benchmark::DoNotOptimize(win.set_size());
+    p = (p + 1) % (w.doc.size() - len);
+  }
+}
+BENCHMARK(BM_WindowRebuild)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_WindowMigrate(benchmark::State& state) {
+  auto& w = World();
+  SlidingWindow win(w.doc, w.world.dd->token_dict());
+  const size_t len = static_cast<size_t>(state.range(0));
+  win.Reset(0, len);
+  for (auto _ : state) {
+    if (!win.Migrate()) win.Reset(0, len);
+    benchmark::DoNotOptimize(win.set_size());
+  }
+}
+BENCHMARK(BM_WindowMigrate)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_WindowExtend(benchmark::State& state) {
+  auto& w = World();
+  SlidingWindow win(w.doc, w.world.dd->token_dict());
+  win.Reset(0, 1);
+  size_t p = 0;
+  for (auto _ : state) {
+    if (!win.Extend()) {
+      p = (p + 1) % (w.doc.size() - 32);
+      win.Reset(p, 1);
+    }
+    benchmark::DoNotOptimize(win.set_size());
+  }
+}
+BENCHMARK(BM_WindowExtend);
+
+void BM_JaccardOnOrderedSets(benchmark::State& state) {
+  auto& w = World();
+  const auto& derived = w.world.dd->derived();
+  const auto& dict = w.world.dd->token_dict();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& a = derived[i % derived.size()].ordered_set;
+    const auto& b = derived[(i * 7 + 1) % derived.size()].ordered_set;
+    benchmark::DoNotOptimize(JaccardOnOrderedSets(a, b, dict));
+    ++i;
+  }
+}
+BENCHMARK(BM_JaccardOnOrderedSets);
+
+void BM_CandidateGeneration(benchmark::State& state) {
+  auto& w = World();
+  const auto strategy = static_cast<FilterStrategy>(state.range(0));
+  for (auto _ : state) {
+    auto out = GenerateCandidates(strategy, w.doc, *w.world.dd, *w.index,
+                                  0.8);
+    benchmark::DoNotOptimize(out.candidates.size());
+  }
+  state.SetLabel(FilterStrategyName(strategy));
+}
+BENCHMARK(BM_CandidateGeneration)->DenseRange(0, 3);
+
+void BM_ExpandEntity(benchmark::State& state) {
+  RuleSet rules;
+  for (TokenId t = 1; t <= 6; ++t) {
+    benchmark::DoNotOptimize(rules.Add({t}, {t + 100}).ok());
+  }
+  TokenSeq entity;
+  for (TokenId t = 1; t <= 6; ++t) entity.push_back(t);
+  const auto groups =
+      SelectNonConflictGroups(FindApplicableRules(entity, rules));
+  ExpanderOptions opts;
+  opts.max_derived = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExpandEntity(entity, groups, opts).size());
+  }
+}
+BENCHMARK(BM_ExpandEntity)->Arg(8)->Arg(64);
+
+void BM_PrefixLength(benchmark::State& state) {
+  size_t l = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PrefixLength(Metric::kJaccard, l, 0.8));
+    l = l % 40 + 1;
+  }
+}
+BENCHMARK(BM_PrefixLength);
+
+}  // namespace
+}  // namespace aeetes
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Where extraction time goes: filter vs verification per threshold, and
+// the effect of early-terminating verification (paper future-work item
+// (i), implemented here as JaccArVerifier::BestAbove).
+
+#include <iomanip>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/common/stopwatch.h"
+#include "src/core/candidate_generator.h"
+
+int main() {
+  using namespace aeetes;
+  bench::PrintHeader("Filter/verify time split + verification ablation",
+                     "future work (i)");
+
+  std::cout << std::left << std::setw(14) << "dataset" << std::setw(6)
+            << "tau" << std::right << std::setw(12) << "filter(ms)"
+            << std::setw(14) << "verify-ET(ms)" << std::setw(15)
+            << "verify-full(ms)" << std::setw(12) << "#cand" << std::setw(10)
+            << "#match" << "\n";
+
+  for (const DatasetProfile& profile : bench::EfficiencyProfiles()) {
+    bench::Workload w = bench::PrepareWorkload(profile);
+    const auto& dd = w.aeetes->derived_dictionary();
+    const auto& index = w.aeetes->index();
+    for (double tau : {0.7, 0.8, 0.9}) {
+      double filter_ms = 0, verify_fast_ms = 0, verify_full_ms = 0;
+      uint64_t cands = 0, matches = 0;
+      for (const Document& doc : w.documents) {
+        Stopwatch sw;
+        auto gen = GenerateCandidates(FilterStrategy::kLazy, doc, dd, index,
+                                      tau);
+        filter_ms += sw.ElapsedMillis();
+        cands += gen.candidates.size();
+
+        auto copy = gen.candidates;
+        sw.Restart();
+        const auto fast =
+            VerifyCandidates(std::move(gen.candidates), doc, dd, tau, {},
+                             nullptr, /*early_termination=*/true);
+        verify_fast_ms += sw.ElapsedMillis();
+        matches += fast.size();
+
+        sw.Restart();
+        VerifyCandidates(std::move(copy), doc, dd, tau, {}, nullptr,
+                         /*early_termination=*/false);
+        verify_full_ms += sw.ElapsedMillis();
+      }
+      const double docs = static_cast<double>(w.documents.size());
+      std::cout << std::left << std::setw(14) << profile.name << std::setw(6)
+                << std::setprecision(2) << tau << std::right << std::fixed
+                << std::setprecision(3) << std::setw(12) << filter_ms / docs
+                << std::setw(14) << verify_fast_ms / docs << std::setw(15)
+                << verify_full_ms / docs << std::setw(12) << cands
+                << std::setw(10) << matches << "\n";
+    }
+  }
+  std::cout << "\nexpected shape: verification dominates at low tau on the "
+               "rule-rich corpus; early termination cuts it measurably "
+               "without changing any result (property-tested).\n";
+  return 0;
+}

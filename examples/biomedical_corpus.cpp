@@ -1,0 +1,86 @@
+// Biomedical-style corpus workflow: generate a PubMed-like synthetic
+// corpus with expert synonym pairs, persist it as plain files, reload it,
+// and measure how much recall the synonym rules buy over exact matching —
+// the end-to-end shape of the paper's PubMed experiment at laptop scale.
+//
+//   $ ./biomedical_corpus [output_dir]
+
+#include <filesystem>
+#include <iostream>
+#include <set>
+
+#include "src/core/aeetes.h"
+#include "src/datagen/generator.h"
+#include "src/datagen/profile.h"
+#include "src/datagen/stats.h"
+#include "src/datagen/tsv_io.h"
+
+int main(int argc, char** argv) {
+  using namespace aeetes;
+
+  const std::string dir =
+      argc > 1 ? argv[1]
+               : (std::filesystem::temp_directory_path() / "aeetes_pubmed")
+                     .string();
+
+  DatasetProfile profile = PubMedLikeProfile();
+  profile.num_entities = 800;
+  profile.num_documents = 10;
+  profile.num_rules = 250;
+
+  std::cout << "generating " << profile.name << " corpus -> " << dir << "\n";
+  const SyntheticDataset generated = GenerateDataset(profile);
+  if (Status s = SaveDataset(generated, dir); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+
+  // Reload from disk — the same workflow an adopter with real data uses.
+  auto loaded = LoadDataset(dir);
+  if (!loaded.ok()) {
+    std::cerr << loaded.status() << "\n";
+    return 1;
+  }
+  const SyntheticDataset& ds = *loaded;
+  PrintStatsTable(std::cout, {ComputeDatasetStats(ds, 500)});
+
+  AeetesOptions options;
+  options.derivation.expander.max_derived = 256;
+  auto built = Aeetes::BuildFromText(ds.entity_texts, ds.rule_lines, options);
+  if (!built.ok()) {
+    std::cerr << built.status() << "\n";
+    return 1;
+  }
+  auto& aeetes = *built;
+
+  size_t recovered = 0, recovered_synonym = 0, synonym_total = 0;
+  std::set<std::tuple<uint32_t, uint32_t, uint32_t>> found;
+  for (uint32_t d = 0; d < ds.documents.size(); ++d) {
+    Document doc = aeetes->EncodeDocument(ds.documents[d]);
+    auto result = aeetes->Extract(doc, 0.85);
+    if (!result.ok()) {
+      std::cerr << result.status() << "\n";
+      return 1;
+    }
+    for (const Match& m : result->matches) {
+      found.emplace(d, m.token_begin, m.entity);
+    }
+  }
+  for (const GroundTruthPair& gt : ds.ground_truth) {
+    const bool hit = found.count({gt.doc, gt.token_begin, gt.entity}) > 0;
+    if (hit) ++recovered;
+    if (gt.kind == MentionKind::kSynonymVariant) {
+      ++synonym_total;
+      if (hit) ++recovered_synonym;
+    }
+  }
+  std::cout << "\nrecall over " << ds.ground_truth.size()
+            << " marked mentions at tau=0.85: "
+            << static_cast<double>(recovered) /
+                   static_cast<double>(ds.ground_truth.size())
+            << "\n  of which synonym-requiring: " << recovered_synonym << "/"
+            << synonym_total
+            << " (all of these are invisible to exact or purely syntactic "
+               "matching)\n";
+  return 0;
+}

@@ -1,0 +1,91 @@
+#include "src/baseline/aho_corasick.h"
+
+#include <deque>
+
+#include "src/common/logging.h"
+
+namespace aeetes {
+
+int AhoCorasick::AddPattern(const TokenSeq& pattern) {
+  AEETES_CHECK(!built_) << "AddPattern after Build";
+  if (pattern.empty()) return -1;
+  int cur = 0;
+  for (TokenId t : pattern) {
+    auto it = nodes_[cur].next.find(t);
+    if (it == nodes_[cur].next.end()) {
+      nodes_.emplace_back();
+      const int fresh = static_cast<int>(nodes_.size()) - 1;
+      nodes_[cur].next.emplace(t, fresh);
+      cur = fresh;
+    } else {
+      cur = it->second;
+    }
+  }
+  const int id = static_cast<int>(pattern_lens_.size());
+  pattern_lens_.push_back(pattern.size());
+  nodes_[cur].outputs.push_back(id);
+  return id;
+}
+
+void AhoCorasick::Build() {
+  AEETES_CHECK(!built_) << "Build called twice";
+  built_ = true;
+  std::deque<int> queue;
+  for (auto& [t, v] : nodes_[0].next) {
+    nodes_[v].fail = 0;
+    queue.push_back(v);
+  }
+  while (!queue.empty()) {
+    const int u = queue.front();
+    queue.pop_front();
+    const int fu = nodes_[u].fail;
+    nodes_[u].output_link =
+        nodes_[fu].outputs.empty() ? nodes_[fu].output_link : fu;
+    for (auto& [t, v] : nodes_[u].next) {
+      // Follow fail links of u to find the fail target of v.
+      int f = fu;
+      while (true) {
+        auto it = nodes_[f].next.find(t);
+        if (it != nodes_[f].next.end() && it->second != v) {
+          nodes_[v].fail = it->second;
+          break;
+        }
+        if (f == 0) {
+          nodes_[v].fail = 0;
+          break;
+        }
+        f = nodes_[f].fail;
+      }
+      queue.push_back(v);
+    }
+  }
+}
+
+std::vector<AhoCorasick::Hit> AhoCorasick::FindAll(const TokenSeq& text) const {
+  AEETES_CHECK(built_) << "FindAll before Build";
+  std::vector<Hit> hits;
+  int cur = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const TokenId t = text[i];
+    while (true) {
+      auto it = nodes_[cur].next.find(t);
+      if (it != nodes_[cur].next.end()) {
+        cur = it->second;
+        break;
+      }
+      if (cur == 0) break;
+      cur = nodes_[cur].fail;
+    }
+    for (int node = cur; node != -1;
+         node = nodes_[node].output_link) {
+      for (int pid : nodes_[node].outputs) {
+        const size_t len = pattern_lens_[pid];
+        hits.push_back(Hit{pid, i + 1 - len, len});
+      }
+      if (node == 0) break;
+    }
+  }
+  return hits;
+}
+
+}  // namespace aeetes

@@ -1,0 +1,57 @@
+#ifndef AEETES_BASELINE_AHO_CORASICK_H_
+#define AEETES_BASELINE_AHO_CORASICK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/text/token.h"
+
+namespace aeetes {
+
+/// Exact multi-pattern matching over token-id sequences: the "exact match"
+/// baseline of the paper's Figure 1 narrative, and a generally useful
+/// substrate for dictionary lookups. Patterns are token sequences; matches
+/// are reported as (pattern id, end-exclusive token position).
+class AhoCorasick {
+ public:
+  AhoCorasick() { nodes_.emplace_back(); }
+
+  /// Adds a pattern, returning its id. Empty patterns are ignored and
+  /// return -1.
+  int AddPattern(const TokenSeq& pattern);
+
+  /// Builds failure links. Call once after all AddPattern calls.
+  void Build();
+
+  struct Hit {
+    int pattern = 0;
+    size_t begin = 0;  // token offset of the match start
+    size_t len = 0;
+  };
+
+  /// Scans `text` (token ids) and returns every pattern occurrence.
+  std::vector<Hit> FindAll(const TokenSeq& text) const;
+
+  size_t num_patterns() const { return pattern_lens_.size(); }
+
+ private:
+  struct Node {
+    std::unordered_map<TokenId, int> next;
+    int fail = 0;
+    /// Patterns ending at this node.
+    std::vector<int> outputs;
+    /// Link to the nearest ancestor-via-fail with outputs (for O(occ)
+    /// reporting).
+    int output_link = -1;
+  };
+
+  std::vector<Node> nodes_;
+  std::vector<size_t> pattern_lens_;
+  bool built_ = false;
+};
+
+}  // namespace aeetes
+
+#endif  // AEETES_BASELINE_AHO_CORASICK_H_

@@ -1,0 +1,31 @@
+#ifndef AEETES_BASELINE_BRUTE_FORCE_H_
+#define AEETES_BASELINE_BRUTE_FORCE_H_
+
+#include <vector>
+
+#include "src/core/document.h"
+#include "src/core/verifier.h"
+#include "src/sim/jaccar.h"
+#include "src/synonym/derived_dictionary.h"
+
+namespace aeetes {
+
+/// Oracle extractor: enumerates every window in the paper's length bounds
+/// against every origin entity and computes JaccAR exactly (no filters).
+/// O(|d| * window_lengths * |E|) — test/ablation use only.
+std::vector<Match> BruteForceExtract(const Document& doc,
+                                     const DerivedDictionary& dd, double tau,
+                                     const JaccArOptions& options = {});
+
+/// Reference extractor for typo-tolerant AEES (future-work item (ii)):
+/// every window against every entity under FuzzyJaccAR. Brute force, no
+/// filters; a reference semantics for the fuzzy extension.
+std::vector<Match> BruteForceFuzzyExtract(const Document& doc,
+                                          const DerivedDictionary& dd,
+                                          double tau,
+                                          FuzzyJaccardOptions fuzzy = {},
+                                          bool weighted = false);
+
+}  // namespace aeetes
+
+#endif  // AEETES_BASELINE_BRUTE_FORCE_H_

@@ -1,0 +1,45 @@
+#ifndef AEETES_BASELINE_FAERIE_R_H_
+#define AEETES_BASELINE_FAERIE_R_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/baseline/faerie.h"
+#include "src/common/status.h"
+#include "src/core/verifier.h"
+#include "src/synonym/derived_dictionary.h"
+
+namespace aeetes {
+
+/// FaerieR, the baseline of Section 6.3: Faerie run over the *derived*
+/// dictionary (the preprocessing step applies all synonym rules up front),
+/// followed by mapping each matched derived entity back to its origin.
+/// FaerieR therefore solves the same AEES problem as Aeetes and must
+/// produce identical (origin, substring) result sets — which doubles as an
+/// end-to-end cross-validation in the test suite.
+class FaerieR {
+ public:
+  /// Builds Faerie over the derived entities of `dd`. `dd` must outlive
+  /// this object.
+  static Result<std::unique_ptr<FaerieR>> Build(const DerivedDictionary& dd);
+
+  /// Returns (origin entity, substring) matches with JaccAR >= tau, sorted
+  /// and deduped; `score` is the maximum Jaccard over matching derived
+  /// entities.
+  std::vector<Match> Extract(const Document& doc, double tau,
+                             Faerie::Stats* stats = nullptr) const;
+
+  const Faerie& faerie() const { return *faerie_; }
+
+ private:
+  FaerieR() = default;
+
+  const DerivedDictionary* dd_ = nullptr;
+  std::unique_ptr<Faerie> faerie_;
+  /// derived entity index (in Faerie's entity order) -> origin entity.
+  std::vector<EntityId> origin_of_;
+};
+
+}  // namespace aeetes
+
+#endif  // AEETES_BASELINE_FAERIE_R_H_

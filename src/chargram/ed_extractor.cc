@@ -1,0 +1,138 @@
+#include "src/chargram/ed_extractor.h"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "src/chargram/qgram.h"
+#include "src/sim/edit_distance.h"
+
+namespace aeetes {
+
+Result<std::unique_ptr<EditDistanceExtractor>> EditDistanceExtractor::Build(
+    std::vector<std::string> entities, Options options) {
+  if (entities.empty()) {
+    return Status::InvalidArgument("entity dictionary must be non-empty");
+  }
+  if (options.q == 0) {
+    return Status::InvalidArgument("q must be positive");
+  }
+  auto ex = std::unique_ptr<EditDistanceExtractor>(new EditDistanceExtractor());
+  ex->q_ = options.q;
+  ex->entities_ = std::move(entities);
+  for (uint32_t e = 0; e < ex->entities_.size(); ++e) {
+    const std::string& s = ex->entities_[e];
+    if (s.empty()) {
+      return Status::InvalidArgument("entities must be non-empty");
+    }
+    ex->max_entity_len_ = std::max(ex->max_entity_len_, s.size());
+    if (s.size() < ex->q_) continue;  // matched by the direct-scan path
+    std::set<std::string> seen;  // dedupe repeated grams per entity
+    for (auto& [gram, pos] : PositionalQGrams(s, ex->q_)) {
+      if (seen.insert(gram).second) {
+        ex->index_[gram].push_back(e);
+      }
+    }
+  }
+  return ex;
+}
+
+std::vector<EditDistanceExtractor::EdMatch> EditDistanceExtractor::Extract(
+    std::string_view document, size_t k, Stats* stats) const {
+  std::vector<EdMatch> matches;
+  const size_t n = document.size();
+  if (n == 0) return matches;
+
+  auto verify = [&](uint32_t e, size_t p, size_t len,
+                    std::set<std::tuple<uint32_t, size_t, size_t>>& done) {
+    if (p + len > n) return;
+    if (!done.emplace(e, p, len).second) return;
+    if (stats) ++stats->verified;
+    const std::string_view span = document.substr(p, len);
+    // Banded check, then exact distance for reporting.
+    if (!EditDistanceWithin(span, entities_[e], k)) return;
+    const size_t d = EditDistance(span, entities_[e]);
+    matches.push_back(EdMatch{static_cast<uint32_t>(p),
+                              static_cast<uint32_t>(len), e,
+                              static_cast<uint32_t>(d)});
+  };
+
+  std::set<std::tuple<uint32_t, size_t, size_t>> done;
+
+  // Phase 1: per-entity document positions of shared grams.
+  std::unordered_map<uint32_t, std::vector<uint32_t>> positions;
+  for (auto& [gram, i] : PositionalQGrams(document, q_)) {
+    auto it = index_.find(gram);
+    if (it == index_.end()) continue;
+    for (uint32_t e : it->second) {
+      positions[e].push_back(i);
+      if (stats) ++stats->gram_hits;
+    }
+  }
+
+  // Phase 2: per entity and span length, either the count filter + span
+  // technique (when the q-gram bound is informative) or a direct scan
+  // (when the bound degenerates to zero — very short entities or large k —
+  // where gram evidence cannot be required without losing matches).
+  const std::vector<uint32_t> kNoPositions;
+  for (uint32_t e = 0; e < entities_.size(); ++e) {
+    const auto pos_it = positions.find(e);
+    const std::vector<uint32_t>& pos =
+        pos_it == positions.end() ? kNoPositions : pos_it->second;
+    const size_t m = entities_[e].size();
+    const size_t len_lo = m > k ? m - k : 1;
+    const size_t len_hi = std::min(m + k, n);
+    for (size_t len = len_lo; len <= len_hi; ++len) {
+      const size_t T = len < q_ ? 0 : QGramLowerBound(len, m, q_, k);
+      if (T == 0) {
+        // No usable gram bound: scan every span of this length.
+        for (size_t p = 0; p + len <= n; ++p) {
+          if (stats) ++stats->candidates;
+          verify(e, p, len, done);
+        }
+        continue;
+      }
+      if (pos.size() < T) continue;
+      // A gram at document position i lies inside span [p, p+len) iff
+      // i in [p, p + len - q]. Effective window width:
+      const size_t width = len - q_ + 1;
+      long last_emitted = -1;
+      size_t a = 0;
+      while (a + T <= pos.size()) {
+        const size_t b = a + T - 1;
+        const uint32_t span = pos[b] - pos[a] + 1;
+        if (span <= width) {
+          const long lo = std::max<long>(
+              {0L,
+               static_cast<long>(pos[b]) - static_cast<long>(width) + 1,
+               last_emitted + 1});
+          const long hi = std::min<long>(static_cast<long>(pos[a]),
+                                         static_cast<long>(n - len));
+          for (long p = lo; p <= hi; ++p) {
+            if (stats) ++stats->candidates;
+            verify(e, static_cast<size_t>(p), len, done);
+            last_emitted = std::max(last_emitted, p);
+          }
+          ++a;
+        } else {
+          // Shift: the next viable window must start at or after
+          // pos[b] - width + 1.
+          const uint32_t target =
+              pos[b] >= width ? pos[b] - static_cast<uint32_t>(width) + 1 : 0;
+          const auto it = std::lower_bound(
+              pos.begin() + static_cast<long>(a) + 1, pos.end(), target);
+          a = static_cast<size_t>(it - pos.begin());
+        }
+      }
+    }
+  }
+
+  std::sort(matches.begin(), matches.end(),
+            [](const EdMatch& a, const EdMatch& b) {
+              return std::tie(a.char_begin, a.char_len, a.entity) <
+                     std::tie(b.char_begin, b.char_len, b.entity);
+            });
+  return matches;
+}
+
+}  // namespace aeetes

@@ -1,0 +1,24 @@
+#include "src/chargram/qgram.h"
+
+namespace aeetes {
+
+std::vector<std::pair<std::string, uint32_t>> PositionalQGrams(
+    std::string_view s, size_t q) {
+  std::vector<std::pair<std::string, uint32_t>> out;
+  if (q == 0 || s.size() < q) return out;
+  out.reserve(s.size() - q + 1);
+  for (size_t i = 0; i + q <= s.size(); ++i) {
+    out.emplace_back(std::string(s.substr(i, q)), static_cast<uint32_t>(i));
+  }
+  return out;
+}
+
+size_t QGramLowerBound(size_t len_a, size_t len_b, size_t q, size_t k) {
+  const size_t longest = len_a > len_b ? len_a : len_b;
+  if (longest + 1 < q + 1) return 0;  // no grams at all
+  const size_t grams = longest - q + 1;
+  const size_t destroyed = k * q;
+  return grams > destroyed ? grams - destroyed : 0;
+}
+
+}  // namespace aeetes

@@ -1,0 +1,24 @@
+#ifndef AEETES_CHARGRAM_QGRAM_H_
+#define AEETES_CHARGRAM_QGRAM_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace aeetes {
+
+/// Positional q-grams of `s`: ("abc", 2) -> {("ab", 0), ("bc", 1)}.
+/// Strings shorter than q yield no grams.
+std::vector<std::pair<std::string, uint32_t>> PositionalQGrams(
+    std::string_view s, size_t q);
+
+/// Count-filter bound for edit distance: strings a, b with ed(a, b) <= k
+/// share at least max(|a|, |b|) - q + 1 - k * q q-grams. May be <= 0, in
+/// which case the bound prunes nothing; the return value is clamped to 0.
+size_t QGramLowerBound(size_t len_a, size_t len_b, size_t q, size_t k);
+
+}  // namespace aeetes
+
+#endif  // AEETES_CHARGRAM_QGRAM_H_

@@ -1,0 +1,37 @@
+#ifndef AEETES_COMMON_HASH_H_
+#define AEETES_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace aeetes {
+
+/// Mixes `v` into seed (boost::hash_combine recipe).
+inline void HashCombine(size_t& seed, size_t v) {
+  seed ^= v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+/// Order-sensitive hash of an integer sequence; used to dedupe derived
+/// entities and to key token sequences.
+template <typename Int>
+size_t HashIntSpan(const std::vector<Int>& xs) {
+  size_t seed = 0xcbf29ce484222325ULL;
+  for (const Int& x : xs) {
+    HashCombine(seed, std::hash<Int>{}(static_cast<Int>(x)));
+  }
+  return seed;
+}
+
+/// std::hash adaptor for vector keys in unordered containers.
+template <typename Int>
+struct IntVectorHash {
+  size_t operator()(const std::vector<Int>& xs) const {
+    return HashIntSpan(xs);
+  }
+};
+
+}  // namespace aeetes
+
+#endif  // AEETES_COMMON_HASH_H_

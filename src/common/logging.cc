@@ -1,0 +1,56 @@
+#include "src/common/logging.h"
+
+#include <atomic>
+
+namespace aeetes {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(level >= GetLogLevel()) {
+  if (enabled_) {
+    stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) std::cerr << stream_.str() << std::endl;
+}
+
+FatalLogMessage::FatalLogMessage(const char* file, int line)
+    : LogMessage(LogLevel::kError, file, line) {
+  enabled_ = true;
+  fatal_ = true;
+}
+
+FatalLogMessage::~FatalLogMessage() {
+  std::cerr << stream_.str() << std::endl;
+  enabled_ = false;  // Prevent the base destructor from double-printing.
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace aeetes

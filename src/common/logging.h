@@ -1,0 +1,65 @@
+#ifndef AEETES_COMMON_LOGGING_H_
+#define AEETES_COMMON_LOGGING_H_
+
+#include <cassert>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace aeetes {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Accumulates one log line and flushes it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  bool fatal_ = false;
+  std::ostringstream stream_;
+
+  friend class FatalLogMessage;
+};
+
+/// Like LogMessage but aborts the process after flushing.
+class FatalLogMessage : public LogMessage {
+ public:
+  FatalLogMessage(const char* file, int line);
+  [[noreturn]] ~FatalLogMessage();
+};
+
+}  // namespace internal
+}  // namespace aeetes
+
+#define AEETES_LOG(level)                                              \
+  ::aeetes::internal::LogMessage(::aeetes::LogLevel::k##level,         \
+                                 __FILE__, __LINE__)
+
+/// Invariant check, enabled in all build types (unlike assert).
+#define AEETES_CHECK(cond)                                             \
+  if (!(cond))                                                         \
+  ::aeetes::internal::FatalLogMessage(__FILE__, __LINE__)              \
+      << "Check failed: " #cond " "
+
+#define AEETES_DCHECK(cond) assert(cond)
+
+#endif  // AEETES_COMMON_LOGGING_H_

@@ -1,0 +1,147 @@
+#ifndef AEETES_COMMON_STATUS_H_
+#define AEETES_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace aeetes {
+
+/// Error categories used across the library. The library never throws;
+/// fallible operations return Status (or Result<T>), following the
+/// Arrow/RocksDB idiom.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kResourceExhausted = 6,
+  kInternal = 7,
+  kIOError = 8,
+};
+
+/// Returns a stable human-readable name for a status code.
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error value. OK statuses carry no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// A value-or-error holder (a minimal StatusOr). Access to the value when
+/// the Result holds an error aborts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value; mirrors absl::StatusOr ergonomics.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Implicit construction from a non-OK status.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when holding an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define AEETES_RETURN_IF_ERROR(expr)              \
+  do {                                            \
+    ::aeetes::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+/// Evaluates a Result<T> expression, propagating errors; on success binds
+/// the unwrapped value to `lhs`.
+#define AEETES_ASSIGN_OR_RETURN(lhs, rexpr)       \
+  auto AEETES_CONCAT_(_res_, __LINE__) = (rexpr); \
+  if (!AEETES_CONCAT_(_res_, __LINE__).ok())      \
+    return AEETES_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(AEETES_CONCAT_(_res_, __LINE__)).value()
+
+#define AEETES_CONCAT_IMPL_(a, b) a##b
+#define AEETES_CONCAT_(a, b) AEETES_CONCAT_IMPL_(a, b)
+
+}  // namespace aeetes
+
+#endif  // AEETES_COMMON_STATUS_H_

@@ -1,0 +1,150 @@
+#include "src/core/aeetes.h"
+
+#include <algorithm>
+
+#include "src/common/stopwatch.h"
+#include "src/text/token_set.h"
+
+namespace aeetes {
+
+Result<std::unique_ptr<Aeetes>> Aeetes::Build(
+    std::vector<TokenSeq> entities, const RuleSet& rules,
+    std::unique_ptr<TokenDictionary> dict, AeetesOptions options) {
+  DerivedDictionaryOptions dd_options = options.derivation;
+  AEETES_ASSIGN_OR_RETURN(
+      auto dd, DerivedDictionary::Build(std::move(entities), rules,
+                                        std::move(dict), dd_options));
+  auto index = ClusteredIndex::Build(*dd);
+  return std::unique_ptr<Aeetes>(
+      new Aeetes(options, std::move(dd), std::move(index)));
+}
+
+Result<std::unique_ptr<Aeetes>> Aeetes::BuildFromText(
+    const std::vector<std::string>& entities,
+    const std::vector<std::string>& rule_lines, AeetesOptions options) {
+  Tokenizer tokenizer(options.tokenizer);
+  auto dict = std::make_unique<TokenDictionary>();
+  std::vector<TokenSeq> encoded;
+  encoded.reserve(entities.size());
+  for (const std::string& e : entities) {
+    encoded.push_back(dict->Encode(tokenizer.TokenizeToStrings(e)));
+  }
+  RuleSet rules;
+  for (const std::string& line : rule_lines) {
+    AEETES_ASSIGN_OR_RETURN([[maybe_unused]] RuleId id,
+                            rules.AddFromText(line, tokenizer, *dict));
+  }
+  return Build(std::move(encoded), rules, std::move(dict), options);
+}
+
+Result<std::unique_ptr<Aeetes>> Aeetes::FromDerivedDictionary(
+    std::unique_ptr<DerivedDictionary> dd, AeetesOptions options) {
+  if (dd == nullptr) {
+    return Status::InvalidArgument("derived dictionary must be non-null");
+  }
+  auto index = ClusteredIndex::Build(*dd);
+  return std::unique_ptr<Aeetes>(
+      new Aeetes(options, std::move(dd), std::move(index)));
+}
+
+Document Aeetes::EncodeDocument(std::string_view text) {
+  return Document::FromText(text, tokenizer_, dd_->mutable_token_dict());
+}
+
+Result<Aeetes::ExtractionResult> Aeetes::Extract(const Document& doc,
+                                                 double tau) const {
+  return ExtractWithStrategy(doc, tau, options_.strategy);
+}
+
+Result<Aeetes::ExtractionResult> Aeetes::ExtractWithStrategy(
+    const Document& doc, double tau, FilterStrategy strategy) const {
+  if (!(tau > 0.0) || tau > 1.0) {
+    return Status::InvalidArgument("threshold must be in (0, 1]");
+  }
+  ExtractionResult result;
+  Stopwatch sw;
+  CandidateGenOptions gen_options;
+  gen_options.positional_filter = options_.positional_filter;
+  CandidateGenOutput gen = GenerateCandidates(strategy, doc, *dd_, *index_,
+                                              tau, options_.metric,
+                                              gen_options);
+  result.filter_ms = sw.ElapsedMillis();
+  result.filter_stats = gen.stats;
+
+  sw.Restart();
+  JaccArOptions jopts;
+  jopts.metric = options_.metric;
+  jopts.weighted = options_.weighted;
+  result.matches = VerifyCandidates(std::move(gen.candidates), doc, *dd_, tau,
+                                    jopts, &result.verify_stats);
+  result.verify_ms = sw.ElapsedMillis();
+  return result;
+}
+
+Result<std::vector<Aeetes::Lookup>> Aeetes::LookupString(
+    std::string_view mention, double tau, size_t k) {
+  if (!(tau > 0.0) || tau > 1.0) {
+    return Status::InvalidArgument("threshold must be in (0, 1]");
+  }
+  const Document doc = EncodeDocument(mention);
+  std::vector<Lookup> hits;
+  if (doc.size() == 0) return hits;
+
+  // The mention is exactly one window; reuse the indexed filter by
+  // probing with a single full-length substring, then verify.
+  CandidateGenOutput gen =
+      GenerateCandidates(FilterStrategy::kSimple, doc, *dd_, *index_, tau,
+                         options_.metric);
+  JaccArOptions jopts;
+  jopts.metric = options_.metric;
+  jopts.weighted = options_.weighted;
+  const JaccArVerifier verifier(*dd_, jopts);
+  TokenSeq ordered = BuildOrderedSet(doc.tokens(), dd_->token_dict());
+  std::vector<char> seen(dd_->num_origins(), 0);
+  for (const Candidate& c : gen.candidates) {
+    // Only candidates covering the whole mention count as lookups.
+    if (c.pos != 0 || c.len != doc.size()) continue;
+    if (seen[c.origin]) continue;
+    seen[c.origin] = 1;
+    const JaccArScore s = verifier.BestAbove(c.origin, ordered, tau);
+    if (ScorePasses(s.score, tau)) {
+      hits.push_back(Lookup{c.origin, s.score, s.best_derived});
+    }
+  }
+  std::sort(hits.begin(), hits.end(), [](const Lookup& a, const Lookup& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.entity < b.entity;
+  });
+  if (hits.size() > k) hits.resize(k);
+  return hits;
+}
+
+std::string Aeetes::EntityText(EntityId e) const {
+  const TokenSeq& tokens = dd_->origin_entities()[e];
+  std::string out;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += dd_->token_dict().Text(tokens[i]);
+  }
+  return out;
+}
+
+Aeetes::MatchExplanation Aeetes::Explain(const Match& match,
+                                         const Document& doc) const {
+  MatchExplanation ex;
+  ex.score = match.score;
+  ex.substring_text = doc.SubstringText(match.token_begin, match.token_len);
+  ex.entity_text = EntityText(match.entity);
+  if (match.best_derived != JaccArScore::kNoDerived &&
+      match.best_derived < dd_->num_derived()) {
+    const DerivedEntity& witness = dd_->derived()[match.best_derived];
+    for (size_t i = 0; i < witness.tokens.size(); ++i) {
+      if (i > 0) ex.witness_text += ' ';
+      ex.witness_text += dd_->token_dict().Text(witness.tokens[i]);
+    }
+    ex.applied_rules = witness.applied_rules;
+  }
+  return ex;
+}
+
+}  // namespace aeetes

@@ -1,0 +1,132 @@
+#ifndef AEETES_CORE_AEETES_H_
+#define AEETES_CORE_AEETES_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/candidate_generator.h"
+#include "src/core/document.h"
+#include "src/core/verifier.h"
+#include "src/index/clustered_index.h"
+#include "src/sim/jaccar.h"
+#include "src/synonym/derived_dictionary.h"
+#include "src/synonym/rule.h"
+#include "src/text/tokenizer.h"
+
+namespace aeetes {
+
+struct AeetesOptions {
+  /// Syntactic metric underlying JaccAR (Jaccard in the paper).
+  Metric metric = Metric::kJaccard;
+  /// Default filtering strategy for Extract(); the paper's best is Lazy.
+  FilterStrategy strategy = FilterStrategy::kLazy;
+  /// Weighted-rule extension (paper future work (iii)).
+  bool weighted = false;
+  /// ppjoin-style positional filter in candidate generation (an extension
+  /// beyond the paper's filter set; see CandidateGenOptions).
+  bool positional_filter = false;
+  /// Derived-dictionary construction knobs (cap on |D(e)|, clique mode).
+  DerivedDictionaryOptions derivation;
+  /// Tokenizer configuration used by BuildFromText / EncodeDocument.
+  TokenizerOptions tokenizer;
+};
+
+/// End-to-end AEES framework (Algorithm 1): offline, applies synonym rules
+/// to the entity dictionary, derives the clustered inverted index; online,
+/// extracts from documents all substrings s with JaccAR(e, s) >= tau.
+///
+/// Build once, then Extract any number of documents with any thresholds —
+/// the index is threshold-independent.
+class Aeetes {
+ public:
+  /// Offline stage from pre-encoded entities. `dict` must hold all entity
+  /// and rule tokens and must not be frozen (Build freezes it).
+  static Result<std::unique_ptr<Aeetes>> Build(
+      std::vector<TokenSeq> entities, const RuleSet& rules,
+      std::unique_ptr<TokenDictionary> dict, AeetesOptions options = {});
+
+  /// Offline stage from raw text: tokenizes entities and "lhs <=> rhs"
+  /// rule lines with the configured tokenizer.
+  static Result<std::unique_ptr<Aeetes>> BuildFromText(
+      const std::vector<std::string>& entities,
+      const std::vector<std::string>& rule_lines, AeetesOptions options = {});
+
+  /// Wraps an already-derived dictionary (the snapshot-loading path) and
+  /// builds the index over it.
+  static Result<std::unique_ptr<Aeetes>> FromDerivedDictionary(
+      std::unique_ptr<DerivedDictionary> dd, AeetesOptions options = {});
+
+  /// Tokenizes and interns a document against this instance's dictionary.
+  Document EncodeDocument(std::string_view text);
+
+  struct ExtractionResult {
+    std::vector<Match> matches;
+    FilterStats filter_stats;
+    VerifyStats verify_stats;
+    double filter_ms = 0.0;
+    double verify_ms = 0.0;
+  };
+
+  /// Online stage: all (entity, substring) pairs with JaccAR >= tau.
+  Result<ExtractionResult> Extract(const Document& doc, double tau) const;
+
+  /// Extract with an explicit strategy (the Figure 10/11 ablation axis).
+  Result<ExtractionResult> ExtractWithStrategy(const Document& doc,
+                                               double tau,
+                                               FilterStrategy strategy) const;
+
+  /// One scored dictionary hit for a free-standing mention string.
+  struct Lookup {
+    EntityId entity = 0;
+    double score = 0.0;
+    DerivedId best_derived = JaccArScore::kNoDerived;
+  };
+
+  /// Matches a single mention string (not a document) against the
+  /// dictionary: the whole string is one window. Returns up to `k` hits
+  /// with JaccAR >= tau, best first — the "which entity is this?" lookup
+  /// used by autocomplete / record-linkage callers.
+  Result<std::vector<Lookup>> LookupString(std::string_view mention,
+                                           double tau, size_t k = 5);
+
+  const DerivedDictionary& derived_dictionary() const { return *dd_; }
+  const ClusteredIndex& index() const { return *index_; }
+  const Tokenizer& tokenizer() const { return tokenizer_; }
+  const AeetesOptions& options() const { return options_; }
+
+  /// Original-entity text reconstruction (token texts joined by spaces).
+  std::string EntityText(EntityId e) const;
+
+  /// Human-readable explanation of a match: which derived entity
+  /// witnessed it and which synonym rules produced that witness. The rule
+  /// ids refer to the RuleSet the extractor was built with.
+  struct MatchExplanation {
+    std::string substring_text;  // empty when built from raw tokens
+    std::string entity_text;
+    std::string witness_text;    // the best derived entity
+    std::vector<RuleId> applied_rules;
+    double score = 0.0;
+  };
+  MatchExplanation Explain(const Match& match, const Document& doc) const;
+
+ private:
+  Aeetes(AeetesOptions options, std::unique_ptr<DerivedDictionary> dd,
+         std::unique_ptr<ClusteredIndex> index)
+      : options_(options),
+        tokenizer_(options.tokenizer),
+        dd_(std::move(dd)),
+        index_(std::move(index)) {}
+
+  AeetesOptions options_;
+  Tokenizer tokenizer_;
+  std::unique_ptr<DerivedDictionary> dd_;
+  std::unique_ptr<ClusteredIndex> index_;
+};
+
+}  // namespace aeetes
+
+#endif  // AEETES_CORE_AEETES_H_

@@ -1,0 +1,476 @@
+#include "src/core/candidate_generator.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/common/logging.h"
+#include "src/core/window.h"
+
+namespace aeetes {
+
+const char* FilterStrategyName(FilterStrategy s) {
+  switch (s) {
+    case FilterStrategy::kSimple:
+      return "Simple";
+    case FilterStrategy::kSkip:
+      return "Skip";
+    case FilterStrategy::kDynamic:
+      return "Dynamic";
+    case FilterStrategy::kLazy:
+      return "Lazy";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Per-substring candidate-origin tracker. A timestamp array avoids
+/// clearing a hash set for every substring.
+class OriginTracker {
+ public:
+  explicit OriginTracker(size_t num_origins)
+      : last_seen_(num_origins, 0), epoch_(0) {}
+
+  void NextSubstring() { ++epoch_; }
+
+  bool IsCandidate(EntityId e) const { return last_seen_[e] == epoch_; }
+
+  /// Returns true when newly marked.
+  bool Mark(EntityId e) {
+    if (last_seen_[e] == epoch_) return false;
+    last_seen_[e] = epoch_;
+    return true;
+  }
+
+ private:
+  std::vector<uint64_t> last_seen_;
+  uint64_t epoch_;
+};
+
+struct ProbeContext {
+  const Document& doc;
+  const DerivedDictionary& dd;
+  const ClusteredIndex& index;
+  double tau;
+  Metric metric;
+  CandidateGenOptions opts;
+  CandidateGenOutput* out;
+  OriginTracker* tracker;
+};
+
+/// Positional filter admission for a shared token at prefix index `k` of
+/// the window (set size `set_size`) and ordered-set position `j` of a
+/// derived entity of size `entity_len`. Always true when the filter is
+/// disabled.
+bool PositionalAdmit(const ProbeContext& ctx, size_t set_size, size_t k,
+                     size_t entity_len, size_t j) {
+  if (!ctx.opts.positional_filter) return true;
+  const size_t required =
+      RequiredOverlap(ctx.metric, set_size, entity_len, ctx.tau);
+  const size_t upper =
+      1 + std::min(set_size - k - 1, entity_len - j - 1);
+  if (upper >= required) return true;
+  ++ctx.out->stats.positional_pruned;
+  return false;
+}
+
+/// Scans L[t] for one substring without any batch skipping (Simple): every
+/// posting entry is touched; length and prefix filters are evaluated per
+/// entry.
+void ProbeFlat(const ProbeContext& ctx, TokenId t, size_t k, uint32_t pos,
+               uint32_t len, size_t set_size, const LengthRange& partner) {
+  const auto list = ctx.index.list(t);
+  const auto& lgs = ctx.index.length_groups();
+  const auto& ogs = ctx.index.origin_groups();
+  const auto& entries = ctx.index.entries();
+  FilterStats& st = ctx.out->stats;
+  for (uint32_t g = list.begin; g < list.end; ++g) {
+    const LengthGroup& lg = lgs[g];
+    const size_t prefix_len = PrefixLength(ctx.metric, lg.length, ctx.tau);
+    for (uint32_t og = lg.begin; og < lg.end; ++og) {
+      const OriginGroup& origin_group = ogs[og];
+      for (uint32_t i = origin_group.begin; i < origin_group.end; ++i) {
+        ++st.entries_accessed;
+        if (!partner.Contains(lg.length)) continue;
+        if (entries[i].pos >= prefix_len) continue;
+        if (!PositionalAdmit(ctx, set_size, k, lg.length, entries[i].pos)) {
+          continue;
+        }
+        if (ctx.tracker->Mark(origin_group.origin)) {
+          ctx.out->candidates.push_back(
+              Candidate{pos, len, origin_group.origin});
+          ++st.candidates;
+        }
+      }
+    }
+  }
+}
+
+/// Scans L[t] for one substring with clustered batch skipping (Skip):
+/// length groups failing the length filter are skipped without touching
+/// their entries; origin groups whose origin is already a candidate of
+/// this substring are skipped likewise.
+void ProbeSkip(const ProbeContext& ctx, TokenId t, size_t k, uint32_t pos,
+               uint32_t len, size_t set_size, const LengthRange& partner) {
+  const auto list = ctx.index.list(t);
+  const auto& lgs = ctx.index.length_groups();
+  const auto& ogs = ctx.index.origin_groups();
+  const auto& entries = ctx.index.entries();
+  FilterStats& st = ctx.out->stats;
+  for (uint32_t g = list.begin; g < list.end; ++g) {
+    const LengthGroup& lg = lgs[g];
+    if (!partner.Contains(lg.length)) {
+      ++st.length_groups_skipped;
+      continue;
+    }
+    const size_t prefix_len = PrefixLength(ctx.metric, lg.length, ctx.tau);
+    for (uint32_t og = lg.begin; og < lg.end; ++og) {
+      const OriginGroup& origin_group = ogs[og];
+      if (ctx.tracker->IsCandidate(origin_group.origin)) {
+        ++st.origin_groups_skipped;
+        continue;
+      }
+      for (uint32_t i = origin_group.begin; i < origin_group.end; ++i) {
+        ++st.entries_accessed;
+        if (entries[i].pos >= prefix_len) continue;
+        if (!PositionalAdmit(ctx, set_size, k, lg.length, entries[i].pos)) {
+          continue;
+        }
+        ctx.tracker->Mark(origin_group.origin);
+        ctx.out->candidates.push_back(
+            Candidate{pos, len, origin_group.origin});
+        ++st.candidates;
+        break;  // rest of this origin group is redundant
+      }
+    }
+  }
+}
+
+/// Probes the index for the current window state.
+void ProbeWindow(const ProbeContext& ctx, const SlidingWindow& win,
+                 bool batch_skip) {
+  FilterStats& st = ctx.out->stats;
+  ++st.substrings;
+  ctx.tracker->NextSubstring();
+  const size_t set_size = win.set_size();
+  if (set_size == 0) return;
+  const LengthRange partner =
+      PartnerLengthRange(ctx.metric, set_size, ctx.tau);
+  const size_t prefix_len = PrefixLength(ctx.metric, set_size, ctx.tau);
+  for (size_t k = 0; k < prefix_len; ++k) {
+    const TokenId t = win.DistinctToken(k);
+    if (ctx.index.list(t).empty()) continue;  // invalid or unindexed token
+    if (batch_skip) {
+      ProbeSkip(ctx, t, k, static_cast<uint32_t>(win.pos()),
+                static_cast<uint32_t>(win.len()), set_size, partner);
+    } else {
+      ProbeFlat(ctx, t, k, static_cast<uint32_t>(win.pos()),
+                static_cast<uint32_t>(win.len()), set_size, partner);
+    }
+  }
+}
+
+/// Simple and Skip: enumerate every substring, rebuild its prefix from
+/// scratch (Section 4's "straightforward solution").
+void GenerateEnumerated(const ProbeContext& ctx, const LengthRange& win_len,
+                        bool batch_skip) {
+  const size_t n = ctx.doc.size();
+  SlidingWindow win(ctx.doc, ctx.dd.token_dict());
+  FilterStats& st = ctx.out->stats;
+  for (size_t p = 0; p < n; ++p) {
+    if (p + win_len.lo > n) break;
+    ++st.windows;
+    const size_t max_len = std::min<size_t>(win_len.hi, n - p);
+    for (size_t l = win_len.lo; l <= max_len; ++l) {
+      win.Reset(p, l);
+      ++st.prefix_rebuilds;
+      ProbeWindow(ctx, win, batch_skip);
+    }
+  }
+}
+
+/// Builds the per-length window states for position 0: the shortest window
+/// from scratch, each longer one by Window Extend from a copy.
+std::vector<SlidingWindow> InitialWindows(const ProbeContext& ctx,
+                                          const LengthRange& win_len) {
+  std::vector<SlidingWindow> states;
+  const size_t n = ctx.doc.size();
+  FilterStats& st = ctx.out->stats;
+  SlidingWindow win(ctx.doc, ctx.dd.token_dict());
+  if (win_len.lo > n) return states;
+  win.Reset(0, win_len.lo);
+  ++st.prefix_rebuilds;
+  states.push_back(win);
+  for (size_t l = win_len.lo + 1; l <= std::min<size_t>(win_len.hi, n); ++l) {
+    if (!win.Extend()) break;
+    ++st.prefix_updates;
+    states.push_back(win);
+  }
+  return states;
+}
+
+/// One cacheable hit of a token-list scan: an origin whose derived
+/// entities of ordered-set size `length` share the token within their
+/// tau-prefix; `j_min` is the smallest such prefix position (the best
+/// witness for the positional filter).
+struct ScanHit {
+  EntityId origin;
+  uint32_t length;
+  uint32_t j_min;
+};
+
+/// Scans L[t] once for a given substring set size, returning every origin
+/// whose postings pass the length and prefix filters. The result depends
+/// only on (t, set_size, tau), never on the substring position — which is
+/// what makes it cacheable across adjacent windows.
+std::vector<ScanHit> ScanTokenList(const ProbeContext& ctx, TokenId t,
+                                   size_t set_size) {
+  std::vector<ScanHit> hits;
+  const auto list = ctx.index.list(t);
+  const auto& lgs = ctx.index.length_groups();
+  const auto& ogs = ctx.index.origin_groups();
+  const auto& entries = ctx.index.entries();
+  FilterStats& st = ctx.out->stats;
+  const LengthRange partner =
+      PartnerLengthRange(ctx.metric, set_size, ctx.tau);
+  for (uint32_t g = list.begin; g < list.end; ++g) {
+    const LengthGroup& lg = lgs[g];
+    if (!partner.Contains(lg.length)) {
+      ++st.length_groups_skipped;
+      continue;
+    }
+    const size_t prefix_len = PrefixLength(ctx.metric, lg.length, ctx.tau);
+    for (uint32_t og = lg.begin; og < lg.end; ++og) {
+      const OriginGroup& origin_group = ogs[og];
+      uint32_t j_min = static_cast<uint32_t>(-1);
+      for (uint32_t i = origin_group.begin; i < origin_group.end; ++i) {
+        ++st.entries_accessed;
+        if (entries[i].pos < prefix_len) {
+          j_min = std::min(j_min, entries[i].pos);
+          // Without the positional filter, membership is all that
+          // matters; stop at the first witness.
+          if (!ctx.opts.positional_filter) break;
+        }
+      }
+      if (j_min != static_cast<uint32_t>(-1)) {
+        hits.push_back(ScanHit{origin_group.origin, lg.length, j_min});
+      }
+    }
+  }
+  return hits;
+}
+
+/// Dynamic: per-length window states maintained incrementally across
+/// positions (Window Migrate). Because adjacent substrings share most of
+/// their prefix, each state memoizes the per-token scan results: only
+/// tokens that newly enter the prefix (or a changed set size) cost an
+/// index scan — the savings the paper's MigCandGeneration realizes.
+void GenerateDynamic(const ProbeContext& ctx, const LengthRange& win_len) {
+  const size_t n = ctx.doc.size();
+  FilterStats& st = ctx.out->stats;
+  std::vector<SlidingWindow> states = InitialWindows(ctx, win_len);
+  if (states.empty()) return;
+
+  struct CachedScan {
+    size_t set_size = 0;
+    std::vector<ScanHit> hits;
+  };
+  std::vector<std::unordered_map<TokenId, CachedScan>> caches(states.size());
+
+  auto probe_cached = [&](size_t si) {
+    SlidingWindow& win = states[si];
+    auto& cache = caches[si];
+    ++st.substrings;
+    ctx.tracker->NextSubstring();
+    const size_t set_size = win.set_size();
+    if (set_size == 0) return;
+    const size_t prefix_len = PrefixLength(ctx.metric, set_size, ctx.tau);
+    for (size_t k = 0; k < prefix_len; ++k) {
+      const TokenId t = win.DistinctToken(k);
+      if (ctx.index.list(t).empty()) continue;
+      auto [it, inserted] = cache.try_emplace(t);
+      if (inserted || it->second.set_size != set_size) {
+        it->second.set_size = set_size;
+        it->second.hits = ScanTokenList(ctx, t, set_size);
+      }
+      for (const ScanHit& hit : it->second.hits) {
+        if (ctx.tracker->IsCandidate(hit.origin)) continue;
+        if (!PositionalAdmit(ctx, set_size, k, hit.length, hit.j_min)) {
+          continue;
+        }
+        ctx.tracker->Mark(hit.origin);
+        ctx.out->candidates.push_back(
+            Candidate{static_cast<uint32_t>(win.pos()),
+                      static_cast<uint32_t>(win.len()), hit.origin});
+        ++st.candidates;
+      }
+    }
+  };
+
+  ++st.windows;
+  for (size_t si = 0; si < states.size(); ++si) probe_cached(si);
+  for (size_t p = 1; p + win_len.lo <= n; ++p) {
+    ++st.windows;
+    for (size_t si = 0; si < states.size(); ++si) {
+      if (p + states[si].len() > n) continue;  // window no longer fits
+      states[si].Migrate();
+      ++st.prefix_updates;
+      probe_cached(si);
+    }
+  }
+}
+
+/// Lazy phase 1 output: for each valid token, the substrings whose prefix
+/// contains it, keyed by substring set size (the substring inverted index
+/// I of Section 4.2). `k` is the token's index in the substring's prefix,
+/// needed by the positional filter.
+struct Registration {
+  uint32_t set_size;
+  uint32_t pos;
+  uint32_t len;
+  uint32_t k;
+};
+
+void GenerateLazy(const ProbeContext& ctx, const LengthRange& win_len) {
+  const size_t n = ctx.doc.size();
+  FilterStats& st = ctx.out->stats;
+
+  // Phase 1: slide windows exactly as Dynamic does, but only *register*
+  // the valid prefix tokens of each substring instead of probing. This
+  // materializes the substring inverted index I (the delta-valid-token
+  // bookkeeping of Section 4.2 is how the paper builds the same structure
+  // incrementally).
+  std::unordered_map<TokenId, std::vector<Registration>> inverted;
+  auto register_window = [&](const SlidingWindow& win) {
+    ++st.substrings;
+    const size_t set_size = win.set_size();
+    if (set_size == 0) return;
+    const size_t prefix_len = PrefixLength(ctx.metric, set_size, ctx.tau);
+    for (size_t k = 0; k < prefix_len; ++k) {
+      const TokenId t = win.DistinctToken(k);
+      if (ctx.index.list(t).empty()) continue;
+      inverted[t].push_back(Registration{static_cast<uint32_t>(set_size),
+                                         static_cast<uint32_t>(win.pos()),
+                                         static_cast<uint32_t>(win.len()),
+                                         static_cast<uint32_t>(k)});
+    }
+  };
+
+  std::vector<SlidingWindow> states = InitialWindows(ctx, win_len);
+  if (states.empty()) return;
+  ++st.windows;
+  for (auto& s : states) register_window(s);
+  for (size_t p = 1; p + win_len.lo <= n; ++p) {
+    ++st.windows;
+    for (auto& s : states) {
+      if (p + s.len() > n) continue;
+      s.Migrate();
+      ++st.prefix_updates;
+      register_window(s);
+    }
+  }
+
+  // Phase 2: one scan of L[t] per valid token. Sort registrations by set
+  // size so each length group is matched against contiguous runs.
+  std::vector<TokenId> tokens;
+  tokens.reserve(inverted.size());
+  for (auto& [t, regs] : inverted) tokens.push_back(t);
+  std::sort(tokens.begin(), tokens.end());
+
+  std::unordered_set<uint64_t> dedupe;
+  auto candidate_key = [](uint32_t pos, uint32_t len, EntityId origin) {
+    AEETES_DCHECK(pos < (1u << 26) && len < (1u << 8));
+    return (static_cast<uint64_t>(pos) << 38) |
+           (static_cast<uint64_t>(len) << 30) | static_cast<uint64_t>(origin);
+  };
+
+  const auto& lgs = ctx.index.length_groups();
+  const auto& ogs = ctx.index.origin_groups();
+  const auto& entries = ctx.index.entries();
+
+  for (TokenId t : tokens) {
+    auto& regs = inverted[t];
+    std::sort(regs.begin(), regs.end(),
+              [](const Registration& a, const Registration& b) {
+                if (a.set_size != b.set_size) return a.set_size < b.set_size;
+                if (a.pos != b.pos) return a.pos < b.pos;
+                return a.len < b.len;
+              });
+    const auto list = ctx.index.list(t);
+    for (uint32_t g = list.begin; g < list.end; ++g) {
+      const LengthGroup& lg = lgs[g];
+      // Substring set sizes compatible with entity length lg.length.
+      const LengthRange sizes =
+          PartnerLengthRange(ctx.metric, lg.length, ctx.tau);
+      auto lo = std::lower_bound(
+          regs.begin(), regs.end(), sizes.lo,
+          [](const Registration& r, size_t v) { return r.set_size < v; });
+      auto hi = std::upper_bound(
+          regs.begin(), regs.end(), sizes.hi,
+          [](size_t v, const Registration& r) { return v < r.set_size; });
+      if (lo == hi) {
+        ++st.length_groups_skipped;
+        continue;
+      }
+      const size_t prefix_len = PrefixLength(ctx.metric, lg.length, ctx.tau);
+      for (uint32_t og = lg.begin; og < lg.end; ++og) {
+        const OriginGroup& origin_group = ogs[og];
+        uint32_t j_min = static_cast<uint32_t>(-1);
+        for (uint32_t i = origin_group.begin; i < origin_group.end; ++i) {
+          ++st.entries_accessed;
+          if (entries[i].pos < prefix_len) {
+            j_min = std::min(j_min, entries[i].pos);
+            if (!ctx.opts.positional_filter) break;
+          }
+        }
+        if (j_min == static_cast<uint32_t>(-1)) continue;
+        for (auto it = lo; it != hi; ++it) {
+          if (!PositionalAdmit(ctx, it->set_size, it->k, lg.length, j_min)) {
+            continue;
+          }
+          const uint64_t key =
+              candidate_key(it->pos, it->len, origin_group.origin);
+          if (dedupe.insert(key).second) {
+            ctx.out->candidates.push_back(
+                Candidate{it->pos, it->len, origin_group.origin});
+            ++st.candidates;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+CandidateGenOutput GenerateCandidates(FilterStrategy strategy,
+                                      const Document& doc,
+                                      const DerivedDictionary& dd,
+                                      const ClusteredIndex& index, double tau,
+                                      Metric metric,
+                                      const CandidateGenOptions& options) {
+  CandidateGenOutput out;
+  AEETES_CHECK(tau > 0.0 && tau <= 1.0) << "threshold must be in (0, 1]";
+  const LengthRange win_len = SubstringLengthBounds(
+      metric, dd.min_set_size(), dd.max_set_size(), tau);
+  OriginTracker tracker(dd.num_origins());
+  ProbeContext ctx{doc, dd, index, tau, metric, options, &out, &tracker};
+  switch (strategy) {
+    case FilterStrategy::kSimple:
+      GenerateEnumerated(ctx, win_len, /*batch_skip=*/false);
+      break;
+    case FilterStrategy::kSkip:
+      GenerateEnumerated(ctx, win_len, /*batch_skip=*/true);
+      break;
+    case FilterStrategy::kDynamic:
+      GenerateDynamic(ctx, win_len);
+      break;
+    case FilterStrategy::kLazy:
+      GenerateLazy(ctx, win_len);
+      break;
+  }
+  return out;
+}
+
+}  // namespace aeetes

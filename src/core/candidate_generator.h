@@ -1,0 +1,73 @@
+#ifndef AEETES_CORE_CANDIDATE_GENERATOR_H_
+#define AEETES_CORE_CANDIDATE_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/document.h"
+#include "src/index/clustered_index.h"
+#include "src/index/filters.h"
+#include "src/sim/similarity.h"
+#include "src/synonym/derived_dictionary.h"
+
+namespace aeetes {
+
+/// The four filtering strategies evaluated in Figures 10 and 11.
+enum class FilterStrategy {
+  /// Enumerate substrings, compute each prefix from scratch, scan posting
+  /// lists entry by entry (length + prefix filter per entry).
+  kSimple = 0,
+  /// + clustered index: batch-skip length groups failing the length filter
+  /// and origin groups already known to be candidates.
+  kSkip = 1,
+  /// + dynamic prefix maintenance via Window Extend / Window Migrate.
+  kDynamic = 2,
+  /// + lazy candidate generation: collect valid tokens for all substrings
+  /// first, then scan each posting list exactly once per document.
+  kLazy = 3,
+};
+
+const char* FilterStrategyName(FilterStrategy s);
+
+/// A candidate pair: substring [pos, pos + len) of the document may match
+/// origin entity `origin` and must be verified.
+struct Candidate {
+  uint32_t pos = 0;
+  uint32_t len = 0;
+  EntityId origin = 0;
+
+  bool operator==(const Candidate& o) const {
+    return pos == o.pos && len == o.len && origin == o.origin;
+  }
+};
+
+struct CandidateGenOutput {
+  std::vector<Candidate> candidates;
+  FilterStats stats;
+};
+
+struct CandidateGenOptions {
+  /// Positional filter (Xiao et al., ppjoin): a candidate pair whose
+  /// leftmost shared prefix token sits at positions (k, j) of the window /
+  /// entity ordered sets can overlap by at most
+  ///   1 + min(|s| - k - 1, |e| - j - 1),
+  /// so pairs below RequiredOverlap are pruned before verification. Sound
+  /// (the leftmost shared token's bound is exact), reduces candidates at a
+  /// small per-entry cost. Off by default to match the paper's filter set.
+  bool positional_filter = false;
+};
+
+/// Runs the filter phase of Algorithm 1 with the chosen strategy. All four
+/// strategies produce the same candidate *superset guarantees* (no false
+/// negatives); they differ only in filter cost. Candidates are deduped per
+/// (substring, origin).
+CandidateGenOutput GenerateCandidates(FilterStrategy strategy,
+                                      const Document& doc,
+                                      const DerivedDictionary& dd,
+                                      const ClusteredIndex& index, double tau,
+                                      Metric metric = Metric::kJaccard,
+                                      const CandidateGenOptions& options = {});
+
+}  // namespace aeetes
+
+#endif  // AEETES_CORE_CANDIDATE_GENERATOR_H_

@@ -1,0 +1,88 @@
+#include "src/core/corpus.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+namespace aeetes {
+
+Result<CorpusExtraction> ExtractCorpus(
+    Aeetes& aeetes, const std::vector<std::string>& documents, double tau,
+    const CorpusExtractionOptions& options) {
+  if (!(tau > 0.0) || tau > 1.0) {
+    return Status::InvalidArgument("threshold must be in (0, 1]");
+  }
+  CorpusExtraction out;
+  out.per_document.resize(documents.size());
+  if (documents.empty()) return out;
+
+  // Serial phase: encode (interns unseen tokens into the shared
+  // dictionary).
+  std::vector<Document> encoded;
+  encoded.reserve(documents.size());
+  for (const std::string& text : documents) {
+    encoded.push_back(aeetes.EncodeDocument(text));
+  }
+
+  size_t threads = options.num_threads;
+  if (threads == 0) {
+    threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, documents.size());
+
+  // Parallel phase: extraction is const on the built structures.
+  std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+  Status first_error;
+  std::mutex error_mu;
+
+  auto worker = [&]() {
+    while (true) {
+      const size_t i = next.fetch_add(1);
+      if (i >= encoded.size() || failed.load(std::memory_order_relaxed)) {
+        return;
+      }
+      auto result = aeetes.Extract(encoded[i], tau);
+      if (!result.ok()) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!failed.exchange(true)) first_error = result.status();
+        return;
+      }
+      DocumentMatches& dm = out.per_document[i];
+      dm.doc = static_cast<uint32_t>(i);
+      dm.matches = std::move(result->matches);
+      dm.filter_stats = result->filter_stats;
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+
+  if (failed.load()) return first_error;
+
+  for (const DocumentMatches& dm : out.per_document) {
+    out.total_filter_stats += dm.filter_stats;
+    out.total_matches += dm.matches.size();
+  }
+  return out;
+}
+
+std::vector<Match> TopKByScore(std::vector<Match> matches, size_t k) {
+  auto better = [](const Match& a, const Match& b) {
+    if (a.score != b.score) return a.score > b.score;
+    if (a.token_begin != b.token_begin) return a.token_begin < b.token_begin;
+    if (a.token_len != b.token_len) return a.token_len < b.token_len;
+    return a.entity < b.entity;
+  };
+  if (k < matches.size()) {
+    std::nth_element(matches.begin(), matches.begin() + static_cast<long>(k),
+                     matches.end(), better);
+    matches.resize(k);
+  }
+  std::sort(matches.begin(), matches.end(), better);
+  return matches;
+}
+
+}  // namespace aeetes

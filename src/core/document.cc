@@ -1,0 +1,35 @@
+#include "src/core/document.h"
+
+namespace aeetes {
+
+Document Document::FromText(std::string_view text, const Tokenizer& tokenizer,
+                            TokenDictionary& dict) {
+  Document doc;
+  doc.text_ = std::string(text);
+  for (const RawToken& rt : tokenizer.Tokenize(text)) {
+    doc.tokens_.push_back(dict.GetOrAdd(rt.text));
+    doc.spans_.emplace_back(rt.begin, rt.end);
+  }
+  return doc;
+}
+
+Document Document::FromTokens(TokenSeq tokens) {
+  Document doc;
+  doc.tokens_ = std::move(tokens);
+  return doc;
+}
+
+std::pair<size_t, size_t> Document::SubstringSpan(size_t begin,
+                                                  size_t len) const {
+  if (len == 0 || begin >= spans_.size()) return {0, 0};
+  const size_t last = std::min(begin + len, spans_.size()) - 1;
+  return {spans_[begin].first, spans_[last].second};
+}
+
+std::string Document::SubstringText(size_t begin, size_t len) const {
+  const auto [b, e] = SubstringSpan(begin, len);
+  if (e <= b || e > text_.size()) return "";
+  return text_.substr(b, e - b);
+}
+
+}  // namespace aeetes

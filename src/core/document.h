@@ -1,0 +1,58 @@
+#ifndef AEETES_CORE_DOCUMENT_H_
+#define AEETES_CORE_DOCUMENT_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/text/token.h"
+#include "src/text/token_dictionary.h"
+#include "src/text/tokenizer.h"
+
+namespace aeetes {
+
+/// A tokenized, interned document. Tokens absent from the dictionary are
+/// interned with frequency 0 ("invalid tokens"); byte spans are retained so
+/// matches can be reported as character ranges of the original text.
+class Document {
+ public:
+  /// An empty document.
+  Document() = default;
+
+  /// Tokenizes `text` and interns its tokens into `dict` (which may already
+  /// be frozen; new tokens get frequency 0).
+  static Document FromText(std::string_view text, const Tokenizer& tokenizer,
+                           TokenDictionary& dict);
+
+  /// Wraps an already-encoded token sequence (spans unavailable).
+  static Document FromTokens(TokenSeq tokens);
+
+  const TokenSeq& tokens() const { return tokens_; }
+  size_t size() const { return tokens_.size(); }
+
+  /// Byte span of token `i` in the original text, or {0,0} when the
+  /// document was built from tokens.
+  std::pair<size_t, size_t> TokenSpan(size_t i) const {
+    if (i >= spans_.size()) return {0, 0};
+    return spans_[i];
+  }
+
+  /// Byte range covering tokens [begin, begin + len).
+  std::pair<size_t, size_t> SubstringSpan(size_t begin, size_t len) const;
+
+  /// The original text (empty when built from tokens).
+  const std::string& text() const { return text_; }
+
+  /// Substring text for tokens [begin, begin + len).
+  std::string SubstringText(size_t begin, size_t len) const;
+
+ private:
+  std::string text_;
+  TokenSeq tokens_;
+  std::vector<std::pair<size_t, size_t>> spans_;
+};
+
+}  // namespace aeetes
+
+#endif  // AEETES_CORE_DOCUMENT_H_

@@ -1,0 +1,50 @@
+#include "src/core/verifier.h"
+
+#include <algorithm>
+
+#include "src/text/token_set.h"
+
+namespace aeetes {
+
+std::vector<Match> VerifyCandidates(std::vector<Candidate> candidates,
+                                    const Document& doc,
+                                    const DerivedDictionary& dd, double tau,
+                                    const JaccArOptions& options,
+                                    VerifyStats* stats,
+                                    bool early_termination) {
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.pos != b.pos) return a.pos < b.pos;
+              if (a.len != b.len) return a.len < b.len;
+              return a.origin < b.origin;
+            });
+
+  const JaccArVerifier verifier(dd, options);
+  std::vector<Match> matches;
+  TokenSeq ordered_set;
+  uint32_t cur_pos = 0, cur_len = 0;
+  bool have_set = false;
+
+  for (const Candidate& c : candidates) {
+    if (!have_set || c.pos != cur_pos || c.len != cur_len) {
+      TokenSeq slice(doc.tokens().begin() + c.pos,
+                     doc.tokens().begin() + c.pos + c.len);
+      ordered_set = BuildOrderedSet(slice, dd.token_dict());
+      cur_pos = c.pos;
+      cur_len = c.len;
+      have_set = true;
+    }
+    if (stats) ++stats->verified;
+    const JaccArScore score =
+        early_termination ? verifier.BestAbove(c.origin, ordered_set, tau)
+                          : verifier.Score(c.origin, ordered_set, tau);
+    if (ScorePasses(score.score, tau)) {
+      matches.push_back(Match{c.pos, c.len, c.origin, score.score,
+                              score.best_derived});
+      if (stats) ++stats->matched;
+    }
+  }
+  return matches;
+}
+
+}  // namespace aeetes

@@ -1,0 +1,60 @@
+#include "src/core/window.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace aeetes {
+
+void SlidingWindow::Reset(size_t pos, size_t len) {
+  AEETES_DCHECK(pos + len <= doc_.size());
+  pos_ = pos;
+  len_ = len;
+  slots_.clear();
+  for (size_t i = pos; i < pos + len; ++i) Insert(doc_.tokens()[i]);
+}
+
+bool SlidingWindow::Extend() {
+  if (pos_ + len_ >= doc_.size()) return false;
+  Insert(doc_.tokens()[pos_ + len_]);
+  ++len_;
+  return true;
+}
+
+bool SlidingWindow::Migrate() {
+  if (pos_ + len_ >= doc_.size()) return false;
+  Remove(doc_.tokens()[pos_]);
+  Insert(doc_.tokens()[pos_ + len_]);
+  ++pos_;
+  return true;
+}
+
+TokenSeq SlidingWindow::OrderedSet() const {
+  TokenSeq out;
+  out.reserve(slots_.size());
+  for (const Slot& s : slots_) out.push_back(s.token);
+  return out;
+}
+
+void SlidingWindow::Insert(TokenId t) {
+  const TokenRank rank = dict_.Rank(t);
+  auto it = std::lower_bound(
+      slots_.begin(), slots_.end(), rank,
+      [](const Slot& s, TokenRank r) { return s.rank < r; });
+  if (it != slots_.end() && it->rank == rank) {
+    ++it->count;
+    return;
+  }
+  slots_.insert(it, Slot{rank, t, 1});
+}
+
+void SlidingWindow::Remove(TokenId t) {
+  const TokenRank rank = dict_.Rank(t);
+  auto it = std::lower_bound(
+      slots_.begin(), slots_.end(), rank,
+      [](const Slot& s, TokenRank r) { return s.rank < r; });
+  AEETES_DCHECK(it != slots_.end() && it->rank == rank);
+  if (--it->count == 0) slots_.erase(it);
+}
+
+}  // namespace aeetes

@@ -1,0 +1,68 @@
+#ifndef AEETES_CORE_WINDOW_H_
+#define AEETES_CORE_WINDOW_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/document.h"
+#include "src/text/token.h"
+#include "src/text/token_dictionary.h"
+
+namespace aeetes {
+
+/// The sliding-window state of Section 4.1: the multiset of tokens of the
+/// substring W^l_p, maintained as distinct tokens sorted by ascending
+/// global-order rank plus occurrence counts. Every tau-prefix is simply the
+/// first PrefixLength(set_size, tau) slots, so Window Extend and Window
+/// Migrate reduce to one ordered insert/erase each — the ordered
+/// representation subsumes the paper's case analysis (and stays correct
+/// when the window contains duplicate tokens).
+class SlidingWindow {
+ public:
+  SlidingWindow(const Document& doc, const TokenDictionary& dict)
+      : doc_(doc), dict_(dict) {}
+
+  /// Rebuilds the state for tokens [pos, pos + len) from scratch. Counts as
+  /// one "prefix rebuild" in the cost model; the incremental operators
+  /// below count as "prefix updates".
+  void Reset(size_t pos, size_t len);
+
+  /// Window Extend: W^l_p -> W^{l+1}_p. Returns false at the document end.
+  bool Extend();
+
+  /// Window Migrate: W^l_p -> W^l_{p+1}. Returns false when the shifted
+  /// window would leave the document.
+  bool Migrate();
+
+  size_t pos() const { return pos_; }
+  size_t len() const { return len_; }
+
+  /// Number of distinct tokens.
+  size_t set_size() const { return slots_.size(); }
+
+  /// k-th distinct token in global order (k < set_size()).
+  TokenId DistinctToken(size_t k) const { return slots_[k].token; }
+
+  /// Materializes the ordered set (distinct tokens by rank).
+  TokenSeq OrderedSet() const;
+
+ private:
+  struct Slot {
+    TokenRank rank;
+    TokenId token;
+    uint32_t count;
+  };
+
+  void Insert(TokenId t);
+  void Remove(TokenId t);
+
+  const Document& doc_;
+  const TokenDictionary& dict_;
+  size_t pos_ = 0;
+  size_t len_ = 0;
+  std::vector<Slot> slots_;  // sorted by rank ascending
+};
+
+}  // namespace aeetes
+
+#endif  // AEETES_CORE_WINDOW_H_

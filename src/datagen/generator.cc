@@ -1,0 +1,436 @@
+#include "src/datagen/generator.h"
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <sstream>
+
+#include "src/common/logging.h"
+#include "src/datagen/vocab.h"
+#include "src/datagen/zipf.h"
+#include "src/synonym/applicability.h"
+#include "src/synonym/conflict.h"
+#include "src/text/token_dictionary.h"
+
+namespace aeetes {
+
+const char* MentionKindName(MentionKind kind) {
+  switch (kind) {
+    case MentionKind::kExact:
+      return "exact";
+    case MentionKind::kSynonymVariant:
+      return "synonym";
+    case MentionKind::kTypoVariant:
+      return "typo";
+    case MentionKind::kNearVariant:
+      return "near";
+  }
+  return "?";
+}
+
+namespace {
+
+using Tokens = std::vector<std::string>;
+using Rng = std::mt19937_64;
+
+std::string Join(const Tokens& tokens) {
+  std::string out;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += tokens[i];
+  }
+  return out;
+}
+
+size_t UniformInt(Rng& rng, size_t lo, size_t hi) {  // inclusive bounds
+  return std::uniform_int_distribution<size_t>(lo, hi)(rng);
+}
+
+bool Coin(Rng& rng, double p) {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(rng) < p;
+}
+
+/// String-level rule, used before tokens are interned.
+struct RawRule {
+  Tokens lhs;
+  Tokens rhs;
+};
+
+/// Finds occurrences of `needle` in `haystack` (token-wise).
+std::vector<size_t> FindRuns(const Tokens& haystack, const Tokens& needle) {
+  std::vector<size_t> out;
+  if (needle.empty() || needle.size() > haystack.size()) return out;
+  for (size_t i = 0; i + needle.size() <= haystack.size(); ++i) {
+    if (std::equal(needle.begin(), needle.end(), haystack.begin() + i)) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+/// Set-level key: entities with equal distinct-token sets are
+/// indistinguishable under set similarity, so the generator treats them as
+/// duplicates (otherwise exact mentions tie between permuted twins).
+std::string SetKey(const Tokens& tokens) {
+  Tokens sorted = tokens;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  return Join(sorted);
+}
+
+Tokens ApplyRawRule(const Tokens& entity, const RawRule& rule, size_t at) {
+  Tokens out(entity.begin(), entity.begin() + at);
+  out.insert(out.end(), rule.rhs.begin(), rule.rhs.end());
+  out.insert(out.end(), entity.begin() + at + rule.lhs.size(), entity.end());
+  return out;
+}
+
+class Generator {
+ public:
+  explicit Generator(const DatasetProfile& profile)
+      : profile_(profile),
+        rng_(profile.seed),
+        entity_zipf_(profile.entity_vocab, profile.zipf_skew),
+        synonym_zipf_(profile.synonym_vocab, profile.zipf_skew),
+        background_zipf_(profile.background_vocab, profile.zipf_skew) {}
+
+  SyntheticDataset Run() {
+    GenerateEntities();
+    GenerateRules();
+    GenerateConfusables();
+    EncodeForMentionPlanting();
+    GenerateDocuments();
+    SyntheticDataset ds;
+    ds.profile = profile_;
+    ds.num_original_entities = num_original_;
+    for (const Tokens& e : entities_) ds.entity_texts.push_back(Join(e));
+    for (const RawRule& r : rules_) {
+      ds.rule_lines.push_back(Join(r.lhs) + " <=> " + Join(r.rhs));
+    }
+    ds.documents = std::move(documents_);
+    ds.ground_truth = std::move(ground_truth_);
+    return ds;
+  }
+
+ private:
+  std::string EntityWord() { return SyntheticWord(entity_zipf_(rng_)); }
+  std::string SynonymWord() {
+    return SyntheticWord(profile_.entity_vocab + synonym_zipf_(rng_));
+  }
+  std::string BackgroundWord() {
+    return SyntheticWord(profile_.entity_vocab + profile_.synonym_vocab +
+                         background_zipf_(rng_));
+  }
+
+  /// True iff `e` can join the dictionary: distinct token set, and neither
+  /// contains nor is contained in an existing entity (nested dictionary
+  /// entries make every outer mention also an inner mention, which turns
+  /// evaluation precision into noise).
+  bool AdmitEntity(const Tokens& e) {
+    if (set_keys_.count(SetKey(e))) return false;
+    if (subphrases_.count(Join(e))) return false;
+    for (size_t i = 0; i < e.size(); ++i) {
+      Tokens sub;
+      for (size_t j = i; j < e.size(); ++j) {
+        sub.push_back(e[j]);
+        if (entity_keys_.count(Join(sub))) return false;
+      }
+    }
+    return true;
+  }
+
+  void RegisterEntity(const Tokens& e) {
+    set_keys_.insert(SetKey(e));
+    entity_keys_.insert(Join(e));
+    for (size_t i = 0; i < e.size(); ++i) {
+      Tokens sub;
+      for (size_t j = i; j < e.size(); ++j) {
+        sub.push_back(e[j]);
+        subphrases_.insert(Join(sub));
+      }
+    }
+  }
+
+  void GenerateEntities() {
+    size_t guard = 0;
+    while (entities_.size() < profile_.num_entities &&
+           ++guard < profile_.num_entities * 100) {
+      const size_t len =
+          UniformInt(rng_, profile_.entity_len_min, profile_.entity_len_max);
+      Tokens e;
+      for (size_t i = 0; i < len; ++i) e.push_back(EntityWord());
+      if (!AdmitEntity(e)) continue;
+      RegisterEntity(e);
+      entities_.push_back(std::move(e));
+    }
+    num_original_ = entities_.size();
+  }
+
+  void GenerateRules() {
+    std::set<std::string> seen;
+    std::vector<Tokens> used_lhs;
+    size_t guard = 0;
+    while (rules_.size() < profile_.num_rules &&
+           ++guard < profile_.num_rules * 50) {
+      Tokens lhs;
+      if (!used_lhs.empty() && Coin(rng_, profile_.p_shared_lhs)) {
+        lhs = used_lhs[UniformInt(rng_, 0, used_lhs.size() - 1)];
+      } else if (Coin(rng_, profile_.p_common_lhs)) {
+        // A single frequent entity-vocabulary word applies to many
+        // entities (multi-token frequent combinations almost never occur
+        // contiguously, so common lhs are kept at length 1).
+        lhs.push_back(SyntheticWord(entity_zipf_(rng_) %
+                                    profile_.common_lhs_pool));
+      } else {
+        const Tokens& e =
+            entities_[UniformInt(rng_, 0, entities_.size() - 1)];
+        const size_t len = std::min(
+            e.size(),
+            UniformInt(rng_, profile_.rule_side_min, profile_.rule_side_max));
+        const size_t at = UniformInt(rng_, 0, e.size() - len);
+        lhs.assign(e.begin() + at, e.begin() + at + len);
+      }
+      Tokens rhs;
+      const size_t rhs_len = UniformInt(rng_, 1, 3);
+      for (size_t i = 0; i < rhs_len; ++i) {
+        rhs.push_back(Coin(rng_, 0.2) ? EntityWord() : SynonymWord());
+      }
+      if (lhs == rhs || lhs.empty()) continue;
+      const std::string key = Join(lhs) + "\t" + Join(rhs);
+      if (!seen.insert(key).second) continue;
+      used_lhs.push_back(lhs);
+      rules_.push_back(RawRule{std::move(lhs), std::move(rhs)});
+    }
+  }
+
+  /// Entities that look like (perturbed) derived forms of other entities:
+  /// purely syntactic matchers rank them above the true entity for
+  /// synonym-variant mentions.
+  void GenerateConfusables() {
+    const size_t target =
+        static_cast<size_t>(static_cast<double>(num_original_) *
+                            profile_.confusable_fraction);
+    size_t made = 0, guard = 0;
+    while (made < target && ++guard < target * 60 + 100) {
+      const RawRule& r = rules_[UniformInt(rng_, 0, rules_.size() - 1)];
+      const Tokens& e =
+          entities_[UniformInt(rng_, 0, num_original_ - 1)];
+      const auto runs = FindRuns(e, r.lhs);
+      if (runs.empty()) continue;
+      Tokens derived =
+          ApplyRawRule(e, r, runs[UniformInt(rng_, 0, runs.size() - 1)]);
+      // Perturb so the confusable is close to — not identical with — the
+      // derived form.
+      if (derived.size() >= 2 && Coin(rng_, 0.5)) {
+        derived.pop_back();
+      } else {
+        derived[UniformInt(rng_, 0, derived.size() - 1)] = EntityWord();
+      }
+      if (derived.empty()) continue;
+      if (!AdmitEntity(derived)) continue;
+      RegisterEntity(derived);
+      entities_.push_back(std::move(derived));
+      ++made;
+    }
+  }
+
+  MentionKind SampleKind() {
+    const double u = std::uniform_real_distribution<double>(0.0, 1.0)(rng_);
+    if (u < profile_.p_mention_exact) return MentionKind::kExact;
+    if (u < profile_.p_mention_exact + profile_.p_mention_synonym) {
+      return MentionKind::kSynonymVariant;
+    }
+    if (u < profile_.p_mention_exact + profile_.p_mention_synonym +
+                profile_.p_mention_typo) {
+      return MentionKind::kTypoVariant;
+    }
+    return MentionKind::kNearVariant;
+  }
+
+  /// Interns entities and rules so mention planting can reuse the exact
+  /// applicability + greedy non-conflict selection the extraction framework
+  /// performs. Planting only rules that survive that selection guarantees
+  /// that every synonym-variant mention has a derived-entity witness, i.e.
+  /// JaccAR = 1.0 by construction.
+  void EncodeForMentionPlanting() {
+    for (size_t i = 0; i < num_original_; ++i) {
+      TokenSeq enc;
+      for (const std::string& w : entities_[i]) {
+        enc.push_back(mention_dict_.GetOrAdd(w));
+      }
+      enc_entities_.push_back(std::move(enc));
+    }
+    for (const RawRule& r : rules_) {
+      TokenSeq lhs, rhs;
+      for (const std::string& w : r.lhs) lhs.push_back(mention_dict_.GetOrAdd(w));
+      for (const std::string& w : r.rhs) rhs.push_back(mention_dict_.GetOrAdd(w));
+      auto added = enc_rules_.Add(std::move(lhs), std::move(rhs));
+      AEETES_CHECK(added.ok()) << added.status();
+    }
+    // Pre-select, per original entity, the applicable rules that survive
+    // the greedy non-conflict selection (what the extractor will derive).
+    selected_apps_.resize(num_original_);
+    for (size_t i = 0; i < num_original_; ++i) {
+      for (const RuleGroup& g : SelectNonConflictGroups(
+               FindApplicableRules(enc_entities_[i], enc_rules_),
+               CliqueMode::kGreedy)) {
+        for (const ApplicableRule& ar : g.rules) {
+          selected_apps_[i].push_back(ar);
+        }
+      }
+    }
+    // Single-word dictionary entries — and single-word *derived* forms
+    // (a rule covering a whole entity with a one-token replacement) — must
+    // not leak into background text, or every leak is an unmarked
+    // (false-positive) mention.
+    for (const Tokens& e : entities_) {
+      if (e.size() == 1) forbidden_background_.insert(e[0]);
+    }
+    for (size_t i = 0; i < num_original_; ++i) {
+      for (const ApplicableRule& ar : selected_apps_[i]) {
+        if (ar.len == enc_entities_[i].size() && ar.replacement.size() == 1) {
+          forbidden_background_.insert(mention_dict_.Text(ar.replacement[0]));
+        }
+      }
+    }
+  }
+
+  /// Builds the surface form of a mention; may downgrade the kind when the
+  /// entity has no applicable rule (synonym -> exact).
+  Tokens MakeMention(size_t entity_idx, MentionKind& kind) {
+    const Tokens& e = entities_[entity_idx];
+    Tokens surface = e;
+    if (kind == MentionKind::kSynonymVariant ||
+        (kind == MentionKind::kTypoVariant && Coin(rng_, 0.5))) {
+      // Sample a (group, rule) from the same non-conflict selection the
+      // extractor will use offline.
+      const auto& apps = selected_apps_[entity_idx];
+      if (apps.empty()) {
+        if (kind == MentionKind::kSynonymVariant) kind = MentionKind::kExact;
+      } else {
+        const ApplicableRule& ar = apps[UniformInt(rng_, 0, apps.size() - 1)];
+        Tokens rewritten(e.begin(), e.begin() + ar.begin);
+        for (TokenId t : ar.replacement) {
+          rewritten.push_back(mention_dict_.Text(t));
+        }
+        rewritten.insert(rewritten.end(), e.begin() + ar.begin + ar.len,
+                         e.end());
+        surface = std::move(rewritten);
+      }
+    }
+    if (kind == MentionKind::kTypoVariant) {
+      // Mutate one character of the longest token.
+      size_t best = 0;
+      for (size_t i = 1; i < surface.size(); ++i) {
+        if (surface[i].size() > surface[best].size()) best = i;
+      }
+      std::string& tok = surface[best];
+      if (tok.size() >= 3) {
+        const size_t at = UniformInt(rng_, 0, tok.size() - 1);
+        const char orig = tok[at];
+        char repl = static_cast<char>('a' + UniformInt(rng_, 0, 25));
+        if (repl == orig) repl = (orig == 'z') ? 'a' : static_cast<char>(orig + 1);
+        tok[at] = repl;
+      } else {
+        kind = MentionKind::kExact;  // too short to typo plausibly
+      }
+    }
+    if (kind == MentionKind::kNearVariant) {
+      surface.push_back(BackgroundWord());
+    }
+    return surface;
+  }
+
+  void GenerateDocuments() {
+    for (uint32_t d = 0; d < profile_.num_documents; ++d) {
+      // Background text: mostly background vocabulary, some entity
+      // vocabulary for incidental overlap.
+      Tokens background;
+      background.reserve(profile_.doc_len);
+      for (size_t i = 0; i < profile_.doc_len; ++i) {
+        if (Coin(rng_, 0.15)) {
+          // Incidental entity-vocabulary overlap, but never a token that is
+          // itself a dictionary entry (that would be an unmarked mention).
+          std::string w = EntityWord();
+          for (int tries = 0; tries < 8 && forbidden_background_.count(w);
+               ++tries) {
+            w = EntityWord();
+          }
+          if (forbidden_background_.count(w)) w = BackgroundWord();
+          background.push_back(std::move(w));
+        } else {
+          background.push_back(BackgroundWord());
+        }
+      }
+      // Cut points split the background into chunks; mentions go between
+      // chunks.
+      const size_t k = profile_.mentions_per_doc;
+      std::vector<size_t> cuts;
+      for (size_t i = 0; i < k; ++i) {
+        cuts.push_back(UniformInt(rng_, 0, background.size()));
+      }
+      std::sort(cuts.begin(), cuts.end());
+
+      Tokens doc;
+      size_t bg_cursor = 0;
+      for (size_t m = 0; m < k; ++m) {
+        doc.insert(doc.end(), background.begin() + bg_cursor,
+                   background.begin() + cuts[m]);
+        bg_cursor = cuts[m];
+        MentionKind kind = SampleKind();
+        size_t entity_idx = UniformInt(rng_, 0, num_original_ - 1);
+        if (kind == MentionKind::kSynonymVariant) {
+          // Prefer an entity that actually has applicable rules so the
+          // marked mixture matches the profile's nominal rates.
+          for (int tries = 0;
+               tries < 40 && selected_apps_[entity_idx].empty(); ++tries) {
+            entity_idx = UniformInt(rng_, 0, num_original_ - 1);
+          }
+        }
+        const Tokens surface = MakeMention(entity_idx, kind);
+        GroundTruthPair gt;
+        gt.doc = d;
+        gt.token_begin = static_cast<uint32_t>(doc.size());
+        gt.token_len = static_cast<uint32_t>(surface.size());
+        gt.entity = static_cast<uint32_t>(entity_idx);
+        gt.kind = kind;
+        ground_truth_.push_back(gt);
+        doc.insert(doc.end(), surface.begin(), surface.end());
+      }
+      doc.insert(doc.end(), background.begin() + bg_cursor, background.end());
+      documents_.push_back(Join(doc));
+    }
+  }
+
+  const DatasetProfile& profile_;
+  Rng rng_;
+  ZipfDistribution entity_zipf_;
+  ZipfDistribution synonym_zipf_;
+  ZipfDistribution background_zipf_;
+
+  std::vector<Tokens> entities_;
+  size_t num_original_ = 0;
+  std::vector<RawRule> rules_;
+  std::vector<std::string> documents_;
+  std::vector<GroundTruthPair> ground_truth_;
+
+  // Token-level mirrors used to plant only extractable synonym mentions.
+  TokenDictionary mention_dict_;
+  RuleSet enc_rules_;
+  std::vector<TokenSeq> enc_entities_;
+  std::vector<std::vector<ApplicableRule>> selected_apps_;
+  std::set<std::string> forbidden_background_;
+  // Entity admission bookkeeping (see AdmitEntity).
+  std::set<std::string> set_keys_;
+  std::set<std::string> entity_keys_;
+  std::set<std::string> subphrases_;
+};
+
+}  // namespace
+
+SyntheticDataset GenerateDataset(const DatasetProfile& profile) {
+  AEETES_CHECK(profile.num_entities > 0 && profile.num_documents > 0);
+  return Generator(profile).Run();
+}
+
+}  // namespace aeetes

@@ -1,0 +1,52 @@
+#ifndef AEETES_DATAGEN_GENERATOR_H_
+#define AEETES_DATAGEN_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/datagen/profile.h"
+
+namespace aeetes {
+
+/// How a planted mention was produced from its entity.
+enum class MentionKind {
+  kExact = 0,            // entity surface verbatim
+  kSynonymVariant = 1,   // one applicable rule applied (JaccAR = 1.0)
+  kTypoVariant = 2,      // one character mutated in one token
+  kNearVariant = 3,      // one extra token appended (hard case)
+};
+
+const char* MentionKindName(MentionKind kind);
+
+/// One marked ground-truth pair: tokens [token_begin, token_begin +
+/// token_len) of document `doc` mention entity `entity`.
+struct GroundTruthPair {
+  uint32_t doc = 0;
+  uint32_t token_begin = 0;
+  uint32_t token_len = 0;
+  uint32_t entity = 0;
+  MentionKind kind = MentionKind::kExact;
+};
+
+/// A complete synthetic corpus: dictionary, rules, documents and marked
+/// mentions. All content is plain text; feeding it through
+/// Aeetes::BuildFromText / EncodeDocument reproduces the token offsets in
+/// `ground_truth` exactly (documents are single-space joined tokens).
+struct SyntheticDataset {
+  DatasetProfile profile;
+  std::vector<std::string> entity_texts;
+  std::vector<std::string> rule_lines;  // "lhs <=> rhs"
+  std::vector<std::string> documents;
+  std::vector<GroundTruthPair> ground_truth;
+  /// Entities at index >= num_original are confusable near-duplicates; no
+  /// ground truth points at them.
+  size_t num_original_entities = 0;
+};
+
+/// Deterministically generates a corpus for `profile` (seeded).
+SyntheticDataset GenerateDataset(const DatasetProfile& profile);
+
+}  // namespace aeetes
+
+#endif  // AEETES_DATAGEN_GENERATOR_H_

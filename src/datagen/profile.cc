@@ -1,0 +1,90 @@
+#include "src/datagen/profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aeetes {
+
+DatasetProfile PubMedLikeProfile() {
+  DatasetProfile p;
+  p.name = "PubMedLike";
+  p.zipf_skew = 0.45;
+  p.num_entities = 2000;
+  p.num_documents = 20;
+  p.num_rules = 1200;
+  p.entity_vocab = 2500;
+  p.synonym_vocab = 700;
+  p.background_vocab = 6000;
+  p.entity_len_min = 2;
+  p.entity_len_max = 4;  // avg ~3.0 (paper: 3.04)
+  p.doc_len = 188;       // paper: 187.81
+  p.p_shared_lhs = 0.5;
+  p.p_common_lhs = 0.15;
+  p.common_lhs_pool = 80;
+  p.seed = 1201;
+  return p;
+}
+
+DatasetProfile DBWorldLikeProfile() {
+  DatasetProfile p;
+  p.name = "DBWorldLike";
+  p.zipf_skew = 0.55;
+  p.num_entities = 1200;
+  p.num_documents = 10;
+  p.num_rules = 880;
+  p.entity_vocab = 1600;
+  p.synonym_vocab = 400;
+  p.background_vocab = 5000;
+  p.entity_len_min = 1;
+  p.entity_len_max = 3;  // avg ~2.0 (paper: 2.04)
+  p.doc_len = 796;       // paper: 795.89
+  p.p_shared_lhs = 0.6;
+  p.p_common_lhs = 0.4;
+  p.common_lhs_pool = 30;
+  p.seed = 1202;
+  return p;
+}
+
+DatasetProfile USJobLikeProfile() {
+  DatasetProfile p;
+  p.name = "USJobLike";
+  p.zipf_skew = 0.75;
+  p.num_entities = 2500;
+  p.num_documents = 15;
+  p.num_rules = 900;
+  p.entity_vocab = 1500;  // denser token sharing -> high applicability
+  p.synonym_vocab = 600;
+  p.background_vocab = 6000;
+  p.entity_len_min = 5;
+  p.entity_len_max = 9;  // avg ~6.9 (paper: 6.92)
+  p.doc_len = 322;       // paper: 322.51
+  p.rule_side_min = 1;
+  p.rule_side_max = 2;
+  p.p_shared_lhs = 0.45;  // rule-rich: paper avg |A(e)| = 22.7
+  p.p_common_lhs = 0.15;
+  p.common_lhs_pool = 150;
+  p.seed = 1203;
+  return p;
+}
+
+DatasetProfile WithScale(DatasetProfile p, double factor) {
+  auto scale = [factor](size_t v) {
+    return std::max<size_t>(1, static_cast<size_t>(
+                                   std::llround(static_cast<double>(v) *
+                                                factor)));
+  };
+  const double root = std::sqrt(factor);
+  auto scale_root = [root](size_t v) {
+    return std::max<size_t>(16, static_cast<size_t>(std::llround(
+                                    static_cast<double>(v) * root)));
+  };
+  p.num_entities = scale(p.num_entities);
+  p.num_documents = scale(p.num_documents);
+  p.num_rules = scale(p.num_rules);
+  p.entity_vocab = scale_root(p.entity_vocab);
+  p.synonym_vocab = scale_root(p.synonym_vocab);
+  p.background_vocab = scale_root(p.background_vocab);
+  return p;
+}
+
+}  // namespace aeetes

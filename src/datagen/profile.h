@@ -1,0 +1,76 @@
+#ifndef AEETES_DATAGEN_PROFILE_H_
+#define AEETES_DATAGEN_PROFILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace aeetes {
+
+/// Parameters of one synthetic corpus. Three presets mirror the paper's
+/// Table 1 shape statistics (document length, entity length, rule density);
+/// the proprietary corpora themselves are not redistributable, so these
+/// profiles are the documented substitution (see DESIGN.md Section 5).
+struct DatasetProfile {
+  std::string name;
+
+  // Scale (defaults are laptop-scale; benches scale them up via
+  // WithScale()).
+  size_t num_entities = 2000;
+  size_t num_documents = 20;
+  size_t num_rules = 600;
+
+  // Vocabulary layout: [0, entity_vocab) feeds entities,
+  // [entity_vocab, entity_vocab + synonym_vocab) feeds rule right-hand
+  // sides, the rest is document background noise.
+  size_t entity_vocab = 3000;
+  size_t synonym_vocab = 800;
+  size_t background_vocab = 6000;
+  double zipf_skew = 1.0;
+
+  // Shape statistics (Table 1 targets).
+  size_t entity_len_min = 2;
+  size_t entity_len_max = 4;   // avg |e| ~ midpoint
+  size_t doc_len = 190;        // avg |d|
+  size_t rule_side_min = 1;
+  size_t rule_side_max = 2;
+  /// Probability that a generated rule reuses the lhs of a previous rule
+  /// (creates the same-lhs vertices of the conflict hypergraph and lifts
+  /// avg |A(e)|).
+  double p_shared_lhs = 0.3;
+  /// Probability that a rule's lhs is drawn from the `common_lhs_pool` most
+  /// frequent entity tokens (lifts applicability across many entities).
+  double p_common_lhs = 0.3;
+  /// Size of the frequent-token pool common lhs are sampled from; smaller
+  /// pools concentrate rules on very frequent tokens (higher avg |A(e)|).
+  size_t common_lhs_pool = 64;
+
+  // Ground truth planting.
+  size_t mentions_per_doc = 5;
+  double p_mention_exact = 0.50;
+  double p_mention_synonym = 0.40;
+  double p_mention_typo = 0.07;
+  // remainder: near-syntactic variant (one token appended)
+
+  /// Fraction of additional "confusable" entities: near-duplicates of
+  /// derived forms of other entities, which draw purely syntactic matchers
+  /// to the wrong entity (the Table 2 precision effect).
+  double confusable_fraction = 0.15;
+
+  uint64_t seed = 42;
+};
+
+/// PubMed-like: many short entities, mid-length documents, expert rules.
+DatasetProfile PubMedLikeProfile();
+/// DBWorld-like: long documents, very short entities, few rules.
+DatasetProfile DBWorldLikeProfile();
+/// USJob-like: long entities, rule-rich (high avg |A(e)|).
+DatasetProfile USJobLikeProfile();
+
+/// Returns a copy with entity/document/rule counts multiplied by `factor`
+/// (vocabulary scales with the square root to keep token sharing).
+DatasetProfile WithScale(DatasetProfile p, double factor);
+
+}  // namespace aeetes
+
+#endif  // AEETES_DATAGEN_PROFILE_H_

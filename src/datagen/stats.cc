@@ -1,0 +1,81 @@
+#include "src/datagen/stats.h"
+
+#include <iomanip>
+#include <memory>
+
+#include "src/synonym/applicability.h"
+#include "src/synonym/conflict.h"
+#include "src/text/token_dictionary.h"
+#include "src/text/tokenizer.h"
+
+namespace aeetes {
+
+DatasetStats ComputeDatasetStats(const SyntheticDataset& ds,
+                                 size_t entity_sample) {
+  DatasetStats st;
+  st.name = ds.profile.name;
+  st.num_docs = ds.documents.size();
+  st.num_entities = ds.entity_texts.size();
+  st.num_rules = ds.rule_lines.size();
+
+  Tokenizer tokenizer;
+  TokenDictionary dict;
+
+  size_t doc_tokens = 0;
+  for (const std::string& d : ds.documents) {
+    doc_tokens += tokenizer.TokenizeToStrings(d).size();
+  }
+  st.avg_doc_tokens = ds.documents.empty()
+                          ? 0.0
+                          : static_cast<double>(doc_tokens) /
+                                static_cast<double>(ds.documents.size());
+
+  std::vector<TokenSeq> entities;
+  entities.reserve(ds.entity_texts.size());
+  size_t entity_tokens = 0;
+  for (const std::string& e : ds.entity_texts) {
+    entities.push_back(dict.Encode(tokenizer.TokenizeToStrings(e)));
+    entity_tokens += entities.back().size();
+  }
+  st.avg_entity_tokens = entities.empty()
+                             ? 0.0
+                             : static_cast<double>(entity_tokens) /
+                                   static_cast<double>(entities.size());
+
+  RuleSet rules;
+  for (const std::string& line : ds.rule_lines) {
+    auto r = rules.AddFromText(line, tokenizer, dict);
+    (void)r;
+  }
+
+  const size_t sample = entity_sample == 0
+                            ? entities.size()
+                            : std::min(entity_sample, entities.size());
+  size_t total_applicable = 0;
+  for (size_t i = 0; i < sample; ++i) {
+    const auto groups =
+        SelectNonConflictGroups(FindApplicableRules(entities[i], rules));
+    total_applicable += TotalRules(groups);
+  }
+  st.avg_applicable_rules =
+      sample == 0 ? 0.0
+                  : static_cast<double>(total_applicable) /
+                        static_cast<double>(sample);
+  return st;
+}
+
+void PrintStatsTable(std::ostream& os, const std::vector<DatasetStats>& rows) {
+  os << std::left << std::setw(14) << "dataset" << std::right << std::setw(10)
+     << "#docs" << std::setw(12) << "#entities" << std::setw(12)
+     << "#synonyms" << std::setw(10) << "avg|d|" << std::setw(10) << "avg|e|"
+     << std::setw(12) << "avg|A(e)|" << "\n";
+  for (const DatasetStats& r : rows) {
+    os << std::left << std::setw(14) << r.name << std::right << std::setw(10)
+       << r.num_docs << std::setw(12) << r.num_entities << std::setw(12)
+       << r.num_rules << std::setw(10) << std::fixed << std::setprecision(2)
+       << r.avg_doc_tokens << std::setw(10) << r.avg_entity_tokens
+       << std::setw(12) << r.avg_applicable_rules << "\n";
+  }
+}
+
+}  // namespace aeetes

@@ -1,0 +1,33 @@
+#ifndef AEETES_DATAGEN_STATS_H_
+#define AEETES_DATAGEN_STATS_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/datagen/generator.h"
+
+namespace aeetes {
+
+/// The Table 1 statistics of one corpus.
+struct DatasetStats {
+  std::string name;
+  size_t num_docs = 0;
+  size_t num_entities = 0;
+  size_t num_rules = 0;
+  double avg_doc_tokens = 0.0;        // avg |d|
+  double avg_entity_tokens = 0.0;     // avg |e|
+  double avg_applicable_rules = 0.0;  // avg |A(e)| (greedy non-conflict set)
+};
+
+/// Tokenizes the dataset and computes its Table 1 row. `entity_sample`
+/// bounds how many entities the |A(e)| average is measured on (0 = all).
+DatasetStats ComputeDatasetStats(const SyntheticDataset& ds,
+                                 size_t entity_sample = 0);
+
+/// Prints rows in the paper's Table 1 layout.
+void PrintStatsTable(std::ostream& os, const std::vector<DatasetStats>& rows);
+
+}  // namespace aeetes
+
+#endif  // AEETES_DATAGEN_STATS_H_

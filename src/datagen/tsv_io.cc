@@ -1,0 +1,78 @@
+#include "src/datagen/tsv_io.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace aeetes {
+
+namespace {
+
+Status WriteLines(const std::string& path,
+                  const std::vector<std::string>& lines) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  for (const std::string& l : lines) out << l << "\n";
+  return out ? Status::OK() : Status::IOError("write failed: " + path);
+}
+
+Result<std::vector<std::string>> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+}  // namespace
+
+Status SaveDataset(const SyntheticDataset& ds, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::IOError("cannot create directory " + dir);
+
+  AEETES_RETURN_IF_ERROR(WriteLines(dir + "/entities.txt", ds.entity_texts));
+  AEETES_RETURN_IF_ERROR(WriteLines(dir + "/rules.txt", ds.rule_lines));
+  AEETES_RETURN_IF_ERROR(WriteLines(dir + "/documents.txt", ds.documents));
+
+  std::vector<std::string> gt_lines;
+  gt_lines.reserve(ds.ground_truth.size() + 1);
+  for (const GroundTruthPair& g : ds.ground_truth) {
+    std::ostringstream row;
+    row << g.doc << "\t" << g.token_begin << "\t" << g.token_len << "\t"
+        << g.entity << "\t" << static_cast<int>(g.kind);
+    gt_lines.push_back(row.str());
+  }
+  AEETES_RETURN_IF_ERROR(WriteLines(dir + "/ground_truth.tsv", gt_lines));
+
+  std::vector<std::string> meta = {
+      ds.profile.name, std::to_string(ds.num_original_entities)};
+  return WriteLines(dir + "/meta.txt", meta);
+}
+
+Result<SyntheticDataset> LoadDataset(const std::string& dir) {
+  SyntheticDataset ds;
+  AEETES_ASSIGN_OR_RETURN(ds.entity_texts, ReadLines(dir + "/entities.txt"));
+  AEETES_ASSIGN_OR_RETURN(ds.rule_lines, ReadLines(dir + "/rules.txt"));
+  AEETES_ASSIGN_OR_RETURN(ds.documents, ReadLines(dir + "/documents.txt"));
+  AEETES_ASSIGN_OR_RETURN(auto gt_lines,
+                          ReadLines(dir + "/ground_truth.tsv"));
+  for (const std::string& line : gt_lines) {
+    if (line.empty()) continue;
+    std::istringstream in(line);
+    GroundTruthPair g;
+    int kind = 0;
+    in >> g.doc >> g.token_begin >> g.token_len >> g.entity >> kind;
+    if (!in) return Status::IOError("malformed ground truth row: " + line);
+    g.kind = static_cast<MentionKind>(kind);
+    ds.ground_truth.push_back(g);
+  }
+  AEETES_ASSIGN_OR_RETURN(auto meta, ReadLines(dir + "/meta.txt"));
+  if (!meta.empty()) ds.profile.name = meta[0];
+  ds.num_original_entities =
+      meta.size() > 1 ? std::stoul(meta[1]) : ds.entity_texts.size();
+  return ds;
+}
+
+}  // namespace aeetes

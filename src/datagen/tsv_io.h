@@ -1,0 +1,22 @@
+#ifndef AEETES_DATAGEN_TSV_IO_H_
+#define AEETES_DATAGEN_TSV_IO_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/datagen/generator.h"
+
+namespace aeetes {
+
+/// Persists a synthetic corpus as plain files under `dir` (created if
+/// missing): entities.txt, rules.txt, documents.txt (one item per line)
+/// and ground_truth.tsv (doc, token_begin, token_len, entity, kind).
+Status SaveDataset(const SyntheticDataset& ds, const std::string& dir);
+
+/// Loads a corpus previously written by SaveDataset. The profile carries
+/// only the name; shape parameters are not round-tripped.
+Result<SyntheticDataset> LoadDataset(const std::string& dir);
+
+}  // namespace aeetes
+
+#endif  // AEETES_DATAGEN_TSV_IO_H_

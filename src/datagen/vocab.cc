@@ -1,0 +1,24 @@
+#include "src/datagen/vocab.h"
+
+#include <array>
+
+namespace aeetes {
+
+std::string SyntheticWord(size_t index) {
+  static constexpr std::array<const char*, 24> kSyllables = {
+      "ba", "ce", "di", "fo", "gu", "ha", "je", "ki", "lo", "mu", "na", "pe",
+      "qui", "ro", "su", "ta", "ve", "wi", "xo", "yu", "za", "bren", "dor",
+      "mel"};
+  // Base-24 digits of (index + 24): the offset guarantees at least two
+  // syllables, and the mapping stays injective because base representations
+  // without leading zeros are.
+  std::string out;
+  size_t v = index + kSyllables.size();
+  do {
+    out.insert(0, kSyllables[v % kSyllables.size()]);
+    v /= kSyllables.size();
+  } while (v > 0);
+  return out;
+}
+
+}  // namespace aeetes

@@ -1,0 +1,17 @@
+#ifndef AEETES_DATAGEN_VOCAB_H_
+#define AEETES_DATAGEN_VOCAB_H_
+
+#include <cstddef>
+#include <string>
+
+namespace aeetes {
+
+/// Deterministic synthetic vocabulary: Word(i) maps every index to a
+/// distinct pronounceable lowercase word (base-N syllable encoding). Used
+/// by the dataset generator in place of the paper's proprietary corpora
+/// vocabularies.
+std::string SyntheticWord(size_t index);
+
+}  // namespace aeetes
+
+#endif  // AEETES_DATAGEN_VOCAB_H_

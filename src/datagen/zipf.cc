@@ -1,0 +1,20 @@
+#include "src/datagen/zipf.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace aeetes {
+
+ZipfDistribution::ZipfDistribution(size_t n, double s) {
+  AEETES_CHECK(n > 0) << "Zipf support must be non-empty";
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = acc;
+  }
+  for (size_t k = 0; k < n; ++k) cdf_[k] /= acc;
+}
+
+}  // namespace aeetes

@@ -1,0 +1,43 @@
+#ifndef AEETES_DATAGEN_ZIPF_H_
+#define AEETES_DATAGEN_ZIPF_H_
+
+#include <cstddef>
+#include <random>
+#include <vector>
+
+namespace aeetes {
+
+/// Zipf-distributed sampler over {0, ..., n-1}: P(k) proportional to
+/// 1 / (k + 1)^s. Natural-language token frequencies are approximately
+/// Zipfian, which is what makes the global frequency order of the paper
+/// effective; the synthetic corpora must reproduce that skew.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(size_t n, double s = 1.0);
+
+  template <typename Rng>
+  size_t operator()(Rng& rng) const {
+    std::uniform_real_distribution<double> uni(0.0, 1.0);
+    const double u = uni(rng);
+    // Binary search the CDF.
+    size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace aeetes
+
+#endif  // AEETES_DATAGEN_ZIPF_H_

@@ -1,0 +1,75 @@
+#include "src/index/clustered_index.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace aeetes {
+
+std::unique_ptr<ClusteredIndex> ClusteredIndex::Build(
+    const DerivedDictionary& dd) {
+  auto idx = std::unique_ptr<ClusteredIndex>(new ClusteredIndex());
+
+  // Collect (token, length, origin, derived, pos) tuples, then sort so that
+  // postings of one token form contiguous length/origin clusters.
+  struct Row {
+    TokenId token;
+    uint32_t length;
+    EntityId origin;
+    DerivedId derived;
+    uint32_t pos;
+  };
+  std::vector<Row> rows;
+  const auto& derived = dd.derived();
+  for (DerivedId d = 0; d < derived.size(); ++d) {
+    const DerivedEntity& de = derived[d];
+    const uint32_t len = static_cast<uint32_t>(de.ordered_set.size());
+    for (uint32_t pos = 0; pos < de.ordered_set.size(); ++pos) {
+      rows.push_back(Row{de.ordered_set[pos], len, de.origin, d, pos});
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return std::tie(a.token, a.length, a.origin, a.derived, a.pos) <
+           std::tie(b.token, b.length, b.origin, b.derived, b.pos);
+  });
+
+  idx->lists_.assign(dd.token_dict().size(), ListRange{});
+  idx->entries_.reserve(rows.size());
+
+  size_t i = 0;
+  while (i < rows.size()) {
+    const TokenId token = rows[i].token;
+    const uint32_t lg_begin = static_cast<uint32_t>(idx->length_groups_.size());
+    while (i < rows.size() && rows[i].token == token) {
+      const uint32_t length = rows[i].length;
+      const uint32_t og_begin =
+          static_cast<uint32_t>(idx->origin_groups_.size());
+      while (i < rows.size() && rows[i].token == token &&
+             rows[i].length == length) {
+        const EntityId origin = rows[i].origin;
+        const uint32_t e_begin = static_cast<uint32_t>(idx->entries_.size());
+        while (i < rows.size() && rows[i].token == token &&
+               rows[i].length == length && rows[i].origin == origin) {
+          idx->entries_.push_back(PostingEntry{rows[i].derived, rows[i].pos});
+          ++i;
+        }
+        idx->origin_groups_.push_back(OriginGroup{
+            origin, e_begin, static_cast<uint32_t>(idx->entries_.size())});
+      }
+      idx->length_groups_.push_back(
+          LengthGroup{length, og_begin,
+                      static_cast<uint32_t>(idx->origin_groups_.size())});
+    }
+    idx->lists_[token] =
+        ListRange{lg_begin, static_cast<uint32_t>(idx->length_groups_.size())};
+  }
+  return idx;
+}
+
+size_t ClusteredIndex::MemoryBytes() const {
+  return lists_.capacity() * sizeof(ListRange) +
+         length_groups_.capacity() * sizeof(LengthGroup) +
+         origin_groups_.capacity() * sizeof(OriginGroup) +
+         entries_.capacity() * sizeof(PostingEntry);
+}
+
+}  // namespace aeetes

@@ -1,0 +1,83 @@
+#ifndef AEETES_INDEX_CLUSTERED_INDEX_H_
+#define AEETES_INDEX_CLUSTERED_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/synonym/derived_dictionary.h"
+#include "src/text/token.h"
+
+namespace aeetes {
+
+/// One posting: a derived entity containing the token, plus the token's
+/// position in the entity's ordered set (0-based; used for the prefix
+/// filter at query time, so the index supports any threshold).
+struct PostingEntry {
+  DerivedId derived = 0;
+  uint32_t pos = 0;
+};
+
+/// Contiguous run of postings sharing one origin entity (the inner cluster
+/// level L_e^l[t] of Section 3.2).
+struct OriginGroup {
+  EntityId origin = 0;
+  uint32_t begin = 0;  // into entries()
+  uint32_t end = 0;
+};
+
+/// Contiguous run of origin groups sharing one ordered-set size (the outer
+/// cluster level L_l[t]).
+struct LengthGroup {
+  uint32_t length = 0;
+  uint32_t begin = 0;  // into origin_groups()
+  uint32_t end = 0;
+};
+
+/// The clustered inverted index of Section 3: for each token, postings are
+/// grouped first by derived-entity set size (enabling batch skips under the
+/// length filter) and then by origin entity (enabling batch skips once an
+/// origin is already a candidate). Immutable after Build.
+class ClusteredIndex {
+ public:
+  static std::unique_ptr<ClusteredIndex> Build(const DerivedDictionary& dd);
+
+  /// Length groups of token `t`'s posting list (empty span for tokens
+  /// without postings, including tokens interned after Build).
+  struct ListRange {
+    uint32_t begin = 0;  // into length_groups()
+    uint32_t end = 0;
+    bool empty() const { return begin == end; }
+  };
+  ListRange list(TokenId t) const {
+    if (t >= lists_.size()) return {};
+    return lists_[t];
+  }
+
+  const std::vector<PostingEntry>& entries() const { return entries_; }
+  const std::vector<OriginGroup>& origin_groups() const {
+    return origin_groups_;
+  }
+  const std::vector<LengthGroup>& length_groups() const {
+    return length_groups_;
+  }
+
+  /// Total postings across all tokens.
+  size_t num_entries() const { return entries_.size(); }
+
+  /// Approximate resident size in bytes (Section 6.3 reports index sizes).
+  size_t MemoryBytes() const;
+
+ private:
+  ClusteredIndex() = default;
+
+  std::vector<ListRange> lists_;  // indexed by TokenId
+  std::vector<LengthGroup> length_groups_;
+  std::vector<OriginGroup> origin_groups_;
+  std::vector<PostingEntry> entries_;
+};
+
+}  // namespace aeetes
+
+#endif  // AEETES_INDEX_CLUSTERED_INDEX_H_

@@ -1,0 +1,100 @@
+#include "src/index/compressed_index.h"
+
+namespace aeetes {
+
+namespace internal {
+
+void EncodeVarint(uint32_t v, std::vector<uint8_t>* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+}  // namespace internal
+
+std::unique_ptr<CompressedIndex> CompressedIndex::Build(
+    const DerivedDictionary& dd) {
+  auto plain = ClusteredIndex::Build(dd);
+  return Build(*plain, dd.token_dict().size());
+}
+
+std::unique_ptr<CompressedIndex> CompressedIndex::Build(
+    const ClusteredIndex& plain, size_t vocab_size) {
+  auto idx = std::unique_ptr<CompressedIndex>(new CompressedIndex());
+  idx->offsets_.assign(vocab_size + 1, 0);
+  idx->num_entries_ = plain.num_entries();
+
+  const auto& lgs = plain.length_groups();
+  const auto& ogs = plain.origin_groups();
+  const auto& entries = plain.entries();
+
+  for (TokenId t = 0; t < vocab_size; ++t) {
+    idx->offsets_[t] = idx->blob_.size();
+    const auto list = plain.list(t);
+    if (list.empty()) continue;
+    internal::EncodeVarint(list.end - list.begin, &idx->blob_);
+    for (uint32_t g = list.begin; g < list.end; ++g) {
+      const LengthGroup& lg = lgs[g];
+      internal::EncodeVarint(lg.length, &idx->blob_);
+      internal::EncodeVarint(lg.end - lg.begin, &idx->blob_);
+      uint32_t prev_origin = 0;
+      for (uint32_t og = lg.begin; og < lg.end; ++og) {
+        const OriginGroup& origin_group = ogs[og];
+        internal::EncodeVarint(origin_group.origin - prev_origin,
+                               &idx->blob_);
+        prev_origin = origin_group.origin;
+        internal::EncodeVarint(origin_group.end - origin_group.begin,
+                               &idx->blob_);
+        uint32_t prev_derived = 0;
+        for (uint32_t i = origin_group.begin; i < origin_group.end; ++i) {
+          internal::EncodeVarint(entries[i].derived - prev_derived,
+                                 &idx->blob_);
+          prev_derived = entries[i].derived;
+          internal::EncodeVarint(entries[i].pos, &idx->blob_);
+        }
+      }
+    }
+  }
+  idx->offsets_[vocab_size] = idx->blob_.size();
+  idx->blob_.shrink_to_fit();
+  return idx;
+}
+
+const uint8_t* CompressedIndex::TokenStream(TokenId t, size_t* size) const {
+  if (t + 1 >= offsets_.size()) {
+    *size = 0;
+    return nullptr;
+  }
+  *size = offsets_[t + 1] - offsets_[t];
+  return blob_.data() + offsets_[t];
+}
+
+std::vector<CompressedIndex::DecodedLengthGroup> CompressedIndex::Decode(
+    TokenId t) const {
+  std::vector<DecodedLengthGroup> out;
+  DecodedLengthGroup* cur_lg = nullptr;
+  DecodedOriginGroup* cur_og = nullptr;
+  Scan(t, [&](uint32_t length, EntityId origin, DerivedId derived,
+              uint32_t pos) {
+    if (cur_lg == nullptr || cur_lg->length != length) {
+      out.push_back(DecodedLengthGroup{length, {}});
+      cur_lg = &out.back();
+      cur_og = nullptr;
+    }
+    if (cur_og == nullptr || cur_og->origin != origin) {
+      cur_lg->origin_groups.push_back(DecodedOriginGroup{origin, {}});
+      cur_og = &cur_lg->origin_groups.back();
+    }
+    cur_og->entries.push_back(PostingEntry{derived, pos});
+  });
+  return out;
+}
+
+size_t CompressedIndex::MemoryBytes() const {
+  return blob_.capacity() * sizeof(uint8_t) +
+         offsets_.capacity() * sizeof(uint64_t);
+}
+
+}  // namespace aeetes

@@ -1,0 +1,3 @@
+#include "src/index/filters.h"
+
+// FilterStats is header-only; this file anchors the module in the build.

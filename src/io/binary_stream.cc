@@ -1,0 +1,93 @@
+#include "src/io/binary_stream.h"
+
+namespace aeetes {
+
+BinaryWriter::BinaryWriter(const std::string& path)
+    : out_(path, std::ios::binary) {
+  if (!out_) status_ = Status::IOError("cannot open " + path + " for write");
+}
+
+void BinaryWriter::WriteRaw(const void* data, size_t n) {
+  if (!status_.ok()) return;
+  out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+  if (!out_) status_ = Status::IOError("write failed");
+}
+
+void BinaryWriter::WriteU32(uint32_t v) { WriteRaw(&v, sizeof(v)); }
+void BinaryWriter::WriteU64(uint64_t v) { WriteRaw(&v, sizeof(v)); }
+void BinaryWriter::WriteDouble(double v) { WriteRaw(&v, sizeof(v)); }
+
+void BinaryWriter::WriteString(const std::string& s) {
+  WriteU64(s.size());
+  WriteRaw(s.data(), s.size());
+}
+
+void BinaryWriter::WriteU32Vector(const std::vector<uint32_t>& v) {
+  WriteU64(v.size());
+  WriteRaw(v.data(), v.size() * sizeof(uint32_t));
+}
+
+Status BinaryWriter::Finish() {
+  if (status_.ok()) {
+    out_.flush();
+    if (!out_) status_ = Status::IOError("flush failed");
+  }
+  return status_;
+}
+
+BinaryReader::BinaryReader(const std::string& path)
+    : in_(path, std::ios::binary) {
+  if (!in_) status_ = Status::IOError("cannot open " + path + " for read");
+}
+
+void BinaryReader::Fail(const std::string& msg) {
+  if (status_.ok()) status_ = Status::IOError(msg);
+}
+
+void BinaryReader::ReadRaw(void* data, size_t n) {
+  if (!status_.ok()) return;
+  in_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+  if (static_cast<size_t>(in_.gcount()) != n) Fail("unexpected end of file");
+}
+
+uint32_t BinaryReader::ReadU32() {
+  uint32_t v = 0;
+  ReadRaw(&v, sizeof(v));
+  return v;
+}
+
+uint64_t BinaryReader::ReadU64() {
+  uint64_t v = 0;
+  ReadRaw(&v, sizeof(v));
+  return v;
+}
+
+double BinaryReader::ReadDouble() {
+  double v = 0;
+  ReadRaw(&v, sizeof(v));
+  return v;
+}
+
+std::string BinaryReader::ReadString() {
+  const uint64_t n = ReadU64();
+  if (n > kMaxElements) {
+    Fail("string length out of bounds");
+    return "";
+  }
+  std::string s(n, '\0');
+  ReadRaw(s.data(), n);
+  return status_.ok() ? s : "";
+}
+
+std::vector<uint32_t> BinaryReader::ReadU32Vector() {
+  const uint64_t n = ReadU64();
+  if (n > kMaxElements) {
+    Fail("vector length out of bounds");
+    return {};
+  }
+  std::vector<uint32_t> v(n);
+  ReadRaw(v.data(), n * sizeof(uint32_t));
+  return status_.ok() ? v : std::vector<uint32_t>{};
+}
+
+}  // namespace aeetes

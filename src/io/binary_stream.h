@@ -1,0 +1,64 @@
+#ifndef AEETES_IO_BINARY_STREAM_H_
+#define AEETES_IO_BINARY_STREAM_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace aeetes {
+
+/// Minimal little-endian binary writer over a file stream. All writes are
+/// checked; callers inspect status() once at the end (writes after a
+/// failure are no-ops).
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(const std::string& path);
+
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteDouble(double v);
+  void WriteString(const std::string& s);
+  void WriteU32Vector(const std::vector<uint32_t>& v);
+
+  /// Flushes and returns the accumulated status.
+  Status Finish();
+
+ private:
+  void WriteRaw(const void* data, size_t n);
+
+  std::ofstream out_;
+  Status status_;
+};
+
+/// Counterpart reader; reads after a failure return zero values and the
+/// failure sticks in status().
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path);
+
+  uint32_t ReadU32();
+  uint64_t ReadU64();
+  double ReadDouble();
+  std::string ReadString();
+  std::vector<uint32_t> ReadU32Vector();
+
+  const Status& status() const { return status_; }
+  bool ok() const { return status_.ok(); }
+
+  /// Guard against absurd element counts from corrupt files.
+  static constexpr uint64_t kMaxElements = 1ull << 32;
+
+ private:
+  void ReadRaw(void* data, size_t n);
+  void Fail(const std::string& msg);
+
+  std::ifstream in_;
+  Status status_;
+};
+
+}  // namespace aeetes
+
+#endif  // AEETES_IO_BINARY_STREAM_H_

@@ -1,0 +1,123 @@
+#include "src/io/snapshot.h"
+
+#include "src/io/binary_stream.h"
+
+namespace aeetes {
+
+namespace {
+constexpr uint32_t kMagic = 0x54454541;  // "AEET"
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+Status SaveSnapshot(const Aeetes& aeetes, const std::string& path) {
+  const DerivedDictionary& dd = aeetes.derived_dictionary();
+  const TokenDictionary& dict = dd.token_dict();
+
+  BinaryWriter w(path);
+  w.WriteU32(kMagic);
+  w.WriteU32(kVersion);
+
+  // Token dictionary: texts in id order + frequencies.
+  w.WriteU64(dict.size());
+  for (TokenId t = 0; t < dict.size(); ++t) {
+    w.WriteString(dict.Text(t));
+    w.WriteU64(dict.frequency(t));
+  }
+
+  // Origin entities.
+  w.WriteU64(dd.num_origins());
+  for (const TokenSeq& e : dd.origin_entities()) {
+    w.WriteU32Vector(e);
+  }
+
+  // Derived entities.
+  w.WriteU64(dd.num_derived());
+  for (const DerivedEntity& de : dd.derived()) {
+    w.WriteU32(de.origin);
+    w.WriteU32Vector(de.tokens);
+    w.WriteU32Vector(de.ordered_set);
+    w.WriteU32Vector(de.applied_rules);
+    w.WriteDouble(de.weight);
+  }
+
+  // Offset table + statistics.
+  std::vector<uint32_t> begins;
+  begins.reserve(dd.num_origins() + 1);
+  begins.push_back(0);
+  for (EntityId e = 0; e < dd.num_origins(); ++e) {
+    begins.push_back(dd.DerivedRange(e).second);
+  }
+  w.WriteU32Vector(begins);
+  w.WriteDouble(dd.avg_applicable_rules());
+  return w.Finish();
+}
+
+Result<std::unique_ptr<Aeetes>> LoadSnapshot(const std::string& path,
+                                             AeetesOptions options) {
+  BinaryReader r(path);
+  if (r.ReadU32() != kMagic) {
+    return Status::InvalidArgument("not an Aeetes snapshot: " + path);
+  }
+  const uint32_t version = r.ReadU32();
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported snapshot version " +
+                                   std::to_string(version));
+  }
+
+  auto dict = std::make_unique<TokenDictionary>();
+  const uint64_t vocab = r.ReadU64();
+  if (vocab > BinaryReader::kMaxElements) {
+    return Status::IOError("corrupt snapshot: vocabulary size");
+  }
+  for (uint64_t i = 0; i < vocab && r.ok(); ++i) {
+    const std::string text = r.ReadString();
+    const uint64_t freq = r.ReadU64();
+    const TokenId id = dict->GetOrAdd(text);
+    if (id != i) {
+      return Status::IOError("corrupt snapshot: duplicate token text");
+    }
+    if (freq > 0) {
+      AEETES_RETURN_IF_ERROR(dict->AddFrequency(id, freq));
+    }
+  }
+  dict->Freeze();
+
+  const uint64_t num_origins = r.ReadU64();
+  if (num_origins > BinaryReader::kMaxElements) {
+    return Status::IOError("corrupt snapshot: origin count");
+  }
+  std::vector<TokenSeq> origins;
+  origins.reserve(num_origins);
+  for (uint64_t i = 0; i < num_origins && r.ok(); ++i) {
+    origins.push_back(r.ReadU32Vector());
+  }
+
+  const uint64_t num_derived = r.ReadU64();
+  if (num_derived > BinaryReader::kMaxElements) {
+    return Status::IOError("corrupt snapshot: derived count");
+  }
+  std::vector<DerivedEntity> derived;
+  derived.reserve(num_derived);
+  for (uint64_t i = 0; i < num_derived && r.ok(); ++i) {
+    DerivedEntity de;
+    de.origin = r.ReadU32();
+    de.tokens = r.ReadU32Vector();
+    de.ordered_set = r.ReadU32Vector();
+    de.applied_rules = r.ReadU32Vector();
+    de.weight = r.ReadDouble();
+    derived.push_back(std::move(de));
+  }
+
+  const std::vector<uint32_t> begins = r.ReadU32Vector();
+  const double avg_applicable = r.ReadDouble();
+  AEETES_RETURN_IF_ERROR(r.status());
+
+  AEETES_ASSIGN_OR_RETURN(
+      auto dd, DerivedDictionary::FromParts(
+                   std::move(origins), std::move(derived),
+                   std::vector<DerivedId>(begins.begin(), begins.end()),
+                   std::move(dict), avg_applicable));
+  return Aeetes::FromDerivedDictionary(std::move(dd), options);
+}
+
+}  // namespace aeetes

@@ -1,0 +1,32 @@
+#ifndef AEETES_IO_SNAPSHOT_H_
+#define AEETES_IO_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+
+#include "src/core/aeetes.h"
+
+namespace aeetes {
+
+/// Persists a built extractor's offline state (token dictionary + derived
+/// dictionary) to a single binary snapshot file. The clustered index is
+/// rebuilt at load time — it is a deterministic function of the derived
+/// dictionary and rebuilding keeps the format small and stable.
+///
+/// Format: magic "AEET", version, then the token dictionary (texts in id
+/// order + frequencies), origin entities, derived entities and the
+/// origin offset table. Little-endian, not portable across endianness.
+Status SaveSnapshot(const Aeetes& aeetes, const std::string& path);
+
+/// Loads a snapshot written by SaveSnapshot. `options` supplies the
+/// runtime configuration (strategy, metric, weighted, ...); it must match
+/// the metric family the snapshot was built for in the sense that the
+/// index supports any threshold/metric at query time, so no compatibility
+/// constraint actually applies — the derived dictionary is
+/// metric-independent.
+Result<std::unique_ptr<Aeetes>> LoadSnapshot(const std::string& path,
+                                             AeetesOptions options = {});
+
+}  // namespace aeetes
+
+#endif  // AEETES_IO_SNAPSHOT_H_

@@ -1,0 +1,143 @@
+#include "src/join/asjs.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/synonym/applicability.h"
+#include "src/synonym/conflict.h"
+#include "src/text/token_set.h"
+
+namespace aeetes {
+
+namespace {
+
+struct RawDerived {
+  uint32_t origin;
+  TokenSeq tokens;
+};
+
+/// Expands every string of a collection (same mechanics as the derived
+/// dictionary, but both collections must share one token dictionary whose
+/// frequencies cover the union of their derived forms).
+std::vector<RawDerived> ExpandCollection(const std::vector<TokenSeq>& strings,
+                                         const RuleSet& rules,
+                                         const ExpanderOptions& options) {
+  std::vector<RawDerived> out;
+  for (uint32_t i = 0; i < strings.size(); ++i) {
+    const auto groups = SelectNonConflictGroups(
+        FindApplicableRules(strings[i], rules), options.clique_mode);
+    for (DerivedForm& form : ExpandEntity(strings[i], groups, options)) {
+      out.push_back(RawDerived{i, std::move(form.tokens)});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<AsjsJoin>> AsjsJoin::Build(
+    std::vector<TokenSeq> left, std::vector<TokenSeq> right,
+    const RuleSet& rules, std::unique_ptr<TokenDictionary> dict,
+    Options options) {
+  if (left.empty() || right.empty()) {
+    return Status::InvalidArgument("join inputs must be non-empty");
+  }
+  if (dict == nullptr || dict->frozen()) {
+    return Status::InvalidArgument(
+        "token dictionary must be non-null and unfrozen");
+  }
+  for (const auto* side : {&left, &right}) {
+    for (const TokenSeq& s : *side) {
+      if (s.empty()) {
+        return Status::InvalidArgument("strings must be non-empty");
+      }
+      for (TokenId t : s) {
+        if (t >= dict->size()) {
+          return Status::OutOfRange("token not interned in dictionary");
+        }
+      }
+    }
+  }
+
+  auto join = std::unique_ptr<AsjsJoin>(new AsjsJoin());
+  join->options_ = options;
+
+  std::vector<RawDerived> left_raw =
+      ExpandCollection(left, rules, options.expander);
+  std::vector<RawDerived> right_raw =
+      ExpandCollection(right, rules, options.expander);
+
+  // Global order over the union of both derived collections.
+  for (const auto* side : {&left_raw, &right_raw}) {
+    for (const RawDerived& d : *side) {
+      for (TokenId t : d.tokens) {
+        AEETES_RETURN_IF_ERROR(dict->AddFrequency(t));
+      }
+    }
+  }
+  dict->Freeze();
+
+  auto finish = [&dict](std::vector<RawDerived>& raw,
+                        std::vector<Derived>* out) {
+    out->reserve(raw.size());
+    for (RawDerived& d : raw) {
+      out->push_back(Derived{d.origin, BuildOrderedSet(d.tokens, *dict)});
+    }
+  };
+  finish(left_raw, &join->left_);
+  finish(right_raw, &join->right_);
+
+  join->right_postings_.assign(dict->size(), {});
+  for (uint32_t r = 0; r < join->right_.size(); ++r) {
+    const TokenSeq& set = join->right_[r].ordered_set;
+    for (uint32_t pos = 0; pos < set.size(); ++pos) {
+      join->right_postings_[set[pos]].emplace_back(r, pos);
+    }
+  }
+  join->dict_ = std::move(dict);
+  return join;
+}
+
+std::vector<AsjsJoin::JoinPair> AsjsJoin::Join(double tau) const {
+  std::map<std::pair<uint32_t, uint32_t>, double> best;
+  std::vector<uint32_t> seen_epoch(right_.size(), 0);
+  uint32_t epoch = 0;
+
+  for (const Derived& a : left_) {
+    ++epoch;
+    const size_t x = a.ordered_set.size();
+    const size_t a_prefix = PrefixLength(options_.metric, x, tau);
+    const LengthRange partner = PartnerLengthRange(options_.metric, x, tau);
+    for (size_t k = 0; k < a_prefix; ++k) {
+      const TokenId t = a.ordered_set[k];
+      if (t >= right_postings_.size()) continue;
+      for (const auto& [r, pos] : right_postings_[t]) {
+        if (seen_epoch[r] == epoch) continue;  // already evaluated vs a
+        const Derived& b = right_[r];
+        const size_t y = b.ordered_set.size();
+        if (!partner.Contains(y)) continue;
+        if (pos >= PrefixLength(options_.metric, y, tau)) continue;
+        seen_epoch[r] = epoch;
+        const size_t required =
+            RequiredOverlap(options_.metric, x, y, tau);
+        const size_t o = OverlapSizeAtLeast(a.ordered_set, b.ordered_set,
+                                            *dict_, required);
+        if (o == kOverlapBelow) continue;
+        const double score = SetSimilarity(options_.metric, o, x, y);
+        if (score < tau - 1e-9) continue;
+        auto [it, inserted] =
+            best.try_emplace({a.origin, b.origin}, score);
+        if (!inserted && score > it->second) it->second = score;
+      }
+    }
+  }
+
+  std::vector<JoinPair> out;
+  out.reserve(best.size());
+  for (const auto& [key, score] : best) {
+    out.push_back(JoinPair{key.first, key.second, score});
+  }
+  return out;
+}
+
+}  // namespace aeetes

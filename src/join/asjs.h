@@ -1,0 +1,82 @@
+#ifndef AEETES_JOIN_ASJS_H_
+#define AEETES_JOIN_ASJS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/sim/similarity.h"
+#include "src/synonym/expander.h"
+#include "src/synonym/rule.h"
+#include "src/text/token.h"
+#include "src/text/token_dictionary.h"
+
+namespace aeetes {
+
+/// Approximate String Join with Synonyms (ASJS) — the problem family the
+/// paper contrasts AEES against (Section 2.2; JaccT of Arasu et al.):
+/// given two string collections and synonym rules, report all pairs (a, b)
+/// with
+///   JaccT(a, b) = max over a' in D(a), b' in D(b) of Jaccard(a', b') >= tau.
+///
+/// Unlike AEES, rules apply to BOTH sides, which is exactly the blow-up
+/// the paper's asymmetric JaccAR avoids for documents: the search space
+/// per pair is O(2^|A(a)| * 2^|A(b)|) here versus O(2^|A(e)|) there.
+/// Implementation: both sides are expanded offline (capped, like the
+/// derived dictionary), the right side's derived prefixes are indexed, and
+/// left derived strings probe the index under the prefix + length filters;
+/// surviving pairs are verified and reduced to the max per origin pair.
+class AsjsJoin {
+ public:
+  struct Options {
+    Metric metric;
+    ExpanderOptions expander;
+    Options() : metric(Metric::kJaccard) {}
+  };
+
+  /// One joined pair: indices into the left/right input collections.
+  struct JoinPair {
+    uint32_t left = 0;
+    uint32_t right = 0;
+    double score = 0.0;
+
+    bool operator==(const JoinPair& o) const {
+      return left == o.left && right == o.right;
+    }
+  };
+
+  /// Builds the join: expands both collections with `rules` and indexes
+  /// the right side. `dict` must hold all tokens and not be frozen.
+  static Result<std::unique_ptr<AsjsJoin>> Build(
+      std::vector<TokenSeq> left, std::vector<TokenSeq> right,
+      const RuleSet& rules, std::unique_ptr<TokenDictionary> dict,
+      Options options = Options());
+
+  /// All origin pairs with JaccT >= tau, sorted by (left, right); `score`
+  /// is the realized maximum.
+  std::vector<JoinPair> Join(double tau) const;
+
+  size_t num_left_derived() const { return left_.size(); }
+  size_t num_right_derived() const { return right_.size(); }
+
+ private:
+  struct Derived {
+    uint32_t origin = 0;
+    TokenSeq ordered_set;
+  };
+
+  AsjsJoin() = default;
+
+  std::vector<Derived> left_;
+  std::vector<Derived> right_;
+  /// token -> indices into right_ whose tau-independent ordered sets
+  /// contain the token, with its position (prefix filter at query time).
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> right_postings_;
+  std::unique_ptr<TokenDictionary> dict_;
+  Options options_;
+};
+
+}  // namespace aeetes
+
+#endif  // AEETES_JOIN_ASJS_H_

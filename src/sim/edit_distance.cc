@@ -1,0 +1,70 @@
+#include "src/sim/edit_distance.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace aeetes {
+
+size_t EditDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0) return m;
+  std::vector<size_t> row(n + 1);
+  for (size_t i = 0; i <= n; ++i) row[i] = i;
+  for (size_t j = 1; j <= m; ++j) {
+    size_t diag = row[0];
+    row[0] = j;
+    for (size_t i = 1; i <= n; ++i) {
+      const size_t up = row[i];
+      const size_t sub = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      row[i] = std::min({row[i - 1] + 1, up + 1, sub});
+      diag = up;
+    }
+  }
+  return row[n];
+}
+
+bool EditDistanceWithin(std::string_view a, std::string_view b, size_t k) {
+  if (a.size() > b.size()) std::swap(a, b);
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (m - n > k) return false;
+  if (k == 0) return a == b;
+  // Banded DP: only cells with |i - j| <= k can be <= k.
+  constexpr size_t kInf = static_cast<size_t>(-1) / 2;
+  std::vector<size_t> row(n + 1, kInf);
+  for (size_t i = 0; i <= std::min(n, k); ++i) row[i] = i;
+  for (size_t j = 1; j <= m; ++j) {
+    const size_t lo = j > k ? j - k : 0;
+    const size_t hi = std::min(n, j + k);
+    size_t diag = row[lo > 0 ? lo - 1 : 0];
+    size_t left = kInf;
+    if (lo == 0) {
+      diag = row[0];
+      row[0] = j <= k ? j : kInf;
+      left = row[0];
+    }
+    for (size_t i = std::max<size_t>(lo, 1); i <= hi; ++i) {
+      const size_t up = row[i];
+      const size_t sub = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      size_t best = sub;
+      if (left != kInf) best = std::min(best, left + 1);
+      if (up != kInf && i < j + k) best = std::min(best, up + 1);
+      row[i] = best;
+      left = best;
+      diag = up;
+    }
+    if (lo >= 1) row[lo - 1] = kInf;
+  }
+  return row[n] <= k;
+}
+
+double NormalizedEditSimilarity(std::string_view a, std::string_view b) {
+  const size_t mx = std::max(a.size(), b.size());
+  if (mx == 0) return 1.0;
+  return 1.0 - static_cast<double>(EditDistance(a, b)) /
+                   static_cast<double>(mx);
+}
+
+}  // namespace aeetes

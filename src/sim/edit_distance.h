@@ -1,0 +1,23 @@
+#ifndef AEETES_SIM_EDIT_DISTANCE_H_
+#define AEETES_SIM_EDIT_DISTANCE_H_
+
+#include <cstddef>
+#include <string_view>
+
+namespace aeetes {
+
+/// Levenshtein distance (unit-cost insert/delete/substitute).
+size_t EditDistance(std::string_view a, std::string_view b);
+
+/// True iff EditDistance(a, b) <= k. Runs the banded O(k * min(|a|, |b|))
+/// algorithm, so it is much cheaper than a full DP for small k.
+bool EditDistanceWithin(std::string_view a, std::string_view b, size_t k);
+
+/// Normalized edit similarity in [0, 1]:
+///   1 - ed(a, b) / max(|a|, |b|).
+/// This is the token-level similarity used by Fuzzy Jaccard (Fast-Join).
+double NormalizedEditSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace aeetes
+
+#endif  // AEETES_SIM_EDIT_DISTANCE_H_

@@ -1,0 +1,55 @@
+#include "src/sim/fuzzy_jaccard.h"
+
+#include <algorithm>
+
+#include "src/sim/edit_distance.h"
+#include "src/sim/hungarian.h"
+
+namespace aeetes {
+
+namespace {
+
+std::vector<std::string> Distinct(const std::vector<std::string>& xs) {
+  std::vector<std::string> out = xs;
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+double FuzzyJaccard::Similarity(const TokenSeq& a, const TokenSeq& b,
+                                const TokenDictionary& dict) const {
+  std::vector<std::string> sa, sb;
+  sa.reserve(a.size());
+  sb.reserve(b.size());
+  for (TokenId t : a) sa.push_back(dict.Text(t));
+  for (TokenId t : b) sb.push_back(dict.Text(t));
+  return Similarity(sa, sb);
+}
+
+double FuzzyJaccard::Similarity(const std::vector<std::string>& a,
+                                const std::vector<std::string>& b) const {
+  const std::vector<std::string> da = Distinct(a);
+  const std::vector<std::string> db = Distinct(b);
+  if (da.empty() || db.empty()) return 0.0;
+
+  std::vector<std::vector<double>> weights(
+      da.size(), std::vector<double>(db.size(), 0.0));
+  for (size_t i = 0; i < da.size(); ++i) {
+    for (size_t j = 0; j < db.size(); ++j) {
+      if (da[i] == db[j]) {
+        weights[i][j] = 1.0;
+        continue;
+      }
+      const double s = NormalizedEditSimilarity(da[i], db[j]);
+      if (s >= options_.token_sim_threshold) weights[i][j] = s;
+    }
+  }
+  const double m = MaxWeightBipartiteMatching(weights);
+  const double denom =
+      static_cast<double>(da.size()) + static_cast<double>(db.size()) - m;
+  return denom <= 0.0 ? 0.0 : m / denom;
+}
+
+}  // namespace aeetes

@@ -1,0 +1,45 @@
+#ifndef AEETES_SIM_FUZZY_JACCARD_H_
+#define AEETES_SIM_FUZZY_JACCARD_H_
+
+#include <string>
+#include <vector>
+
+#include "src/text/token.h"
+#include "src/text/token_dictionary.h"
+
+namespace aeetes {
+
+struct FuzzyJaccardOptions {
+  /// Two tokens are fuzzy-matchable iff their normalized edit similarity is
+  /// at least this (delta of Fast-Join).
+  double token_sim_threshold = 0.8;
+};
+
+/// Fuzzy Jaccard of Wang et al. (ICDE'11 Fast-Join), the FJ baseline of the
+/// paper's Table 2. Token sets are matched by a maximum-weight bipartite
+/// matching where edge weights are normalized edit similarities >= delta
+/// (exact matches weigh 1). With matching weight M:
+///   FJ(a, b) = M / (|a| + |b| - M).
+class FuzzyJaccard {
+ public:
+  explicit FuzzyJaccard(FuzzyJaccardOptions options = {})
+      : options_(options) {}
+
+  /// Similarity of two token-id sequences (distinct tokens are compared by
+  /// their dictionary text).
+  double Similarity(const TokenSeq& a, const TokenSeq& b,
+                    const TokenDictionary& dict) const;
+
+  /// Similarity of two plain string token lists.
+  double Similarity(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b) const;
+
+  const FuzzyJaccardOptions& options() const { return options_; }
+
+ private:
+  FuzzyJaccardOptions options_;
+};
+
+}  // namespace aeetes
+
+#endif  // AEETES_SIM_FUZZY_JACCARD_H_

@@ -1,0 +1,94 @@
+#include "src/sim/hungarian.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace aeetes {
+
+double MaxWeightBipartiteMatching(
+    const std::vector<std::vector<double>>& weights,
+    std::vector<int>* assignment) {
+  const size_t n_left = weights.size();
+  if (n_left == 0) {
+    if (assignment) assignment->clear();
+    return 0.0;
+  }
+  const size_t n_right = weights[0].size();
+  if (n_right == 0) {
+    if (assignment) assignment->assign(n_left, -1);
+    return 0.0;
+  }
+
+  // Square the problem: pad to n x n with zero weights so the classic
+  // Hungarian recurrence applies. Convert to costs (max weight - w).
+  const size_t n = std::max(n_left, n_right);
+  double w_max = 0.0;
+  for (const auto& row : weights) {
+    for (double w : row) w_max = std::max(w_max, w);
+  }
+  auto cost = [&](size_t i, size_t j) -> double {
+    if (i < n_left && j < n_right) return w_max - weights[i][j];
+    return w_max;  // padded cells carry zero weight
+  };
+
+  // Jonker-Volgenant style potentials (1-indexed internally).
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> u(n + 1, 0.0), v(n + 1, 0.0);
+  std::vector<size_t> match(n + 1, 0);  // match[j] = row matched to col j
+  std::vector<size_t> way(n + 1, 0);
+
+  for (size_t i = 1; i <= n; ++i) {
+    match[0] = i;
+    size_t j0 = 0;
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<char> used(n + 1, 0);
+    do {
+      used[j0] = 1;
+      const size_t i0 = match[j0];
+      double delta = kInf;
+      size_t j1 = 0;
+      for (size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const double cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[match[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (match[j0] != 0);
+    do {
+      const size_t j1 = way[j0];
+      match[j0] = match[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  double total = 0.0;
+  if (assignment) assignment->assign(n_left, -1);
+  for (size_t j = 1; j <= n; ++j) {
+    const size_t i = match[j];
+    if (i >= 1 && i <= n_left && j <= n_right) {
+      const double w = weights[i - 1][j - 1];
+      if (w > 0.0) {
+        total += w;
+        if (assignment) (*assignment)[i - 1] = static_cast<int>(j - 1);
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace aeetes

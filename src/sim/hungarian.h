@@ -1,0 +1,23 @@
+#ifndef AEETES_SIM_HUNGARIAN_H_
+#define AEETES_SIM_HUNGARIAN_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace aeetes {
+
+/// Maximum-weight bipartite matching on an n x m weight matrix (weights
+/// >= 0; a zero weight means "no useful edge"). Returns the total weight of
+/// the best matching; if `assignment` is non-null it receives, for each
+/// left vertex, the matched right vertex or -1.
+///
+/// Implemented as the O(n^2 * m) Hungarian algorithm on the cost matrix
+/// (negated weights). Intended for the small token-set sizes that Fuzzy
+/// Jaccard compares (tens of tokens), not for large assignment problems.
+double MaxWeightBipartiteMatching(
+    const std::vector<std::vector<double>>& weights,
+    std::vector<int>* assignment = nullptr);
+
+}  // namespace aeetes
+
+#endif  // AEETES_SIM_HUNGARIAN_H_

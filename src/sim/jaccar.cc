@@ -1,0 +1,100 @@
+#include "src/sim/jaccar.h"
+
+#include "src/text/token_set.h"
+
+namespace aeetes {
+
+JaccArScore JaccArVerifier::Score(EntityId e,
+                                  const TokenSeq& substring_ordered_set,
+                                  double tau) const {
+  JaccArScore best;
+  const auto [begin, end] = dd_.DerivedRange(e);
+  const TokenDictionary& dict = dd_.token_dict();
+  const LengthRange partner =
+      tau > 0.0
+          ? PartnerLengthRange(options_.metric, substring_ordered_set.size(),
+                               tau)
+          : LengthRange{};
+  for (DerivedId d = begin; d < end; ++d) {
+    const DerivedEntity& de = dd_.derived()[d];
+    if (tau > 0.0 && !partner.Contains(de.ordered_set.size())) continue;
+    double s = SimilarityOnOrderedSets(options_.metric, de.ordered_set,
+                                       substring_ordered_set, dict);
+    if (options_.weighted) s *= de.weight;
+    if (s > best.score) {
+      best.score = s;
+      best.best_derived = d;
+    }
+  }
+  return best;
+}
+
+JaccArScore JaccArVerifier::BestAbove(EntityId e,
+                                      const TokenSeq& substring_ordered_set,
+                                      double tau) const {
+  JaccArScore best;
+  const auto [begin, end] = dd_.DerivedRange(e);
+  const TokenDictionary& dict = dd_.token_dict();
+  const size_t x = substring_ordered_set.size();
+  const LengthRange partner = PartnerLengthRange(options_.metric, x, tau);
+  for (DerivedId d = begin; d < end; ++d) {
+    const DerivedEntity& de = dd_.derived()[d];
+    const size_t y = de.ordered_set.size();
+    if (!partner.Contains(y)) continue;
+    double effective_tau = tau;
+    if (options_.weighted) {
+      if (de.weight <= 0.0) continue;
+      effective_tau = tau / de.weight;
+      if (effective_tau > 1.0) continue;  // even sim = 1 cannot pass
+    }
+    const size_t required =
+        RequiredOverlap(options_.metric, x, y, effective_tau);
+    const size_t o =
+        OverlapSizeAtLeast(de.ordered_set, substring_ordered_set, dict,
+                           required);
+    if (o == kOverlapBelow) continue;
+    double s = SetSimilarity(options_.metric, o, y, x);
+    if (options_.weighted) s *= de.weight;
+    if (s > best.score) {
+      best.score = s;
+      best.best_derived = d;
+    }
+  }
+  return best;
+}
+
+JaccArScore FuzzyJaccArVerifier::Score(
+    EntityId e, const TokenSeq& substring_ordered_set) const {
+  JaccArScore best;
+  const auto [begin, end] = dd_.DerivedRange(e);
+  const TokenDictionary& dict = dd_.token_dict();
+  for (DerivedId d = begin; d < end; ++d) {
+    const DerivedEntity& de = dd_.derived()[d];
+    double s = fj_.Similarity(de.ordered_set, substring_ordered_set, dict);
+    if (weighted_) s *= de.weight;
+    if (s > best.score) {
+      best.score = s;
+      best.best_derived = d;
+    }
+  }
+  return best;
+}
+
+bool JaccArVerifier::AtLeast(EntityId e, const TokenSeq& substring_ordered_set,
+                             double tau) const {
+  const auto [begin, end] = dd_.DerivedRange(e);
+  const TokenDictionary& dict = dd_.token_dict();
+  const LengthRange partner =
+      PartnerLengthRange(options_.metric, substring_ordered_set.size(), tau);
+  for (DerivedId d = begin; d < end; ++d) {
+    const DerivedEntity& de = dd_.derived()[d];
+    if (!partner.Contains(de.ordered_set.size())) continue;
+    double s = SimilarityOnOrderedSets(options_.metric, de.ordered_set,
+                                       substring_ordered_set, dict);
+    if (options_.weighted) s *= de.weight;
+    if (s >= tau) return true;
+  }
+  return false;
+}
+
+}  // namespace aeetes

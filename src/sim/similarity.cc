@@ -1,0 +1,163 @@
+#include "src/sim/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/text/token_set.h"
+
+namespace aeetes {
+
+namespace {
+constexpr double kEps = 1e-9;
+}  // namespace
+
+const char* MetricName(Metric metric) {
+  switch (metric) {
+    case Metric::kJaccard:
+      return "Jaccard";
+    case Metric::kCosine:
+      return "Cosine";
+    case Metric::kDice:
+      return "Dice";
+    case Metric::kOverlap:
+      return "Overlap";
+  }
+  return "?";
+}
+
+size_t EpsCeil(double v) {
+  const double c = std::ceil(v - kEps);
+  return c <= 0 ? 0 : static_cast<size_t>(c);
+}
+
+size_t EpsFloor(double v) {
+  const double f = std::floor(v + kEps);
+  return f <= 0 ? 0 : static_cast<size_t>(f);
+}
+
+double SetSimilarity(Metric metric, size_t o, size_t x, size_t y) {
+  if (x == 0 || y == 0) return 0.0;
+  switch (metric) {
+    case Metric::kJaccard:
+      return static_cast<double>(o) / static_cast<double>(x + y - o);
+    case Metric::kCosine:
+      return static_cast<double>(o) /
+             std::sqrt(static_cast<double>(x) * static_cast<double>(y));
+    case Metric::kDice:
+      return 2.0 * static_cast<double>(o) / static_cast<double>(x + y);
+    case Metric::kOverlap:
+      return static_cast<double>(o) / static_cast<double>(std::min(x, y));
+  }
+  return 0.0;
+}
+
+size_t PrefixLength(Metric metric, size_t size, double tau) {
+  if (size == 0) return 0;
+  size_t keep = 0;  // tokens that may be excluded from the prefix
+  switch (metric) {
+    case Metric::kJaccard:
+      keep = EpsCeil(tau * static_cast<double>(size));
+      break;
+    case Metric::kCosine:
+      keep = EpsCeil(tau * tau * static_cast<double>(size));
+      break;
+    case Metric::kDice:
+      keep = EpsCeil(tau * static_cast<double>(size) / (2.0 - tau));
+      break;
+    case Metric::kOverlap:
+      // Overlap coefficient admits no size-only prefix bound; the prefix is
+      // the whole set (no pruning, but still sound).
+      keep = 1;
+      break;
+  }
+  if (keep == 0) keep = 1;
+  if (keep > size) keep = size;
+  return size - keep + 1;
+}
+
+LengthRange PartnerLengthRange(Metric metric, size_t size, double tau) {
+  LengthRange r;
+  const double s = static_cast<double>(size);
+  switch (metric) {
+    case Metric::kJaccard:
+      r.lo = EpsCeil(tau * s);
+      r.hi = EpsFloor(s / tau);
+      break;
+    case Metric::kCosine:
+      r.lo = EpsCeil(tau * tau * s);
+      r.hi = EpsFloor(s / (tau * tau));
+      break;
+    case Metric::kDice:
+      r.lo = EpsCeil(tau * s / (2.0 - tau));
+      r.hi = EpsFloor(s * (2.0 - tau) / tau);
+      break;
+    case Metric::kOverlap:
+      r.lo = 1;
+      r.hi = std::numeric_limits<size_t>::max();
+      break;
+  }
+  if (r.lo < 1) r.lo = 1;
+  return r;
+}
+
+size_t RequiredOverlap(Metric metric, size_t x, size_t y, double tau) {
+  const double dx = static_cast<double>(x);
+  const double dy = static_cast<double>(y);
+  size_t o = 0;
+  switch (metric) {
+    case Metric::kJaccard:
+      o = EpsCeil(tau / (1.0 + tau) * (dx + dy));
+      break;
+    case Metric::kCosine:
+      o = EpsCeil(tau * std::sqrt(dx * dy));
+      break;
+    case Metric::kDice:
+      o = EpsCeil(tau * (dx + dy) / 2.0);
+      break;
+    case Metric::kOverlap:
+      o = EpsCeil(tau * static_cast<double>(std::min(x, y)));
+      break;
+  }
+  return std::max<size_t>(o, 1);
+}
+
+LengthRange SubstringLengthBounds(Metric metric, size_t e_min, size_t e_max,
+                                  double tau) {
+  LengthRange r;
+  switch (metric) {
+    case Metric::kJaccard:
+      // Paper Section 3.1: E_lo = floor(|e|_min * tau), E_hi =
+      // ceil(|e|_max / tau).
+      r.lo = EpsFloor(tau * static_cast<double>(e_min));
+      r.hi = EpsCeil(static_cast<double>(e_max) / tau);
+      break;
+    case Metric::kCosine:
+      r.lo = EpsFloor(tau * tau * static_cast<double>(e_min));
+      r.hi = EpsCeil(static_cast<double>(e_max) / (tau * tau));
+      break;
+    case Metric::kDice:
+      r.lo = EpsFloor(tau * static_cast<double>(e_min) / (2.0 - tau));
+      r.hi = EpsCeil(static_cast<double>(e_max) * (2.0 - tau) / tau);
+      break;
+    case Metric::kOverlap:
+      r.lo = 1;
+      r.hi = std::numeric_limits<size_t>::max();
+      break;
+  }
+  if (r.lo < 1) r.lo = 1;
+  return r;
+}
+
+double JaccardOnOrderedSets(const TokenSeq& a, const TokenSeq& b,
+                            const TokenDictionary& dict) {
+  return SimilarityOnOrderedSets(Metric::kJaccard, a, b, dict);
+}
+
+double SimilarityOnOrderedSets(Metric metric, const TokenSeq& a,
+                               const TokenSeq& b,
+                               const TokenDictionary& dict) {
+  const size_t o = OverlapSize(a, b, dict);
+  return SetSimilarity(metric, o, a.size(), b.size());
+}
+
+}  // namespace aeetes

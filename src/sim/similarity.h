@@ -1,0 +1,72 @@
+#ifndef AEETES_SIM_SIMILARITY_H_
+#define AEETES_SIM_SIMILARITY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "src/text/token.h"
+#include "src/text/token_dictionary.h"
+
+namespace aeetes {
+
+/// Token-set similarity metrics supported by the framework. Jaccard is the
+/// paper's primary metric; the others are the "easily extended to" family
+/// mentioned in Section 2.2, with sound filter bounds for each.
+enum class Metric {
+  kJaccard = 0,
+  kCosine = 1,
+  kDice = 2,
+  kOverlap = 3,  // overlap coefficient: o / min(|x|, |y|)
+};
+
+const char* MetricName(Metric metric);
+
+/// Floating-point guards: similarity thresholds like 0.8 are not exactly
+/// representable, so every floor/ceil of tau-derived products goes through
+/// these epsilon-corrected versions. Using raw floor/ceil here produces
+/// off-by-one prefix lengths and *false negatives*.
+size_t EpsCeil(double v);
+size_t EpsFloor(double v);
+
+/// Similarity of two sets given their overlap `o` and sizes `x`, `y`.
+double SetSimilarity(Metric metric, size_t o, size_t x, size_t y);
+
+/// Length of the tau-prefix of an ordered set of `size` distinct tokens:
+/// the smallest k such that two sets whose k-prefixes are disjoint cannot
+/// reach similarity tau. For Jaccard this is floor((1-tau)*size) + 1
+/// (Lemma 3.1 of the paper). Always in [1, size] for size >= 1.
+size_t PrefixLength(Metric metric, size_t size, double tau);
+
+/// Inclusive range of partner-set sizes that can reach similarity tau with
+/// a set of `size` tokens (the length filter). `hi` may be SIZE_MAX for
+/// metrics without an upper bound.
+struct LengthRange {
+  size_t lo = 1;
+  size_t hi = std::numeric_limits<size_t>::max();
+  bool Contains(size_t l) const { return l >= lo && l <= hi; }
+};
+LengthRange PartnerLengthRange(Metric metric, size_t size, double tau);
+
+/// Minimum overlap two sets of sizes `x` and `y` must share to reach
+/// similarity tau.
+size_t RequiredOverlap(Metric metric, size_t x, size_t y, double tau);
+
+/// Window-length enumeration bounds for a dictionary whose derived-entity
+/// set sizes span [e_min, e_max] (E_lo/E_hi of Section 3.1). Uses the
+/// paper's floor form for the lower bound.
+LengthRange SubstringLengthBounds(Metric metric, size_t e_min, size_t e_max,
+                                  double tau);
+
+/// Jaccard similarity of two ordered sets (distinct tokens sorted by rank).
+double JaccardOnOrderedSets(const TokenSeq& a, const TokenSeq& b,
+                            const TokenDictionary& dict);
+
+/// Generic metric over ordered sets.
+double SimilarityOnOrderedSets(Metric metric, const TokenSeq& a,
+                               const TokenSeq& b, const TokenDictionary& dict);
+
+}  // namespace aeetes
+
+#endif  // AEETES_SIM_SIMILARITY_H_

@@ -1,0 +1,25 @@
+#include "src/synonym/applicability.h"
+
+#include "src/text/token_set.h"
+
+namespace aeetes {
+
+std::vector<ApplicableRule> FindApplicableRules(const TokenSeq& entity,
+                                                const RuleSet& rules) {
+  std::vector<ApplicableRule> out;
+  for (RuleId id = 0; id < rules.size(); ++id) {
+    const SynonymRule& r = rules.rule(id);
+    for (size_t pos : FindSubsequence(entity, r.lhs)) {
+      out.push_back(ApplicableRule{id, pos, r.lhs.size(), r.rhs, r.weight});
+    }
+    for (size_t pos : FindSubsequence(entity, r.rhs)) {
+      // Avoid registering the identical replacement twice when lhs == rhs
+      // spans coincide (sides always differ, so this is a genuine reverse
+      // application).
+      out.push_back(ApplicableRule{id, pos, r.rhs.size(), r.lhs, r.weight});
+    }
+  }
+  return out;
+}
+
+}  // namespace aeetes

@@ -1,0 +1,37 @@
+#ifndef AEETES_SYNONYM_APPLICABILITY_H_
+#define AEETES_SYNONYM_APPLICABILITY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/synonym/rule.h"
+#include "src/text/token.h"
+
+namespace aeetes {
+
+/// One way of applying a synonym rule to a specific entity: the rule side
+/// matching the entity occupies tokens [begin, begin + len) and is replaced
+/// by `replacement`.
+struct ApplicableRule {
+  RuleId rule = 0;
+  size_t begin = 0;
+  size_t len = 0;
+  TokenSeq replacement;
+  double weight = 1.0;
+
+  size_t end() const { return begin + len; }
+  bool OverlapsSpan(const ApplicableRule& other) const {
+    return begin < other.end() && other.begin < end();
+  }
+};
+
+/// Finds every applicable rule instance for `entity`: each occurrence of a
+/// rule's lhs (or rhs) as a contiguous subsequence of the entity yields one
+/// instance (Section 2.1). A rule matching in both directions or at several
+/// positions yields several instances.
+std::vector<ApplicableRule> FindApplicableRules(const TokenSeq& entity,
+                                                const RuleSet& rules);
+
+}  // namespace aeetes
+
+#endif  // AEETES_SYNONYM_APPLICABILITY_H_

@@ -1,0 +1,132 @@
+#include "src/synonym/conflict.h"
+
+#include <algorithm>
+#include <map>
+
+namespace aeetes {
+
+std::vector<RuleGroup> GroupBySpan(std::vector<ApplicableRule> applicable) {
+  std::map<std::pair<size_t, size_t>, RuleGroup> by_span;
+  for (auto& ar : applicable) {
+    auto key = std::make_pair(ar.begin, ar.len);
+    auto [it, inserted] = by_span.try_emplace(key);
+    if (inserted) {
+      it->second.begin = ar.begin;
+      it->second.len = ar.len;
+    }
+    it->second.rules.push_back(std::move(ar));
+  }
+  std::vector<RuleGroup> out;
+  out.reserve(by_span.size());
+  for (auto& [key, group] : by_span) out.push_back(std::move(group));
+  return out;
+}
+
+namespace {
+
+/// Greedy max-weight clique: heaviest vertex first, then heaviest
+/// compatible vertex, until none fits (Section 5 of the paper).
+std::vector<RuleGroup> GreedyClique(std::vector<RuleGroup> groups) {
+  std::sort(groups.begin(), groups.end(),
+            [](const RuleGroup& a, const RuleGroup& b) {
+              if (a.weight() != b.weight()) return a.weight() > b.weight();
+              // Tie break: prefer longer spans — a whole-entity
+              // abbreviation rule ("ucla <=> university of california los
+              // angeles") should beat a generic one-token rule ("univ <=>
+              // university") that overlaps it, or the abbreviation variant
+              // never materializes. Then by position for determinism.
+              if (a.len != b.len) return a.len > b.len;
+              return a.begin < b.begin;
+            });
+  std::vector<RuleGroup> clique;
+  for (auto& g : groups) {
+    bool compatible = true;
+    for (const auto& c : clique) {
+      if (g.Overlaps(c)) {
+        compatible = false;
+        break;
+      }
+    }
+    if (compatible) clique.push_back(std::move(g));
+  }
+  std::sort(clique.begin(), clique.end(),
+            [](const RuleGroup& a, const RuleGroup& b) {
+              return a.begin < b.begin;
+            });
+  return clique;
+}
+
+/// Exact branch-and-bound over groups sorted by span start. Because
+/// conflicts are interval overlaps, this is a weighted interval scheduling
+/// problem solvable in O(n log n) by DP — we exploit that instead of
+/// general clique search.
+std::vector<RuleGroup> ExactClique(std::vector<RuleGroup> groups) {
+  std::sort(groups.begin(), groups.end(),
+            [](const RuleGroup& a, const RuleGroup& b) {
+              if (a.end() != b.end()) return a.end() < b.end();
+              return a.begin < b.begin;
+            });
+  const size_t n = groups.size();
+  // best[i] = max total weight using groups[0..i).
+  std::vector<size_t> best(n + 1, 0);
+  std::vector<int> take_prev(n, -2);  // predecessor index when taking i
+  std::vector<bool> taken(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    // Find the last group ending at or before groups[i].begin.
+    int p = -1;
+    for (int j = static_cast<int>(i) - 1; j >= 0; --j) {
+      if (groups[j].end() <= groups[i].begin) {
+        p = j;
+        break;
+      }
+    }
+    const size_t with = groups[i].weight() + best[p + 1];
+    const size_t without = best[i];
+    if (with > without) {
+      best[i + 1] = with;
+      taken[i] = true;
+      take_prev[i] = p;
+    } else {
+      best[i + 1] = without;
+    }
+  }
+  // Reconstruct.
+  std::vector<RuleGroup> clique;
+  int i = static_cast<int>(n) - 1;
+  while (i >= 0) {
+    if (taken[i]) {
+      clique.push_back(groups[i]);
+      i = take_prev[i];
+    } else {
+      --i;
+    }
+  }
+  std::sort(clique.begin(), clique.end(),
+            [](const RuleGroup& a, const RuleGroup& b) {
+              return a.begin < b.begin;
+            });
+  return clique;
+}
+
+}  // namespace
+
+std::vector<RuleGroup> SelectNonConflictGroups(
+    std::vector<ApplicableRule> applicable, CliqueMode mode) {
+  std::vector<RuleGroup> groups = GroupBySpan(std::move(applicable));
+  if (groups.empty()) return groups;
+  switch (mode) {
+    case CliqueMode::kGreedy:
+      return GreedyClique(std::move(groups));
+    case CliqueMode::kExact:
+      return ExactClique(std::move(groups));
+  }
+  return {};
+}
+
+size_t TotalRules(const std::vector<RuleGroup>& groups) {
+  size_t n = 0;
+  for (const auto& g : groups) n += g.rules.size();
+  return n;
+}
+
+}  // namespace aeetes

@@ -1,0 +1,51 @@
+#ifndef AEETES_SYNONYM_CONFLICT_H_
+#define AEETES_SYNONYM_CONFLICT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/synonym/applicability.h"
+
+namespace aeetes {
+
+/// A vertex of the paper's conflict hypergraph (Section 5): all applicable
+/// rule instances sharing the same matched span of the entity. During
+/// derivation at most one rule of a group is applied, so groups — not
+/// individual rules — are the unit of conflict.
+struct RuleGroup {
+  size_t begin = 0;
+  size_t len = 0;
+  std::vector<ApplicableRule> rules;
+
+  size_t end() const { return begin + len; }
+  size_t weight() const { return rules.size(); }
+  bool Overlaps(const RuleGroup& other) const {
+    return begin < other.end() && other.begin < end();
+  }
+};
+
+enum class CliqueMode {
+  /// The paper's greedy heuristic: repeatedly add the heaviest compatible
+  /// vertex.
+  kGreedy,
+  /// Exact branch-and-bound maximum-weight clique. Exponential in the
+  /// number of groups; intended for tests, ablations and small rule sets.
+  kExact,
+};
+
+/// Groups applicable rules by their matched span.
+std::vector<RuleGroup> GroupBySpan(std::vector<ApplicableRule> applicable);
+
+/// Selects a set of pairwise non-overlapping groups whose total rule count
+/// is (for kExact) or approximates (for kGreedy) the maximum — the
+/// non-conflict rule set A(e) of the paper.
+std::vector<RuleGroup> SelectNonConflictGroups(
+    std::vector<ApplicableRule> applicable,
+    CliqueMode mode = CliqueMode::kGreedy);
+
+/// Total number of rules across groups (|A(e)|).
+size_t TotalRules(const std::vector<RuleGroup>& groups);
+
+}  // namespace aeetes
+
+#endif  // AEETES_SYNONYM_CONFLICT_H_

@@ -1,0 +1,131 @@
+#include "src/synonym/derived_dictionary.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/synonym/applicability.h"
+#include "src/synonym/conflict.h"
+#include "src/text/token_set.h"
+
+namespace aeetes {
+
+Result<std::unique_ptr<DerivedDictionary>> DerivedDictionary::Build(
+    std::vector<TokenSeq> entities, const RuleSet& rules,
+    std::unique_ptr<TokenDictionary> dict,
+    const DerivedDictionaryOptions& options) {
+  if (entities.empty()) {
+    return Status::InvalidArgument("entity dictionary must be non-empty");
+  }
+  if (dict == nullptr) {
+    return Status::InvalidArgument("token dictionary must be non-null");
+  }
+  if (dict->frozen()) {
+    return Status::FailedPrecondition(
+        "token dictionary must not be frozen before Build");
+  }
+  for (const TokenSeq& e : entities) {
+    if (e.empty()) {
+      return Status::InvalidArgument("entities must be non-empty");
+    }
+    for (TokenId t : e) {
+      if (t >= dict->size()) {
+        return Status::OutOfRange("entity token not interned in dictionary");
+      }
+    }
+  }
+
+  auto dd = std::unique_ptr<DerivedDictionary>(new DerivedDictionary());
+  dd->origins_ = std::move(entities);
+  dd->dict_ = std::move(dict);
+  dd->origin_begin_.reserve(dd->origins_.size() + 1);
+  dd->origin_begin_.push_back(0);
+
+  size_t total_applicable = 0;
+  for (EntityId eid = 0; eid < dd->origins_.size(); ++eid) {
+    const TokenSeq& entity = dd->origins_[eid];
+    std::vector<RuleGroup> groups = SelectNonConflictGroups(
+        FindApplicableRules(entity, rules), options.expander.clique_mode);
+    total_applicable += TotalRules(groups);
+    for (DerivedForm& form :
+         ExpandEntity(entity, groups, options.expander)) {
+      DerivedEntity de;
+      de.origin = eid;
+      de.tokens = std::move(form.tokens);
+      de.applied_rules = std::move(form.applied);
+      de.weight = form.weight;
+      dd->derived_.push_back(std::move(de));
+    }
+    dd->origin_begin_.push_back(static_cast<DerivedId>(dd->derived_.size()));
+  }
+  dd->avg_applicable_rules_ =
+      static_cast<double>(total_applicable) /
+      static_cast<double>(dd->origins_.size());
+
+  // Global order O: token frequencies counted over the derived dictionary.
+  for (const DerivedEntity& de : dd->derived_) {
+    for (TokenId t : de.tokens) {
+      AEETES_RETURN_IF_ERROR(dd->dict_->AddFrequency(t));
+    }
+  }
+  dd->dict_->Freeze();
+
+  // Ordered sets become computable only now that ranks are stable.
+  size_t mn = std::numeric_limits<size_t>::max();
+  size_t mx = 0;
+  for (DerivedEntity& de : dd->derived_) {
+    de.ordered_set = BuildOrderedSet(de.tokens, *dd->dict_);
+    mn = std::min(mn, de.ordered_set.size());
+    mx = std::max(mx, de.ordered_set.size());
+  }
+  dd->min_set_size_ = mn;
+  dd->max_set_size_ = mx;
+  return dd;
+}
+
+Result<std::unique_ptr<DerivedDictionary>> DerivedDictionary::FromParts(
+    std::vector<TokenSeq> origins, std::vector<DerivedEntity> derived,
+    std::vector<DerivedId> origin_begin, std::unique_ptr<TokenDictionary> dict,
+    double avg_applicable_rules) {
+  if (origins.empty()) {
+    return Status::InvalidArgument("origin dictionary must be non-empty");
+  }
+  if (dict == nullptr || !dict->frozen()) {
+    return Status::InvalidArgument("token dictionary must be frozen");
+  }
+  if (origin_begin.size() != origins.size() + 1 || origin_begin.front() != 0 ||
+      origin_begin.back() != derived.size()) {
+    return Status::InvalidArgument("origin_begin table is inconsistent");
+  }
+  for (size_t i = 1; i < origin_begin.size(); ++i) {
+    if (origin_begin[i] < origin_begin[i - 1]) {
+      return Status::InvalidArgument("origin_begin must be non-decreasing");
+    }
+  }
+  size_t mn = std::numeric_limits<size_t>::max(), mx = 0;
+  for (const DerivedEntity& de : derived) {
+    if (de.origin >= origins.size()) {
+      return Status::OutOfRange("derived entity references unknown origin");
+    }
+    if (de.ordered_set.empty() || de.tokens.empty()) {
+      return Status::InvalidArgument("derived entity missing tokens");
+    }
+    for (TokenId t : de.ordered_set) {
+      if (t >= dict->size()) {
+        return Status::OutOfRange("derived token not in dictionary");
+      }
+    }
+    mn = std::min(mn, de.ordered_set.size());
+    mx = std::max(mx, de.ordered_set.size());
+  }
+  auto dd = std::unique_ptr<DerivedDictionary>(new DerivedDictionary());
+  dd->origins_ = std::move(origins);
+  dd->derived_ = std::move(derived);
+  dd->origin_begin_ = std::move(origin_begin);
+  dd->dict_ = std::move(dict);
+  dd->min_set_size_ = mn;
+  dd->max_set_size_ = mx;
+  dd->avg_applicable_rules_ = avg_applicable_rules;
+  return dd;
+}
+
+}  // namespace aeetes

@@ -1,0 +1,104 @@
+#ifndef AEETES_SYNONYM_DERIVED_DICTIONARY_H_
+#define AEETES_SYNONYM_DERIVED_DICTIONARY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/synonym/expander.h"
+#include "src/synonym/rule.h"
+#include "src/text/token.h"
+#include "src/text/token_dictionary.h"
+
+namespace aeetes {
+
+/// Index of an origin entity in the input dictionary E0.
+using EntityId = uint32_t;
+/// Index of a derived entity in the derived dictionary E.
+using DerivedId = uint32_t;
+
+/// One derived entity stored in the derived dictionary.
+struct DerivedEntity {
+  /// Origin entity this was derived from.
+  EntityId origin = 0;
+  /// Raw token sequence after rule application.
+  TokenSeq tokens;
+  /// Distinct tokens sorted by ascending global-order rank; the unit all
+  /// filtering operates on. Populated at Build time after frequencies are
+  /// final.
+  TokenSeq ordered_set;
+  /// Rules applied to produce this variant (empty for the origin itself).
+  std::vector<RuleId> applied_rules;
+  /// Product of applied rule weights (weighted-rule extension).
+  double weight = 1.0;
+};
+
+struct DerivedDictionaryOptions {
+  ExpanderOptions expander;
+};
+
+/// The derived dictionary E = union over e in E0 of D(e) (Section 2.1),
+/// together with the global token order. Owns the TokenDictionary: entity
+/// and rule tokens must be interned through the same instance that is
+/// passed to Build.
+class DerivedDictionary {
+ public:
+  /// Builds the derived dictionary. `dict` must contain all tokens of
+  /// `entities` and `rules` and must not be frozen yet; Build counts
+  /// frequencies over the derived entities, freezes the dictionary and
+  /// computes ordered sets. `entities` must be non-empty, with non-empty
+  /// token sequences.
+  static Result<std::unique_ptr<DerivedDictionary>> Build(
+      std::vector<TokenSeq> entities, const RuleSet& rules,
+      std::unique_ptr<TokenDictionary> dict,
+      const DerivedDictionaryOptions& options = {});
+
+  /// Reassembles a derived dictionary from previously built parts (the
+  /// snapshot-loading path). `dict` must be frozen and hold every token;
+  /// `derived` entries must carry their ordered sets; `origin_begin` must
+  /// be a valid prefix-offset table of size origins+1. Statistics
+  /// (min/max set size) are recomputed; `avg_applicable_rules` is taken as
+  /// given.
+  static Result<std::unique_ptr<DerivedDictionary>> FromParts(
+      std::vector<TokenSeq> origins, std::vector<DerivedEntity> derived,
+      std::vector<DerivedId> origin_begin,
+      std::unique_ptr<TokenDictionary> dict, double avg_applicable_rules);
+
+  const std::vector<TokenSeq>& origin_entities() const { return origins_; }
+  const std::vector<DerivedEntity>& derived() const { return derived_; }
+  const TokenDictionary& token_dict() const { return *dict_; }
+  TokenDictionary& mutable_token_dict() { return *dict_; }
+
+  /// Derived ids belonging to origin `e` (contiguous range).
+  std::pair<DerivedId, DerivedId> DerivedRange(EntityId e) const {
+    return {origin_begin_[e], origin_begin_[e + 1]};
+  }
+
+  /// Smallest / largest ordered-set size over all derived entities.
+  size_t min_set_size() const { return min_set_size_; }
+  size_t max_set_size() const { return max_set_size_; }
+
+  size_t num_origins() const { return origins_.size(); }
+  size_t num_derived() const { return derived_.size(); }
+
+  /// Average |A(e)| (rules in the selected non-conflict groups), a Table 1
+  /// statistic.
+  double avg_applicable_rules() const { return avg_applicable_rules_; }
+
+ private:
+  DerivedDictionary() = default;
+
+  std::vector<TokenSeq> origins_;
+  std::vector<DerivedEntity> derived_;
+  std::vector<DerivedId> origin_begin_;  // size num_origins() + 1
+  std::unique_ptr<TokenDictionary> dict_;
+  size_t min_set_size_ = 0;
+  size_t max_set_size_ = 0;
+  double avg_applicable_rules_ = 0.0;
+};
+
+}  // namespace aeetes
+
+#endif  // AEETES_SYNONYM_DERIVED_DICTIONARY_H_

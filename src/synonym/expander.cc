@@ -1,0 +1,102 @@
+#include "src/synonym/expander.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/common/hash.h"
+
+namespace aeetes {
+
+namespace {
+
+/// Applies one rule choice per selected group (groups are pairwise
+/// disjoint and sorted by span start).
+DerivedForm ApplyChoices(const TokenSeq& entity,
+                         const std::vector<RuleGroup>& groups,
+                         const std::vector<int>& choice) {
+  DerivedForm form;
+  size_t cursor = 0;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    if (choice[g] < 0) continue;
+    const RuleGroup& group = groups[g];
+    const ApplicableRule& ar = group.rules[static_cast<size_t>(choice[g])];
+    for (size_t i = cursor; i < group.begin; ++i) {
+      form.tokens.push_back(entity[i]);
+    }
+    form.tokens.insert(form.tokens.end(), ar.replacement.begin(),
+                       ar.replacement.end());
+    form.applied.push_back(ar.rule);
+    form.weight *= ar.weight;
+    cursor = group.end();
+  }
+  for (size_t i = cursor; i < entity.size(); ++i) {
+    form.tokens.push_back(entity[i]);
+  }
+  return form;
+}
+
+/// Advances `combo` to the next k-combination of {0..n-1} in lexicographic
+/// order; returns false when exhausted.
+bool NextCombination(std::vector<size_t>& combo, size_t n) {
+  const size_t k = combo.size();
+  for (size_t ii = k; ii > 0; --ii) {
+    const size_t i = ii - 1;
+    if (combo[i] < n - (k - i)) {
+      ++combo[i];
+      for (size_t j = i + 1; j < k; ++j) combo[j] = combo[j - 1] + 1;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Advances the mixed-radix counter `pick` where digit i has radix
+/// radix(i); returns false on wrap-around.
+bool NextPick(std::vector<size_t>& pick, const std::vector<RuleGroup>& groups,
+              const std::vector<size_t>& combo) {
+  for (size_t d = 0; d < pick.size(); ++d) {
+    if (++pick[d] < groups[combo[d]].rules.size()) return true;
+    pick[d] = 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<DerivedForm> ExpandEntity(const TokenSeq& entity,
+                                      const std::vector<RuleGroup>& groups,
+                                      const ExpanderOptions& options) {
+  std::vector<DerivedForm> out;
+  std::unordered_set<TokenSeq, IntVectorHash<TokenId>> seen;
+  auto emit = [&](DerivedForm form) {
+    if (form.tokens.empty()) return;
+    if (!seen.insert(form.tokens).second) return;  // dedupe by token sequence
+    out.push_back(std::move(form));
+  };
+
+  emit(DerivedForm{entity, {}, 1.0});
+
+  // Breadth-first by the number of groups applied: for each combination of
+  // `count` groups, emit the cross product of rule choices inside them.
+  // Stops as soon as the cap is reached, so the simplest variants survive.
+  const size_t num_groups = groups.size();
+  for (size_t count = 1;
+       count <= num_groups && out.size() < options.max_derived; ++count) {
+    std::vector<size_t> combo(count);
+    for (size_t i = 0; i < count; ++i) combo[i] = i;
+    do {
+      std::vector<size_t> pick(count, 0);
+      do {
+        std::vector<int> choice(num_groups, -1);
+        for (size_t i = 0; i < count; ++i) {
+          choice[combo[i]] = static_cast<int>(pick[i]);
+        }
+        emit(ApplyChoices(entity, groups, choice));
+        if (out.size() >= options.max_derived) return out;
+      } while (NextPick(pick, groups, combo));
+    } while (NextCombination(combo, num_groups));
+  }
+  return out;
+}
+
+}  // namespace aeetes

@@ -1,0 +1,45 @@
+#ifndef AEETES_SYNONYM_EXPANDER_H_
+#define AEETES_SYNONYM_EXPANDER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/synonym/conflict.h"
+#include "src/text/token.h"
+
+namespace aeetes {
+
+/// One derived entity e_i of an origin entity e: the token sequence after
+/// applying `applied` (one rule from each of a set of pairwise disjoint
+/// groups; each original token rewritten by at most one rule). The empty
+/// application yields e itself, so e is always in D(e).
+struct DerivedForm {
+  TokenSeq tokens;
+  std::vector<RuleId> applied;
+  /// Product of the applied rules' weights (1.0 when unweighted).
+  double weight = 1.0;
+};
+
+struct ExpanderOptions {
+  /// Hard cap on |D(e)|. |D(e)| grows as the product over groups of
+  /// (1 + #rules in group) — up to 2^|A(e)| — which is infeasible for
+  /// rule-rich entities (the paper's USJob profile averages 22.7 applicable
+  /// rules per entity). Enumeration is breadth-first by number of applied
+  /// rules, so the cap keeps the simplest variants.
+  size_t max_derived = 64;
+  /// How the non-conflict groups A(e) are selected.
+  CliqueMode clique_mode = CliqueMode::kGreedy;
+};
+
+/// Enumerates D(e) for `entity` given its non-conflicting rule groups.
+/// Deduplicates identical derived token sequences, keeping the variant with
+/// the highest weight (fewest applied rules on ties, since enumeration is
+/// breadth-first).
+std::vector<DerivedForm> ExpandEntity(const TokenSeq& entity,
+                                      const std::vector<RuleGroup>& groups,
+                                      const ExpanderOptions& options = {});
+
+}  // namespace aeetes
+
+#endif  // AEETES_SYNONYM_EXPANDER_H_

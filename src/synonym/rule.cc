@@ -1,0 +1,42 @@
+#include "src/synonym/rule.h"
+
+namespace aeetes {
+
+Result<RuleId> RuleSet::Add(TokenSeq lhs, TokenSeq rhs, double weight) {
+  if (lhs.empty() || rhs.empty()) {
+    return Status::InvalidArgument("synonym rule sides must be non-empty");
+  }
+  if (lhs == rhs) {
+    return Status::InvalidArgument("synonym rule sides must differ");
+  }
+  if (!(weight > 0.0) || weight > 1.0) {
+    return Status::InvalidArgument("rule weight must be in (0, 1]");
+  }
+  const RuleId id = static_cast<RuleId>(rules_.size());
+  rules_.push_back(SynonymRule{std::move(lhs), std::move(rhs), weight});
+  return id;
+}
+
+Result<RuleId> RuleSet::AddFromText(std::string_view line,
+                                    const Tokenizer& tokenizer,
+                                    TokenDictionary& dict, double weight) {
+  size_t sep = line.find("<=>");
+  size_t sep_len = 3;
+  if (sep == std::string_view::npos) {
+    sep = line.find('\t');
+    sep_len = 1;
+  }
+  if (sep == std::string_view::npos) {
+    return Status::InvalidArgument(
+        "rule line must contain '<=>' or a tab separator");
+  }
+  const auto lhs_tokens = tokenizer.TokenizeToStrings(line.substr(0, sep));
+  const auto rhs_tokens =
+      tokenizer.TokenizeToStrings(line.substr(sep + sep_len));
+  TokenSeq lhs, rhs;
+  for (const auto& t : lhs_tokens) lhs.push_back(dict.GetOrAdd(t));
+  for (const auto& t : rhs_tokens) rhs.push_back(dict.GetOrAdd(t));
+  return Add(std::move(lhs), std::move(rhs), weight);
+}
+
+}  // namespace aeetes

@@ -1,0 +1,54 @@
+#ifndef AEETES_SYNONYM_RULE_H_
+#define AEETES_SYNONYM_RULE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/text/token.h"
+#include "src/text/token_dictionary.h"
+#include "src/text/tokenizer.h"
+
+namespace aeetes {
+
+using RuleId = uint32_t;
+
+/// A synonym rule <lhs <=> rhs>: both sides are token sequences expressing
+/// the same semantics (e.g. "big apple" <=> "new york"). Rules are
+/// symmetric; applicability checks both directions. `weight` in (0, 1]
+/// supports the paper's future-work item (iii) — weighted synonym rules —
+/// and defaults to 1.0 (the unweighted semantics of the paper body).
+struct SynonymRule {
+  TokenSeq lhs;
+  TokenSeq rhs;
+  double weight = 1.0;
+};
+
+/// An owning collection of synonym rules.
+class RuleSet {
+ public:
+  RuleSet() = default;
+
+  /// Adds a rule; rejects empty sides, identical sides, and weights outside
+  /// (0, 1].
+  Result<RuleId> Add(TokenSeq lhs, TokenSeq rhs, double weight = 1.0);
+
+  /// Parses "lhs <=> rhs" (or "lhs\trhs"), tokenizes both sides and interns
+  /// their tokens into `dict`.
+  Result<RuleId> AddFromText(std::string_view line, const Tokenizer& tokenizer,
+                             TokenDictionary& dict, double weight = 1.0);
+
+  const SynonymRule& rule(RuleId id) const { return rules_[id]; }
+  const std::vector<SynonymRule>& rules() const { return rules_; }
+  size_t size() const { return rules_.size(); }
+  bool empty() const { return rules_.empty(); }
+
+ private:
+  std::vector<SynonymRule> rules_;
+};
+
+}  // namespace aeetes
+
+#endif  // AEETES_SYNONYM_RULE_H_

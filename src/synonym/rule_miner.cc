@@ -1,0 +1,80 @@
+#include "src/synonym/rule_miner.h"
+
+#include <algorithm>
+#include <map>
+
+namespace aeetes {
+
+namespace {
+
+/// Strips the longest common prefix and suffix, returning the differing
+/// middles. Returns false when the strings are identical.
+bool DiffMiddles(const TokenSeq& a, const TokenSeq& b, TokenSeq* mid_a,
+                 TokenSeq* mid_b) {
+  size_t prefix = 0;
+  while (prefix < a.size() && prefix < b.size() && a[prefix] == b[prefix]) {
+    ++prefix;
+  }
+  size_t suffix = 0;
+  while (suffix + prefix < a.size() && suffix + prefix < b.size() &&
+         a[a.size() - 1 - suffix] == b[b.size() - 1 - suffix]) {
+    ++suffix;
+  }
+  if (prefix + suffix >= a.size() && prefix + suffix >= b.size()) {
+    return false;  // identical
+  }
+  mid_a->assign(a.begin() + prefix, a.end() - suffix);
+  mid_b->assign(b.begin() + prefix, b.end() - suffix);
+  return true;
+}
+
+}  // namespace
+
+std::vector<MinedRule> MineRules(
+    const std::vector<std::pair<TokenSeq, TokenSeq>>& matched_pairs,
+    const RuleMinerOptions& options) {
+  std::map<std::pair<TokenSeq, TokenSeq>, size_t> support;
+  for (const auto& [a, b] : matched_pairs) {
+    TokenSeq lhs, rhs;
+    if (!DiffMiddles(a, b, &lhs, &rhs)) continue;
+    if (lhs.empty() || rhs.empty()) continue;  // pure insertion/deletion
+    if (lhs.size() > options.max_side_tokens ||
+        rhs.size() > options.max_side_tokens) {
+      continue;
+    }
+    if (rhs < lhs) std::swap(lhs, rhs);  // canonical side order
+    ++support[{std::move(lhs), std::move(rhs)}];
+  }
+
+  std::vector<MinedRule> out;
+  for (const auto& [sides, count] : support) {
+    if (count < options.min_support) continue;
+    out.push_back(MinedRule{sides.first, sides.second, count});
+  }
+  std::sort(out.begin(), out.end(), [](const MinedRule& x, const MinedRule& y) {
+    if (x.support != y.support) return x.support > y.support;
+    if (x.lhs != y.lhs) return x.lhs < y.lhs;
+    return x.rhs < y.rhs;
+  });
+  return out;
+}
+
+Result<RuleSet> ToRuleSet(const std::vector<MinedRule>& mined,
+                          bool support_weights) {
+  RuleSet rules;
+  size_t max_support = 1;
+  for (const MinedRule& r : mined) {
+    max_support = std::max(max_support, r.support);
+  }
+  for (const MinedRule& r : mined) {
+    const double weight =
+        support_weights
+            ? static_cast<double>(r.support) / static_cast<double>(max_support)
+            : 1.0;
+    AEETES_ASSIGN_OR_RETURN([[maybe_unused]] RuleId id,
+                            rules.Add(r.lhs, r.rhs, weight));
+  }
+  return rules;
+}
+
+}  // namespace aeetes

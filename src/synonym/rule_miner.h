@@ -1,0 +1,49 @@
+#ifndef AEETES_SYNONYM_RULE_MINER_H_
+#define AEETES_SYNONYM_RULE_MINER_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/synonym/rule.h"
+#include "src/text/token.h"
+
+namespace aeetes {
+
+struct RuleMinerOptions {
+  /// Longest rule side admitted (in tokens).
+  size_t max_side_tokens = 4;
+  /// Minimum number of matched pairs a rule must explain.
+  size_t min_support = 1;
+};
+
+/// A mined rule candidate with the number of matched pairs it explains.
+struct MinedRule {
+  TokenSeq lhs;
+  TokenSeq rhs;
+  size_t support = 0;
+};
+
+/// Learns synonym rules from matched string pairs (pairs known to refer to
+/// the same real-world entity — e.g. training data from entity matching,
+/// the setting of Arasu et al. and the paper's Section 5 discussion of
+/// where rules come from). For each pair, the longest common token prefix
+/// and suffix are stripped; the differing middles become a rule candidate.
+/// Candidates are canonicalized (sides ordered lexicographically),
+/// support-counted across all pairs and thresholded.
+///
+/// Results are sorted by descending support, ties by token ids.
+std::vector<MinedRule> MineRules(
+    const std::vector<std::pair<TokenSeq, TokenSeq>>& matched_pairs,
+    const RuleMinerOptions& options = {});
+
+/// Converts mined rules into a RuleSet. When `support_weights` is true the
+/// rule weight is support / max_support (so the weighted-JaccAR extension
+/// can discount rare rules); otherwise all weights are 1.
+Result<RuleSet> ToRuleSet(const std::vector<MinedRule>& mined,
+                          bool support_weights = false);
+
+}  // namespace aeetes
+
+#endif  // AEETES_SYNONYM_RULE_MINER_H_

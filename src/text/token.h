@@ -1,0 +1,28 @@
+#ifndef AEETES_TEXT_TOKEN_H_
+#define AEETES_TEXT_TOKEN_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace aeetes {
+
+/// Interned token identifier. Tokens are interned by TokenDictionary;
+/// ids are dense and start at 0.
+using TokenId = uint32_t;
+
+/// Sentinel for "no token".
+inline constexpr TokenId kNoToken = std::numeric_limits<TokenId>::max();
+
+/// A token sequence (an entity, a rule side, or a document).
+using TokenSeq = std::vector<TokenId>;
+
+/// Global-order rank of a token: tokens compare by ascending dictionary
+/// frequency, ties broken by id. Lower rank = rarer = earlier in every
+/// tau-prefix. Invalid (out-of-dictionary) tokens have frequency 0 and
+/// therefore the lowest ranks, exactly as prescribed in the paper.
+using TokenRank = uint64_t;
+
+}  // namespace aeetes
+
+#endif  // AEETES_TEXT_TOKEN_H_

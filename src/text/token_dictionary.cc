@@ -1,0 +1,40 @@
+#include "src/text/token_dictionary.h"
+
+namespace aeetes {
+
+TokenId TokenDictionary::GetOrAdd(std::string_view text) {
+  auto it = ids_.find(std::string(text));
+  if (it != ids_.end()) return it->second;
+  const TokenId id = static_cast<TokenId>(texts_.size());
+  texts_.emplace_back(text);
+  freq_.push_back(0);
+  ids_.emplace(texts_.back(), id);
+  return id;
+}
+
+std::optional<TokenId> TokenDictionary::Lookup(std::string_view text) const {
+  auto it = ids_.find(std::string(text));
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+Status TokenDictionary::AddFrequency(TokenId id, uint64_t count) {
+  if (frozen_) {
+    return Status::FailedPrecondition(
+        "AddFrequency called on a frozen TokenDictionary");
+  }
+  if (id >= freq_.size()) {
+    return Status::OutOfRange("token id out of range");
+  }
+  freq_[id] += count;
+  return Status::OK();
+}
+
+TokenSeq TokenDictionary::Encode(const std::vector<std::string>& tokens) {
+  TokenSeq out;
+  out.reserve(tokens.size());
+  for (const auto& t : tokens) out.push_back(GetOrAdd(t));
+  return out;
+}
+
+}  // namespace aeetes

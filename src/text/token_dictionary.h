@@ -1,0 +1,78 @@
+#ifndef AEETES_TEXT_TOKEN_DICTIONARY_H_
+#define AEETES_TEXT_TOKEN_DICTIONARY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/text/token.h"
+
+namespace aeetes {
+
+/// Interns token strings to dense TokenIds and maintains the global token
+/// order O of the paper: ascending frequency over the *derived dictionary*,
+/// ties by id. Document tokens absent from the dictionary ("invalid
+/// tokens") are interned with frequency 0, which puts them at the rare end
+/// of the order — the treatment prescribed in Section 3.2 of the paper.
+///
+/// Usage: intern entity/rule tokens while calling AddFrequency, then call
+/// Freeze(). After Freeze(), frequencies of existing tokens are immutable
+/// (so ranks are stable), but new (invalid) tokens may still be interned
+/// while encoding documents.
+class TokenDictionary {
+ public:
+  TokenDictionary() = default;
+
+  TokenDictionary(const TokenDictionary&) = delete;
+  TokenDictionary& operator=(const TokenDictionary&) = delete;
+  TokenDictionary(TokenDictionary&&) = default;
+  TokenDictionary& operator=(TokenDictionary&&) = default;
+
+  /// Interns `text`, returning its id (existing or fresh).
+  TokenId GetOrAdd(std::string_view text);
+
+  /// Returns the id of `text` if interned.
+  std::optional<TokenId> Lookup(std::string_view text) const;
+
+  /// Adds `count` dictionary occurrences to token `id`. Must not be called
+  /// after Freeze().
+  Status AddFrequency(TokenId id, uint64_t count = 1);
+
+  /// Locks frequencies; ranks become stable from here on.
+  void Freeze() { frozen_ = true; }
+  bool frozen() const { return frozen_; }
+
+  /// Dictionary frequency (0 for invalid tokens).
+  uint64_t frequency(TokenId id) const { return freq_[id]; }
+
+  /// A token is valid iff it occurs in the derived dictionary.
+  bool IsValid(TokenId id) const { return freq_[id] > 0; }
+
+  /// Global-order rank: (frequency << 32) | id. Lower = rarer = earlier in
+  /// every tau-prefix.
+  TokenRank Rank(TokenId id) const {
+    return (static_cast<TokenRank>(freq_[id]) << 32) |
+           static_cast<TokenRank>(id);
+  }
+
+  const std::string& Text(TokenId id) const { return texts_[id]; }
+
+  size_t size() const { return texts_.size(); }
+
+  /// Encodes a pre-tokenized string list, interning unseen tokens.
+  TokenSeq Encode(const std::vector<std::string>& tokens);
+
+ private:
+  std::unordered_map<std::string, TokenId> ids_;
+  std::vector<std::string> texts_;
+  std::vector<uint64_t> freq_;
+  bool frozen_ = false;
+};
+
+}  // namespace aeetes
+
+#endif  // AEETES_TEXT_TOKEN_DICTIONARY_H_

@@ -1,0 +1,95 @@
+#include "src/text/token_set.h"
+
+#include <algorithm>
+
+namespace aeetes {
+
+TokenSeq BuildOrderedSet(const TokenSeq& seq, const TokenDictionary& dict) {
+  TokenSeq out = seq;
+  std::sort(out.begin(), out.end(), [&dict](TokenId a, TokenId b) {
+    return dict.Rank(a) < dict.Rank(b);
+  });
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+size_t OverlapSize(const TokenSeq& a, const TokenSeq& b,
+                   const TokenDictionary& dict) {
+  size_t i = 0, j = 0, overlap = 0;
+  while (i < a.size() && j < b.size()) {
+    const TokenRank ra = dict.Rank(a[i]);
+    const TokenRank rb = dict.Rank(b[j]);
+    if (ra == rb) {
+      ++overlap;
+      ++i;
+      ++j;
+    } else if (ra < rb) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return overlap;
+}
+
+size_t OverlapSizeAtLeast(const TokenSeq& a, const TokenSeq& b,
+                          const TokenDictionary& dict, size_t required) {
+  size_t i = 0, j = 0, overlap = 0;
+  while (i < a.size() && j < b.size()) {
+    const size_t remaining = std::min(a.size() - i, b.size() - j);
+    if (overlap + remaining < required) return kOverlapBelow;
+    const TokenRank ra = dict.Rank(a[i]);
+    const TokenRank rb = dict.Rank(b[j]);
+    if (ra == rb) {
+      ++overlap;
+      ++i;
+      ++j;
+    } else if (ra < rb) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return overlap >= required ? overlap : kOverlapBelow;
+}
+
+bool PrefixesIntersect(const TokenSeq& a, size_t a_prefix, const TokenSeq& b,
+                       size_t b_prefix, const TokenDictionary& dict) {
+  a_prefix = std::min(a_prefix, a.size());
+  b_prefix = std::min(b_prefix, b.size());
+  size_t i = 0, j = 0;
+  while (i < a_prefix && j < b_prefix) {
+    const TokenRank ra = dict.Rank(a[i]);
+    const TokenRank rb = dict.Rank(b[j]);
+    if (ra == rb) return true;
+    if (ra < rb) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+bool ContainsSubsequence(const TokenSeq& haystack, const TokenSeq& needle) {
+  return !FindSubsequence(haystack, needle).empty();
+}
+
+std::vector<size_t> FindSubsequence(const TokenSeq& haystack,
+                                    const TokenSeq& needle) {
+  std::vector<size_t> out;
+  if (needle.empty() || needle.size() > haystack.size()) return out;
+  for (size_t i = 0; i + needle.size() <= haystack.size(); ++i) {
+    bool match = true;
+    for (size_t j = 0; j < needle.size(); ++j) {
+      if (haystack[i + j] != needle[j]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace aeetes

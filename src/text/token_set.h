@@ -1,0 +1,47 @@
+#ifndef AEETES_TEXT_TOKEN_SET_H_
+#define AEETES_TEXT_TOKEN_SET_H_
+
+#include <vector>
+
+#include "src/text/token.h"
+#include "src/text/token_dictionary.h"
+
+namespace aeetes {
+
+/// Builds the "ordered set" representation used throughout the library:
+/// the distinct tokens of `seq` sorted by ascending global-order rank
+/// (rare first). Every tau-prefix is a prefix of this representation.
+TokenSeq BuildOrderedSet(const TokenSeq& seq, const TokenDictionary& dict);
+
+/// Number of common tokens of two ordered sets (merge by rank).
+size_t OverlapSize(const TokenSeq& a, const TokenSeq& b,
+                   const TokenDictionary& dict);
+
+/// Sentinel returned by OverlapSizeAtLeast when the overlap cannot reach
+/// the requirement.
+inline constexpr size_t kOverlapBelow = static_cast<size_t>(-1);
+
+/// Early-terminating overlap: returns the exact overlap when it is
+/// >= `required`, or kOverlapBelow as soon as the remaining tokens cannot
+/// close the gap (the verification improvement of the paper's future-work
+/// item (i) — most candidate pairs abort after a few comparisons).
+size_t OverlapSizeAtLeast(const TokenSeq& a, const TokenSeq& b,
+                          const TokenDictionary& dict, size_t required);
+
+/// True iff the first `a_prefix` tokens of `a` and first `b_prefix` tokens
+/// of `b` share at least one token (the prefix-filter test).
+bool PrefixesIntersect(const TokenSeq& a, size_t a_prefix, const TokenSeq& b,
+                       size_t b_prefix, const TokenDictionary& dict);
+
+/// True iff `needle` occurs in `haystack` as a contiguous subsequence.
+/// Used to decide rule applicability (Section 2.1 of the paper).
+bool ContainsSubsequence(const TokenSeq& haystack, const TokenSeq& needle);
+
+/// Returns every start offset at which `needle` occurs contiguously in
+/// `haystack`.
+std::vector<size_t> FindSubsequence(const TokenSeq& haystack,
+                                    const TokenSeq& needle);
+
+}  // namespace aeetes
+
+#endif  // AEETES_TEXT_TOKEN_SET_H_

@@ -1,0 +1,57 @@
+#include "src/text/tokenizer.h"
+
+#include <cctype>
+
+namespace aeetes {
+
+Tokenizer::Tokenizer(TokenizerOptions options) : options_(std::move(options)) {
+  for (int c = 'a'; c <= 'z'; ++c) token_char_table_[c] = true;
+  for (int c = 'A'; c <= 'Z'; ++c) token_char_table_[c] = true;
+  if (options_.keep_digits) {
+    for (int c = '0'; c <= '9'; ++c) token_char_table_[c] = true;
+  }
+  for (unsigned char c : options_.extra_token_chars) {
+    token_char_table_[c] = true;
+  }
+  if (options_.utf8_token_bytes) {
+    for (int c = 0x80; c < 0x100; ++c) token_char_table_[c] = true;
+  }
+}
+
+bool Tokenizer::IsTokenChar(unsigned char c) const {
+  return token_char_table_[c];
+}
+
+std::vector<RawToken> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<RawToken> out;
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    while (i < n && !IsTokenChar(static_cast<unsigned char>(text[i]))) ++i;
+    if (i >= n) break;
+    const size_t begin = i;
+    while (i < n && IsTokenChar(static_cast<unsigned char>(text[i]))) ++i;
+    RawToken tok;
+    tok.begin = begin;
+    tok.end = i;
+    tok.text.reserve(i - begin);
+    for (size_t j = begin; j < i; ++j) {
+      char c = text[j];
+      if (options_.lowercase) {
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+      tok.text.push_back(c);
+    }
+    out.push_back(std::move(tok));
+  }
+  return out;
+}
+
+std::vector<std::string> Tokenizer::TokenizeToStrings(
+    std::string_view text) const {
+  std::vector<std::string> out;
+  for (auto& t : Tokenize(text)) out.push_back(std::move(t.text));
+  return out;
+}
+
+}  // namespace aeetes

@@ -1,0 +1,53 @@
+#ifndef AEETES_TEXT_TOKENIZER_H_
+#define AEETES_TEXT_TOKENIZER_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aeetes {
+
+/// A raw (un-interned) token plus its character span in the source text.
+struct RawToken {
+  std::string text;
+  size_t begin = 0;  // inclusive byte offset
+  size_t end = 0;    // exclusive byte offset
+};
+
+struct TokenizerOptions {
+  /// Lower-case ASCII letters before interning.
+  bool lowercase = true;
+  /// Treat digits as token characters.
+  bool keep_digits = true;
+  /// Characters (besides alphanumerics) allowed inside a token.
+  std::string extra_token_chars = "";
+  /// Treat bytes >= 0x80 as token characters so UTF-8 multi-byte words
+  /// survive as single tokens (no case folding is applied to them).
+  bool utf8_token_bytes = false;
+};
+
+/// Splits text into alphanumeric tokens. Deterministic, locale-free,
+/// byte-oriented (ASCII word characters; other bytes act as separators).
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {});
+
+  /// Tokenizes `text`, returning tokens with their byte spans.
+  std::vector<RawToken> Tokenize(std::string_view text) const;
+
+  /// Convenience: tokenize and drop the span information.
+  std::vector<std::string> TokenizeToStrings(std::string_view text) const;
+
+  const TokenizerOptions& options() const { return options_; }
+
+ private:
+  bool IsTokenChar(unsigned char c) const;
+
+  TokenizerOptions options_;
+  bool token_char_table_[256] = {};
+};
+
+}  // namespace aeetes
+
+#endif  // AEETES_TEXT_TOKENIZER_H_

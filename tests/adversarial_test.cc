@@ -1,0 +1,178 @@
+// Adversarial-input tests: duplicate-heavy documents (where window length
+// and distinct-set size diverge), repeated-token entities, extreme
+// thresholds and degenerate dictionaries. All compare the full pipeline
+// and FaerieR against the brute-force oracle.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+
+#include "src/baseline/brute_force.h"
+#include "src/baseline/faerie_r.h"
+#include "src/core/aeetes.h"
+#include "src/core/candidate_generator.h"
+#include "src/index/clustered_index.h"
+#include "tests/test_util.h"
+
+namespace aeetes {
+namespace {
+
+using testutil::Sorted;
+
+/// A world whose documents are dominated by very few distinct tokens, so
+/// nearly every window carries duplicates.
+struct DuplicateWorld {
+  std::unique_ptr<DerivedDictionary> dd;
+  TokenSeq doc_tokens;
+};
+
+DuplicateWorld MakeDuplicateWorld(std::mt19937_64& rng) {
+  auto dict = std::make_unique<TokenDictionary>();
+  std::vector<TokenId> ids;
+  for (size_t i = 0; i < 6; ++i) {  // tiny vocabulary -> heavy repetition
+    ids.push_back(dict->GetOrAdd("d" + std::to_string(i)));
+  }
+  std::vector<TokenSeq> entities;
+  for (size_t i = 0; i < 8; ++i) {
+    TokenSeq e;
+    const size_t len = 1 + rng() % 4;
+    for (size_t j = 0; j < len; ++j) e.push_back(ids[rng() % ids.size()]);
+    entities.push_back(std::move(e));
+  }
+  RuleSet rules;
+  for (int i = 0; i < 4; ++i) {
+    TokenSeq lhs = {ids[rng() % ids.size()]};
+    TokenSeq rhs = {ids[rng() % ids.size()], ids[rng() % ids.size()]};
+    auto r = rules.Add(std::move(lhs), std::move(rhs));
+    (void)r;
+  }
+  DuplicateWorld world;
+  for (size_t i = 0; i < 70; ++i) {
+    world.doc_tokens.push_back(ids[rng() % ids.size()]);
+  }
+  auto dd = DerivedDictionary::Build(std::move(entities), rules,
+                                     std::move(dict));
+  world.dd = std::move(*dd);
+  return world;
+}
+
+TEST(AdversarialTest, DuplicateHeavyDocumentsStayConsistent) {
+  std::mt19937_64 rng(3001);
+  for (int iter = 0; iter < 20; ++iter) {
+    auto world = MakeDuplicateWorld(rng);
+    const Document doc = Document::FromTokens(world.doc_tokens);
+    auto index = ClusteredIndex::Build(*world.dd);
+    for (double tau : {0.6, 0.8, 1.0}) {
+      const auto oracle = Sorted(BruteForceExtract(doc, *world.dd, tau));
+      for (FilterStrategy s :
+           {FilterStrategy::kSimple, FilterStrategy::kSkip,
+            FilterStrategy::kDynamic, FilterStrategy::kLazy}) {
+        auto gen = GenerateCandidates(s, doc, *world.dd, *index, tau);
+        const auto got = Sorted(VerifyCandidates(std::move(gen.candidates),
+                                                 doc, *world.dd, tau, {}));
+        EXPECT_EQ(got, oracle)
+            << FilterStrategyName(s) << " tau=" << tau << " iter=" << iter;
+      }
+    }
+  }
+}
+
+TEST(AdversarialTest, DuplicateHeavyFaerieRAgrees) {
+  std::mt19937_64 rng(3003);
+  for (int iter = 0; iter < 15; ++iter) {
+    auto world = MakeDuplicateWorld(rng);
+    const Document doc = Document::FromTokens(world.doc_tokens);
+    auto fr = FaerieR::Build(*world.dd);
+    ASSERT_TRUE(fr.ok());
+    const double tau = 0.8;
+    const auto oracle = Sorted(BruteForceExtract(doc, *world.dd, tau));
+    const auto got = Sorted((*fr)->Extract(doc, tau));
+    ASSERT_EQ(got.size(), oracle.size()) << "iter=" << iter;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].token_begin, oracle[i].token_begin);
+      EXPECT_EQ(got[i].token_len, oracle[i].token_len);
+      EXPECT_EQ(got[i].entity, oracle[i].entity);
+    }
+  }
+}
+
+TEST(AdversarialTest, ThresholdOneIsExactSetMatch) {
+  auto built = Aeetes::BuildFromText({"alpha beta gamma"},
+                                     {"ab <=> alpha beta"});
+  ASSERT_TRUE(built.ok());
+  Document doc = (*built)->EncodeDocument(
+      "alpha beta gamma and ab gamma and alpha gamma beta");
+  auto result = (*built)->Extract(doc, 1.0);
+  ASSERT_TRUE(result.ok());
+  // tau = 1.0 requires set equality: the literal mention, the rewritten
+  // "ab gamma", and the permuted "alpha gamma beta" (sets are unordered).
+  EXPECT_EQ(result->matches.size(), 3u);
+  for (const Match& m : result->matches) {
+    EXPECT_DOUBLE_EQ(m.score, 1.0);
+  }
+}
+
+TEST(AdversarialTest, EntityWithAllIdenticalTokens) {
+  auto dict = std::make_unique<TokenDictionary>();
+  const TokenId a = dict->GetOrAdd("repeat");
+  RuleSet rules;
+  auto dd = DerivedDictionary::Build({{a, a, a}}, rules, std::move(dict));
+  ASSERT_TRUE(dd.ok());
+  // The ordered set of {repeat, repeat, repeat} is a single token.
+  EXPECT_EQ((*dd)->min_set_size(), 1u);
+  auto built = Aeetes::FromDerivedDictionary(std::move(*dd));
+  ASSERT_TRUE(built.ok());
+  Document doc = Document::FromTokens({a, a});
+  auto result = (*built)->Extract(doc, 0.9);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->matches.empty());
+  EXPECT_DOUBLE_EQ(result->matches[0].score, 1.0);
+}
+
+TEST(AdversarialTest, DocumentShorterThanSmallestWindow) {
+  auto built = Aeetes::BuildFromText({"one two three four five"}, {});
+  ASSERT_TRUE(built.ok());
+  Document doc = (*built)->EncodeDocument("one");
+  auto result = (*built)->Extract(doc, 0.9);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->matches.empty());
+}
+
+TEST(AdversarialTest, SingleEntityDictionarySpanningWholeDocument) {
+  auto built = Aeetes::BuildFromText({"a b c d e"}, {});
+  ASSERT_TRUE(built.ok());
+  Document doc = (*built)->EncodeDocument("a b c d e");
+  auto result = (*built)->Extract(doc, 1.0);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->matches.size(), 1u);
+  EXPECT_EQ(result->matches[0].token_len, 5u);
+}
+
+TEST(AdversarialTest, RuleChainDoesNotRecurse) {
+  // a -> b and b -> c: derivation must not apply rules to rewritten
+  // output (each original token rewritten at most once), so "c" alone is
+  // reachable only from entity "b", never from "a" via two hops.
+  auto dict = std::make_unique<TokenDictionary>();
+  const TokenId a = dict->GetOrAdd("a");
+  const TokenId b = dict->GetOrAdd("b");
+  const TokenId c = dict->GetOrAdd("c");
+  RuleSet rules;
+  ASSERT_TRUE(rules.Add({a}, {b}).ok());
+  ASSERT_TRUE(rules.Add({b}, {c}).ok());
+  auto dd = DerivedDictionary::Build({{a}}, rules, std::move(dict));
+  ASSERT_TRUE(dd.ok());
+  auto built = Aeetes::FromDerivedDictionary(std::move(*dd));
+  ASSERT_TRUE(built.ok());
+  Document doc = Document::FromTokens({c});
+  auto result = (*built)->Extract(doc, 0.9);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->matches.empty());  // "c" is NOT a derived form of "a"
+  Document doc_b = Document::FromTokens({b});
+  auto result_b = (*built)->Extract(doc_b, 0.9);
+  ASSERT_TRUE(result_b.ok());
+  EXPECT_EQ(result_b->matches.size(), 1u);  // one hop is fine
+}
+
+}  // namespace
+}  // namespace aeetes

@@ -1,0 +1,220 @@
+#include "src/core/aeetes.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "tests/test_util.h"
+
+namespace aeetes {
+namespace {
+
+using testutil::Sorted;
+
+/// The Figure 1 scenario: institution names, common-sense synonym rules,
+/// and a document where only one mention is an exact dictionary hit.
+class Figure1Test : public testing::Test {
+ protected:
+  void SetUp() override {
+    const std::vector<std::string> entities = {
+        "massachusetts institute of technology",  // e0
+        "purdue university usa",                  // e1
+        "uq au",                                  // e2
+    };
+    const std::vector<std::string> rules = {
+        "mit <=> massachusetts institute of technology",
+        "uq <=> university of queensland",
+        "au <=> australia",
+    };
+    auto built = Aeetes::BuildFromText(entities, rules);
+    ASSERT_TRUE(built.ok()) << built.status();
+    aeetes_ = std::move(*built);
+    doc_ = aeetes_->EncodeDocument(
+        "she studied at mit before joining purdue university usa and later "
+        "the university of queensland australia");
+  }
+
+  std::unique_ptr<Aeetes> aeetes_;
+  Document doc_;
+};
+
+TEST_F(Figure1Test, FindsExactSynonymAndMultiRuleMentions) {
+  auto result = aeetes_->Extract(doc_, 0.9);
+  ASSERT_TRUE(result.ok());
+  const auto matches = Sorted(result->matches);
+  ASSERT_EQ(matches.size(), 3u);
+
+  // "mit" -> massachusetts institute of technology (reverse rule).
+  EXPECT_EQ(matches[0].entity, 0u);
+  EXPECT_EQ(matches[0].token_len, 1u);
+  EXPECT_DOUBLE_EQ(matches[0].score, 1.0);
+  EXPECT_EQ(doc_.SubstringText(matches[0].token_begin, matches[0].token_len),
+            "mit");
+
+  // "purdue university usa" exact.
+  EXPECT_EQ(matches[1].entity, 1u);
+  EXPECT_DOUBLE_EQ(matches[1].score, 1.0);
+
+  // "university of queensland australia" via two rules on "uq au".
+  EXPECT_EQ(matches[2].entity, 2u);
+  EXPECT_EQ(matches[2].token_len, 4u);
+  EXPECT_DOUBLE_EQ(matches[2].score, 1.0);
+}
+
+TEST_F(Figure1Test, StrategiesAgreeEndToEnd) {
+  auto base = aeetes_->ExtractWithStrategy(doc_, 0.8, FilterStrategy::kSimple);
+  ASSERT_TRUE(base.ok());
+  for (FilterStrategy s : {FilterStrategy::kSkip, FilterStrategy::kDynamic,
+                           FilterStrategy::kLazy}) {
+    auto got = aeetes_->ExtractWithStrategy(doc_, 0.8, s);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(Sorted(got->matches), Sorted(base->matches))
+        << FilterStrategyName(s);
+  }
+}
+
+TEST_F(Figure1Test, HigherThresholdsAreSubsets) {
+  auto loose = aeetes_->Extract(doc_, 0.7);
+  auto strict = aeetes_->Extract(doc_, 0.95);
+  ASSERT_TRUE(loose.ok());
+  ASSERT_TRUE(strict.ok());
+  EXPECT_GE(loose->matches.size(), strict->matches.size());
+  const auto loose_sorted = Sorted(loose->matches);
+  for (const Match& m : strict->matches) {
+    EXPECT_NE(std::find(loose_sorted.begin(), loose_sorted.end(), m),
+              loose_sorted.end());
+  }
+}
+
+TEST_F(Figure1Test, InvalidThresholdRejected) {
+  EXPECT_FALSE(aeetes_->Extract(doc_, 0.0).ok());
+  EXPECT_FALSE(aeetes_->Extract(doc_, 1.5).ok());
+  EXPECT_FALSE(aeetes_->Extract(doc_, -0.1).ok());
+}
+
+TEST_F(Figure1Test, EntityTextRoundTrips) {
+  EXPECT_EQ(aeetes_->EntityText(1), "purdue university usa");
+}
+
+TEST_F(Figure1Test, ExtractionStatsArePopulated) {
+  auto result = aeetes_->Extract(doc_, 0.8);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->filter_stats.substrings, 0u);
+  EXPECT_GT(result->filter_stats.entries_accessed, 0u);
+  EXPECT_GE(result->verify_stats.verified, result->matches.size());
+  EXPECT_EQ(result->verify_stats.matched, result->matches.size());
+}
+
+TEST(AeetesBuildTest, RejectsBadRuleLines) {
+  EXPECT_FALSE(
+      Aeetes::BuildFromText({"some entity"}, {"no separator"}).ok());
+}
+
+TEST(AeetesBuildTest, RejectsEmptyDictionary) {
+  EXPECT_FALSE(Aeetes::BuildFromText({}, {}).ok());
+}
+
+TEST(AeetesBuildTest, WorksWithoutRules) {
+  auto built = Aeetes::BuildFromText({"new york", "big apple"}, {});
+  ASSERT_TRUE(built.ok());
+  Document doc = (*built)->EncodeDocument("i love new york in the fall");
+  auto result = (*built)->Extract(doc, 0.9);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->matches.size(), 1u);
+  EXPECT_EQ(result->matches[0].entity, 0u);
+}
+
+TEST(AeetesBuildTest, WeightedOptionLowersRewrittenScores) {
+  AeetesOptions options;
+  options.weighted = true;
+  // Manual build path so the rule carries a weight below 1.
+  auto dict = std::make_unique<TokenDictionary>();
+  const TokenId big = dict->GetOrAdd("big");
+  const TokenId apple = dict->GetOrAdd("apple");
+  const TokenId new_ = dict->GetOrAdd("new");
+  const TokenId york = dict->GetOrAdd("york");
+  RuleSet rules;
+  ASSERT_TRUE(rules.Add({big, apple}, {new_, york}, 0.6).ok());
+  auto built = Aeetes::Build({{big, apple}}, rules, std::move(dict), options);
+  ASSERT_TRUE(built.ok());
+  Document doc = (*built)->EncodeDocument("go to new york now");
+  auto strict = (*built)->Extract(doc, 0.7);
+  ASSERT_TRUE(strict.ok());
+  EXPECT_TRUE(strict->matches.empty());  // 0.6 * 1.0 < 0.7
+  auto loose = (*built)->Extract(doc, 0.55);
+  ASSERT_TRUE(loose.ok());
+  ASSERT_EQ(loose->matches.size(), 1u);
+  EXPECT_DOUBLE_EQ(loose->matches[0].score, 0.6);
+}
+
+TEST(AeetesMetricTest, CosineAndDiceExtractToo) {
+  for (Metric metric : {Metric::kCosine, Metric::kDice}) {
+    AeetesOptions options;
+    options.metric = metric;
+    auto built = Aeetes::BuildFromText(
+        {"new york city"}, {"big apple <=> new york"}, options);
+    ASSERT_TRUE(built.ok());
+    Document doc = (*built)->EncodeDocument("the big apple city lights");
+    auto result = (*built)->Extract(doc, 0.8);
+    ASSERT_TRUE(result.ok());
+    ASSERT_FALSE(result->matches.empty()) << MetricName(metric);
+    double best = 0.0;
+    for (const Match& m : result->matches) best = std::max(best, m.score);
+    EXPECT_DOUBLE_EQ(best, 1.0) << MetricName(metric);
+  }
+}
+
+TEST(LookupStringTest, RanksEntitiesByScore) {
+  auto built = Aeetes::BuildFromText(
+      {"new york city", "new york state", "york minster"},
+      {"big apple <=> new york"});
+  ASSERT_TRUE(built.ok());
+  auto hits = (*built)->LookupString("big apple city", 0.5, 5);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_FALSE(hits->empty());
+  EXPECT_EQ((*hits)[0].entity, 0u);  // "new york city" via the rule
+  EXPECT_DOUBLE_EQ((*hits)[0].score, 1.0);
+  for (size_t i = 1; i < hits->size(); ++i) {
+    EXPECT_LE((*hits)[i].score, (*hits)[i - 1].score);
+  }
+}
+
+TEST(LookupStringTest, RespectsKAndThreshold) {
+  auto built = Aeetes::BuildFromText(
+      {"alpha beta", "alpha gamma", "alpha delta"}, {});
+  ASSERT_TRUE(built.ok());
+  auto hits = (*built)->LookupString("alpha beta", 0.4, 1);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 1u);
+  auto none = (*built)->LookupString("unrelated words", 0.5);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+  EXPECT_FALSE((*built)->LookupString("alpha", 0.0).ok());
+}
+
+TEST(LookupStringTest, EmptyMention) {
+  auto built = Aeetes::BuildFromText({"alpha beta"}, {});
+  ASSERT_TRUE(built.ok());
+  auto hits = (*built)->LookupString("", 0.8);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_TRUE(hits->empty());
+}
+
+TEST(ExplainTest, ReportsWitnessAndRules) {
+  auto built = Aeetes::BuildFromText({"new york city"},
+                                     {"big apple <=> new york"});
+  ASSERT_TRUE(built.ok());
+  Document doc = (*built)->EncodeDocument("the big apple city");
+  auto result = (*built)->Extract(doc, 0.9);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->matches.size(), 1u);
+  const auto ex = (*built)->Explain(result->matches[0], doc);
+  EXPECT_EQ(ex.substring_text, "big apple city");
+  EXPECT_EQ(ex.entity_text, "new york city");
+  EXPECT_EQ(ex.witness_text, "big apple city");
+  EXPECT_EQ(ex.applied_rules.size(), 1u);
+  EXPECT_DOUBLE_EQ(ex.score, 1.0);
+}
+
+}  // namespace
+}  // namespace aeetes

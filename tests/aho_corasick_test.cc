@@ -1,0 +1,113 @@
+#include "src/baseline/aho_corasick.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+#include <tuple>
+
+namespace aeetes {
+namespace {
+
+std::set<std::tuple<int, size_t, size_t>> HitSet(
+    const std::vector<AhoCorasick::Hit>& hits) {
+  std::set<std::tuple<int, size_t, size_t>> out;
+  for (const auto& h : hits) out.emplace(h.pattern, h.begin, h.len);
+  return out;
+}
+
+TEST(AhoCorasickTest, SinglePattern) {
+  AhoCorasick ac;
+  const int p = ac.AddPattern({1, 2});
+  ac.Build();
+  const auto hits = ac.FindAll({0, 1, 2, 3, 1, 2});
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].pattern, p);
+  EXPECT_EQ(hits[0].begin, 1u);
+  EXPECT_EQ(hits[1].begin, 4u);
+}
+
+TEST(AhoCorasickTest, OverlappingPatterns) {
+  AhoCorasick ac;
+  const int a = ac.AddPattern({1, 2, 3});
+  const int b = ac.AddPattern({2, 3});
+  const int c = ac.AddPattern({3});
+  ac.Build();
+  const auto hits = HitSet(ac.FindAll({1, 2, 3}));
+  EXPECT_TRUE(hits.count({a, 0, 3}));
+  EXPECT_TRUE(hits.count({b, 1, 2}));
+  EXPECT_TRUE(hits.count({c, 2, 1}));
+  EXPECT_EQ(hits.size(), 3u);
+}
+
+TEST(AhoCorasickTest, SharedPrefixes) {
+  AhoCorasick ac;
+  const int a = ac.AddPattern({5, 6});
+  const int b = ac.AddPattern({5, 7});
+  ac.Build();
+  const auto hits = HitSet(ac.FindAll({5, 6, 5, 7}));
+  EXPECT_TRUE(hits.count({a, 0, 2}));
+  EXPECT_TRUE(hits.count({b, 2, 2}));
+}
+
+TEST(AhoCorasickTest, DuplicatePatternReportsBothIds) {
+  AhoCorasick ac;
+  const int a = ac.AddPattern({9});
+  const int b = ac.AddPattern({9});
+  ac.Build();
+  const auto hits = HitSet(ac.FindAll({9}));
+  EXPECT_TRUE(hits.count({a, 0, 1}));
+  EXPECT_TRUE(hits.count({b, 0, 1}));
+}
+
+TEST(AhoCorasickTest, EmptyPatternIgnored) {
+  AhoCorasick ac;
+  EXPECT_EQ(ac.AddPattern({}), -1);
+  ac.AddPattern({1});
+  ac.Build();
+  EXPECT_EQ(ac.num_patterns(), 1u);
+}
+
+TEST(AhoCorasickTest, NoMatches) {
+  AhoCorasick ac;
+  ac.AddPattern({1, 2});
+  ac.Build();
+  EXPECT_TRUE(ac.FindAll({2, 1, 2, 1}).size() == 1);  // only at pos 1
+  EXPECT_TRUE(ac.FindAll({3, 4, 5}).empty());
+  EXPECT_TRUE(ac.FindAll({}).empty());
+}
+
+TEST(AhoCorasickPropertyTest, AgreesWithNaiveSearch) {
+  std::mt19937_64 rng(71);
+  for (int iter = 0; iter < 60; ++iter) {
+    AhoCorasick ac;
+    const size_t vocab = 4;
+    std::vector<TokenSeq> patterns;
+    const size_t np = 1 + rng() % 6;
+    for (size_t i = 0; i < np; ++i) {
+      TokenSeq p;
+      const size_t len = 1 + rng() % 4;
+      for (size_t j = 0; j < len; ++j) p.push_back(rng() % vocab);
+      ac.AddPattern(p);
+      patterns.push_back(std::move(p));
+    }
+    ac.Build();
+    TokenSeq text;
+    const size_t n = rng() % 60;
+    for (size_t i = 0; i < n; ++i) text.push_back(rng() % vocab);
+
+    std::set<std::tuple<int, size_t, size_t>> naive;
+    for (size_t pid = 0; pid < patterns.size(); ++pid) {
+      const TokenSeq& p = patterns[pid];
+      for (size_t i = 0; i + p.size() <= text.size(); ++i) {
+        if (std::equal(p.begin(), p.end(), text.begin() + i)) {
+          naive.emplace(static_cast<int>(pid), i, p.size());
+        }
+      }
+    }
+    EXPECT_EQ(HitSet(ac.FindAll(text)), naive) << "iter=" << iter;
+  }
+}
+
+}  // namespace
+}  // namespace aeetes

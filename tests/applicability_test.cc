@@ -1,0 +1,76 @@
+#include "src/synonym/applicability.h"
+
+#include <gtest/gtest.h>
+
+namespace aeetes {
+namespace {
+
+TEST(ApplicabilityTest, LhsSubsequenceMatches) {
+  RuleSet rules;
+  ASSERT_TRUE(rules.Add({1, 2}, {9}).ok());
+  const TokenSeq entity = {0, 1, 2, 3};
+  const auto apps = FindApplicableRules(entity, rules);
+  ASSERT_EQ(apps.size(), 1u);
+  EXPECT_EQ(apps[0].rule, 0u);
+  EXPECT_EQ(apps[0].begin, 1u);
+  EXPECT_EQ(apps[0].len, 2u);
+  EXPECT_EQ(apps[0].replacement, (TokenSeq{9}));
+}
+
+TEST(ApplicabilityTest, RhsDirectionAlsoMatches) {
+  RuleSet rules;
+  ASSERT_TRUE(rules.Add({9}, {1, 2}).ok());
+  const TokenSeq entity = {0, 1, 2, 3};
+  const auto apps = FindApplicableRules(entity, rules);
+  ASSERT_EQ(apps.size(), 1u);
+  EXPECT_EQ(apps[0].begin, 1u);
+  EXPECT_EQ(apps[0].len, 2u);
+  EXPECT_EQ(apps[0].replacement, (TokenSeq{9}));
+}
+
+TEST(ApplicabilityTest, MultipleOccurrencesYieldMultipleInstances) {
+  RuleSet rules;
+  ASSERT_TRUE(rules.Add({1}, {9}).ok());
+  const TokenSeq entity = {1, 2, 1};
+  const auto apps = FindApplicableRules(entity, rules);
+  ASSERT_EQ(apps.size(), 2u);
+  EXPECT_EQ(apps[0].begin, 0u);
+  EXPECT_EQ(apps[1].begin, 2u);
+}
+
+TEST(ApplicabilityTest, BothDirectionsOfOneRuleCanApply) {
+  RuleSet rules;
+  ASSERT_TRUE(rules.Add({1}, {2}).ok());
+  const TokenSeq entity = {1, 2};
+  const auto apps = FindApplicableRules(entity, rules);
+  ASSERT_EQ(apps.size(), 2u);
+}
+
+TEST(ApplicabilityTest, NoMatchNoInstances) {
+  RuleSet rules;
+  ASSERT_TRUE(rules.Add({7, 8}, {9}).ok());
+  EXPECT_TRUE(FindApplicableRules({1, 2, 3}, rules).empty());
+  // Non-contiguous occurrences do not count.
+  EXPECT_TRUE(FindApplicableRules({7, 1, 8}, rules).empty());
+}
+
+TEST(ApplicabilityTest, SpanOverlapPredicate) {
+  ApplicableRule a{0, 1, 2, {9}, 1.0};  // spans [1,3)
+  ApplicableRule b{1, 2, 2, {8}, 1.0};  // spans [2,4)
+  ApplicableRule c{2, 3, 1, {7}, 1.0};  // spans [3,4)
+  EXPECT_TRUE(a.OverlapsSpan(b));
+  EXPECT_TRUE(b.OverlapsSpan(a));
+  EXPECT_FALSE(a.OverlapsSpan(c));
+  EXPECT_TRUE(b.OverlapsSpan(c));
+}
+
+TEST(ApplicabilityTest, WeightPropagatesFromRule) {
+  RuleSet rules;
+  ASSERT_TRUE(rules.Add({1}, {9}, 0.5).ok());
+  const auto apps = FindApplicableRules({1}, rules);
+  ASSERT_EQ(apps.size(), 1u);
+  EXPECT_DOUBLE_EQ(apps[0].weight, 0.5);
+}
+
+}  // namespace
+}  // namespace aeetes

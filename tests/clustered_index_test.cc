@@ -1,0 +1,128 @@
+#include "src/index/clustered_index.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+
+namespace aeetes {
+namespace {
+
+class ClusteredIndexTest : public testing::Test {
+ protected:
+  void Build() {
+    auto dict = std::make_unique<TokenDictionary>();
+    for (const char* w : {"uq", "au", "university", "of", "queensland",
+                          "australia", "purdue", "usa"}) {
+      ids_[w] = dict->GetOrAdd(w);
+    }
+    RuleSet rules;
+    ASSERT_TRUE(rules
+                    .Add({Id("uq")},
+                         {Id("university"), Id("of"), Id("queensland")})
+                    .ok());
+    ASSERT_TRUE(rules.Add({Id("au")}, {Id("australia")}).ok());
+    std::vector<TokenSeq> entities = {{Id("uq"), Id("au")},
+                                      {Id("purdue"), Id("usa")},
+                                      {Id("purdue"), Id("university"), Id("usa")}};
+    auto dd = DerivedDictionary::Build(std::move(entities), rules,
+                                       std::move(dict));
+    ASSERT_TRUE(dd.ok());
+    dd_ = std::move(*dd);
+    index_ = ClusteredIndex::Build(*dd_);
+  }
+
+  TokenId Id(const std::string& w) { return ids_.at(w); }
+
+  std::map<std::string, TokenId> ids_;
+  std::unique_ptr<DerivedDictionary> dd_;
+  std::unique_ptr<ClusteredIndex> index_;
+};
+
+TEST_F(ClusteredIndexTest, EveryDerivedTokenHasOnePosting) {
+  Build();
+  size_t expected = 0;
+  for (const DerivedEntity& de : dd_->derived()) {
+    expected += de.ordered_set.size();
+  }
+  EXPECT_EQ(index_->num_entries(), expected);
+}
+
+TEST_F(ClusteredIndexTest, PostingPositionsMatchOrderedSets) {
+  Build();
+  for (TokenId t = 0; t < dd_->token_dict().size(); ++t) {
+    const auto list = index_->list(t);
+    for (uint32_t g = list.begin; g < list.end; ++g) {
+      const LengthGroup& lg = index_->length_groups()[g];
+      for (uint32_t og = lg.begin; og < lg.end; ++og) {
+        const OriginGroup& origin_group = index_->origin_groups()[og];
+        for (uint32_t i = origin_group.begin; i < origin_group.end; ++i) {
+          const PostingEntry& e = index_->entries()[i];
+          const DerivedEntity& de = dd_->derived()[e.derived];
+          ASSERT_LT(e.pos, de.ordered_set.size());
+          EXPECT_EQ(de.ordered_set[e.pos], t);
+          EXPECT_EQ(de.ordered_set.size(), lg.length);
+          EXPECT_EQ(de.origin, origin_group.origin);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(ClusteredIndexTest, LengthGroupsAreSortedAscending) {
+  Build();
+  for (TokenId t = 0; t < dd_->token_dict().size(); ++t) {
+    const auto list = index_->list(t);
+    for (uint32_t g = list.begin + 1; g < list.end; ++g) {
+      EXPECT_LT(index_->length_groups()[g - 1].length,
+                index_->length_groups()[g].length);
+    }
+  }
+}
+
+TEST_F(ClusteredIndexTest, OriginGroupsClusterWithinLengthGroups) {
+  Build();
+  for (TokenId t = 0; t < dd_->token_dict().size(); ++t) {
+    const auto list = index_->list(t);
+    for (uint32_t g = list.begin; g < list.end; ++g) {
+      const LengthGroup& lg = index_->length_groups()[g];
+      std::set<EntityId> seen;
+      for (uint32_t og = lg.begin; og < lg.end; ++og) {
+        // Each origin appears in at most one group per (token, length).
+        EXPECT_TRUE(
+            seen.insert(index_->origin_groups()[og].origin).second);
+      }
+    }
+  }
+}
+
+TEST_F(ClusteredIndexTest, UnknownTokensHaveEmptyLists) {
+  Build();
+  EXPECT_TRUE(index_->list(999999).empty());
+}
+
+TEST_F(ClusteredIndexTest, SharedTokenAppearsUnderBothOrigins) {
+  Build();
+  // "university" occurs in derived entities of origin 0 (via rule) and in
+  // origin 2 directly.
+  const auto list = index_->list(Id("university"));
+  ASSERT_FALSE(list.empty());
+  std::set<EntityId> origins;
+  for (uint32_t g = list.begin; g < list.end; ++g) {
+    const LengthGroup& lg = index_->length_groups()[g];
+    for (uint32_t og = lg.begin; og < lg.end; ++og) {
+      origins.insert(index_->origin_groups()[og].origin);
+    }
+  }
+  EXPECT_TRUE(origins.count(0));
+  EXPECT_TRUE(origins.count(2));
+}
+
+TEST_F(ClusteredIndexTest, MemoryBytesIsPositive) {
+  Build();
+  EXPECT_GT(index_->MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace aeetes

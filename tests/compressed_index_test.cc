@@ -1,0 +1,103 @@
+#include "src/index/compressed_index.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "tests/test_util.h"
+
+namespace aeetes {
+namespace {
+
+using testutil::MakeRandomWorld;
+
+TEST(VarintTest, RoundTrip) {
+  std::vector<uint8_t> buf;
+  const std::vector<uint32_t> values = {0, 1, 127, 128, 300, 16384,
+                                        0xffffffffu};
+  for (uint32_t v : values) internal::EncodeVarint(v, &buf);
+  const uint8_t* p = buf.data();
+  for (uint32_t v : values) {
+    EXPECT_EQ(internal::DecodeVarint(p), v);
+  }
+  EXPECT_EQ(p, buf.data() + buf.size());
+}
+
+TEST(VarintTest, SmallValuesAreOneByte) {
+  std::vector<uint8_t> buf;
+  internal::EncodeVarint(127, &buf);
+  EXPECT_EQ(buf.size(), 1u);
+  internal::EncodeVarint(128, &buf);
+  EXPECT_EQ(buf.size(), 3u);  // 127 -> 1 byte, 128 -> 2 bytes
+}
+
+TEST(CompressedIndexTest, DecodesToExactlyThePlainIndex) {
+  std::mt19937_64 rng(811);
+  for (int iter = 0; iter < 20; ++iter) {
+    auto world = MakeRandomWorld(rng);
+    auto plain = ClusteredIndex::Build(*world.dd);
+    auto packed =
+        CompressedIndex::Build(*plain, world.dd->token_dict().size());
+    ASSERT_EQ(packed->num_entries(), plain->num_entries());
+
+    for (TokenId t = 0; t < world.dd->token_dict().size(); ++t) {
+      const auto list = plain->list(t);
+      const auto decoded = packed->Decode(t);
+      ASSERT_EQ(decoded.size(), static_cast<size_t>(list.end - list.begin))
+          << "token " << t;
+      for (uint32_t g = list.begin; g < list.end; ++g) {
+        const LengthGroup& lg = plain->length_groups()[g];
+        const auto& dlg = decoded[g - list.begin];
+        ASSERT_EQ(dlg.length, lg.length);
+        ASSERT_EQ(dlg.origin_groups.size(),
+                  static_cast<size_t>(lg.end - lg.begin));
+        for (uint32_t og = lg.begin; og < lg.end; ++og) {
+          const OriginGroup& origin_group = plain->origin_groups()[og];
+          const auto& dog = dlg.origin_groups[og - lg.begin];
+          ASSERT_EQ(dog.origin, origin_group.origin);
+          ASSERT_EQ(dog.entries.size(),
+                    static_cast<size_t>(origin_group.end -
+                                        origin_group.begin));
+          for (uint32_t i = origin_group.begin; i < origin_group.end; ++i) {
+            const PostingEntry& e = plain->entries()[i];
+            const PostingEntry& d = dog.entries[i - origin_group.begin];
+            EXPECT_EQ(d.derived, e.derived);
+            EXPECT_EQ(d.pos, e.pos);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(CompressedIndexTest, UsesLessMemoryThanPlain) {
+  std::mt19937_64 rng(821);
+  auto world = MakeRandomWorld(rng, /*vocab=*/100, /*num_entities=*/200,
+                               /*num_rules=*/50, /*doc_len=*/10);
+  auto plain = ClusteredIndex::Build(*world.dd);
+  auto packed = CompressedIndex::Build(*plain, world.dd->token_dict().size());
+  EXPECT_LT(packed->MemoryBytes(), plain->MemoryBytes());
+}
+
+TEST(CompressedIndexTest, UnknownTokensDecodeEmpty) {
+  std::mt19937_64 rng(823);
+  auto world = MakeRandomWorld(rng);
+  auto packed = CompressedIndex::Build(*world.dd);
+  EXPECT_TRUE(packed->Decode(999999).empty());
+}
+
+TEST(CompressedIndexTest, ScanVisitsEveryPostingOnce) {
+  std::mt19937_64 rng(827);
+  auto world = MakeRandomWorld(rng);
+  auto packed = CompressedIndex::Build(*world.dd);
+  size_t visited = 0;
+  for (TokenId t = 0; t < world.dd->token_dict().size(); ++t) {
+    packed->Scan(t, [&](uint32_t, EntityId, DerivedId, uint32_t) {
+      ++visited;
+    });
+  }
+  EXPECT_EQ(visited, packed->num_entries());
+}
+
+}  // namespace
+}  // namespace aeetes

@@ -1,0 +1,113 @@
+#include "src/synonym/conflict.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace aeetes {
+namespace {
+
+ApplicableRule MakeApp(RuleId rule, size_t begin, size_t len) {
+  return ApplicableRule{rule, begin, len, {100 + rule}, 1.0};
+}
+
+TEST(GroupBySpanTest, GroupsIdenticalSpans) {
+  std::vector<ApplicableRule> apps = {MakeApp(0, 0, 2), MakeApp(1, 0, 2),
+                                      MakeApp(2, 2, 1)};
+  const auto groups = GroupBySpan(std::move(apps));
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].begin, 0u);
+  EXPECT_EQ(groups[0].rules.size(), 2u);
+  EXPECT_EQ(groups[1].begin, 2u);
+  EXPECT_EQ(groups[1].rules.size(), 1u);
+}
+
+TEST(SelectNonConflictTest, DisjointGroupsAllSelected) {
+  std::vector<ApplicableRule> apps = {MakeApp(0, 0, 1), MakeApp(1, 1, 1),
+                                      MakeApp(2, 2, 2)};
+  for (CliqueMode mode : {CliqueMode::kGreedy, CliqueMode::kExact}) {
+    const auto sel = SelectNonConflictGroups(apps, mode);
+    EXPECT_EQ(sel.size(), 3u);
+    EXPECT_EQ(TotalRules(sel), 3u);
+  }
+}
+
+TEST(SelectNonConflictTest, PaperFigure7Example) {
+  // Entity {a,b,c,d}: v1 = 3 rules on span [0,2) ("a b"), v2 = 1 rule on
+  // span [2,3) ("c"), v3 = 1 rule on span [3,4) ("d"), plus a conflicting
+  // vertex on span [1,3) ("b c"). Optimal clique = {v1, v2, v3} with
+  // weight 5.
+  std::vector<ApplicableRule> apps = {
+      MakeApp(0, 0, 2), MakeApp(1, 0, 2), MakeApp(2, 0, 2),  // v1
+      MakeApp(3, 2, 1),                                      // v2
+      MakeApp(4, 3, 1),                                      // v3
+      MakeApp(5, 1, 2),                                      // conflicts v1,v2
+  };
+  for (CliqueMode mode : {CliqueMode::kGreedy, CliqueMode::kExact}) {
+    const auto sel = SelectNonConflictGroups(apps, mode);
+    EXPECT_EQ(TotalRules(sel), 5u) << "mode=" << static_cast<int>(mode);
+    ASSERT_EQ(sel.size(), 3u);
+    EXPECT_EQ(sel[0].begin, 0u);
+    EXPECT_EQ(sel[1].begin, 2u);
+    EXPECT_EQ(sel[2].begin, 3u);
+  }
+}
+
+TEST(SelectNonConflictTest, GreedyCanBeSuboptimalButExactIsNot) {
+  // One heavy group overlapping two groups whose combined weight is
+  // higher: greedy picks the heavy one (weight 3), exact picks the pair
+  // (weight 4).
+  std::vector<ApplicableRule> apps = {
+      MakeApp(0, 0, 3), MakeApp(1, 0, 3), MakeApp(2, 0, 3),   // heavy [0,3)
+      MakeApp(3, 0, 1), MakeApp(4, 0, 1),                     // [0,1) w=2
+      MakeApp(5, 1, 2), MakeApp(6, 1, 2),                     // [1,3) w=2
+  };
+  const auto greedy = SelectNonConflictGroups(apps, CliqueMode::kGreedy);
+  EXPECT_EQ(TotalRules(greedy), 3u);
+  const auto exact = SelectNonConflictGroups(apps, CliqueMode::kExact);
+  EXPECT_EQ(TotalRules(exact), 4u);
+}
+
+TEST(SelectNonConflictTest, EmptyInput) {
+  EXPECT_TRUE(SelectNonConflictGroups({}, CliqueMode::kGreedy).empty());
+  EXPECT_TRUE(SelectNonConflictGroups({}, CliqueMode::kExact).empty());
+}
+
+TEST(SelectNonConflictTest, ResultsSortedAndNonOverlapping) {
+  std::mt19937_64 rng(5);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<ApplicableRule> apps;
+    const size_t n = 1 + rng() % 12;
+    for (size_t i = 0; i < n; ++i) {
+      const size_t begin = rng() % 8;
+      const size_t len = 1 + rng() % 3;
+      apps.push_back(MakeApp(static_cast<RuleId>(i), begin, len));
+    }
+    for (CliqueMode mode : {CliqueMode::kGreedy, CliqueMode::kExact}) {
+      const auto sel = SelectNonConflictGroups(apps, mode);
+      for (size_t i = 1; i < sel.size(); ++i) {
+        EXPECT_LE(sel[i - 1].end(), sel[i].begin);  // sorted & disjoint
+      }
+    }
+  }
+}
+
+TEST(SelectNonConflictPropertyTest, ExactAtLeastGreedy) {
+  std::mt19937_64 rng(17);
+  for (int iter = 0; iter < 300; ++iter) {
+    std::vector<ApplicableRule> apps;
+    const size_t n = 1 + rng() % 10;
+    for (size_t i = 0; i < n; ++i) {
+      apps.push_back(
+          MakeApp(static_cast<RuleId>(i), rng() % 10, 1 + rng() % 4));
+    }
+    const size_t greedy =
+        TotalRules(SelectNonConflictGroups(apps, CliqueMode::kGreedy));
+    const size_t exact =
+        TotalRules(SelectNonConflictGroups(apps, CliqueMode::kExact));
+    EXPECT_GE(exact, greedy);
+  }
+}
+
+}  // namespace
+}  // namespace aeetes

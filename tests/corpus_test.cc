@@ -1,0 +1,115 @@
+#include "src/core/corpus.h"
+
+#include <gtest/gtest.h>
+
+#include "src/datagen/generator.h"
+#include "src/datagen/profile.h"
+#include "tests/test_util.h"
+
+namespace aeetes {
+namespace {
+
+using testutil::Sorted;
+
+class CorpusTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    DatasetProfile profile = PubMedLikeProfile();
+    profile.num_entities = 150;
+    profile.num_documents = 12;
+    profile.num_rules = 60;
+    profile.doc_len = 90;
+    ds_ = GenerateDataset(profile);
+    auto built = Aeetes::BuildFromText(ds_.entity_texts, ds_.rule_lines);
+    ASSERT_TRUE(built.ok());
+    aeetes_ = std::move(*built);
+  }
+
+  SyntheticDataset ds_;
+  std::unique_ptr<Aeetes> aeetes_;
+};
+
+TEST_F(CorpusTest, ParallelMatchesSerialExactly) {
+  // Serial reference.
+  std::vector<std::vector<Match>> serial;
+  {
+    auto built = Aeetes::BuildFromText(ds_.entity_texts, ds_.rule_lines);
+    ASSERT_TRUE(built.ok());
+    for (const std::string& text : ds_.documents) {
+      Document doc = (*built)->EncodeDocument(text);
+      auto r = (*built)->Extract(doc, 0.8);
+      ASSERT_TRUE(r.ok());
+      serial.push_back(Sorted(r->matches));
+    }
+  }
+  for (size_t threads : {1u, 2u, 4u, 7u}) {
+    CorpusExtractionOptions options;
+    options.num_threads = threads;
+    auto built = Aeetes::BuildFromText(ds_.entity_texts, ds_.rule_lines);
+    ASSERT_TRUE(built.ok());
+    auto corpus = ExtractCorpus(**built, ds_.documents, 0.8, options);
+    ASSERT_TRUE(corpus.ok()) << "threads=" << threads;
+    ASSERT_EQ(corpus->per_document.size(), ds_.documents.size());
+    for (size_t d = 0; d < serial.size(); ++d) {
+      EXPECT_EQ(Sorted(corpus->per_document[d].matches), serial[d])
+          << "threads=" << threads << " doc=" << d;
+    }
+  }
+}
+
+TEST_F(CorpusTest, AggregatesStats) {
+  auto corpus = ExtractCorpus(*aeetes_, ds_.documents, 0.8);
+  ASSERT_TRUE(corpus.ok());
+  uint64_t matches = 0, substrings = 0;
+  for (const auto& dm : corpus->per_document) {
+    matches += dm.matches.size();
+    substrings += dm.filter_stats.substrings;
+  }
+  EXPECT_EQ(corpus->total_matches, matches);
+  EXPECT_EQ(corpus->total_filter_stats.substrings, substrings);
+  EXPECT_GT(substrings, 0u);
+}
+
+TEST_F(CorpusTest, EmptyCorpus) {
+  auto corpus = ExtractCorpus(*aeetes_, {}, 0.8);
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_TRUE(corpus->per_document.empty());
+  EXPECT_EQ(corpus->total_matches, 0u);
+}
+
+TEST_F(CorpusTest, RejectsBadThreshold) {
+  EXPECT_FALSE(ExtractCorpus(*aeetes_, ds_.documents, 0.0).ok());
+  EXPECT_FALSE(ExtractCorpus(*aeetes_, ds_.documents, 1.5).ok());
+}
+
+TEST(TopKTest, KeepsHighestScores) {
+  std::vector<Match> ms = {
+      {0, 1, 0, 0.5, 0}, {1, 1, 1, 0.9, 0}, {2, 1, 2, 0.7, 0},
+      {3, 1, 3, 1.0, 0}, {4, 1, 4, 0.6, 0},
+  };
+  const auto top = TopKByScore(ms, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_DOUBLE_EQ(top[0].score, 1.0);
+  EXPECT_DOUBLE_EQ(top[1].score, 0.9);
+  EXPECT_DOUBLE_EQ(top[2].score, 0.7);
+}
+
+TEST(TopKTest, KLargerThanInputKeepsAllSorted) {
+  std::vector<Match> ms = {{0, 1, 0, 0.5, 0}, {1, 1, 1, 0.9, 0}};
+  const auto top = TopKByScore(ms, 10);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_DOUBLE_EQ(top[0].score, 0.9);
+}
+
+TEST(TopKTest, DeterministicTieBreak) {
+  std::vector<Match> ms = {
+      {5, 1, 9, 0.8, 0}, {2, 1, 3, 0.8, 0}, {2, 1, 1, 0.8, 0}};
+  const auto top = TopKByScore(ms, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].token_begin, 2u);
+  EXPECT_EQ(top[0].entity, 1u);
+  EXPECT_EQ(top[1].entity, 3u);
+}
+
+}  // namespace
+}  // namespace aeetes

@@ -1,0 +1,167 @@
+#include "src/datagen/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/datagen/profile.h"
+#include "src/datagen/stats.h"
+#include "src/datagen/vocab.h"
+#include "src/datagen/zipf.h"
+#include "src/synonym/rule.h"
+#include "src/text/token_dictionary.h"
+#include "src/text/tokenizer.h"
+
+namespace aeetes {
+namespace {
+
+TEST(SyntheticWordTest, DeterministicAndDistinct) {
+  std::set<std::string> seen;
+  for (size_t i = 0; i < 20000; ++i) {
+    const std::string w = SyntheticWord(i);
+    EXPECT_FALSE(w.empty());
+    EXPECT_TRUE(seen.insert(w).second) << "collision at " << i << ": " << w;
+    EXPECT_EQ(w, SyntheticWord(i));
+  }
+}
+
+TEST(SyntheticWordTest, WordsSurviveTokenization) {
+  Tokenizer t;
+  for (size_t i = 0; i < 500; ++i) {
+    const auto toks = t.TokenizeToStrings(SyntheticWord(i));
+    ASSERT_EQ(toks.size(), 1u);
+    EXPECT_EQ(toks[0], SyntheticWord(i));
+  }
+}
+
+TEST(ZipfTest, SkewsTowardLowIndices) {
+  ZipfDistribution zipf(1000, 1.0);
+  std::mt19937_64 rng(3);
+  size_t low = 0, total = 20000;
+  for (size_t i = 0; i < total; ++i) {
+    if (zipf(rng) < 10) ++low;
+  }
+  // The top-10 of a 1000-item Zipf(1.0) carries ~39% of the mass.
+  EXPECT_GT(low, total / 4);
+  EXPECT_LT(low, total * 3 / 5);
+}
+
+TEST(ZipfTest, StaysInRange) {
+  ZipfDistribution zipf(7, 1.2);
+  std::mt19937_64 rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_LT(zipf(rng), 7u);
+  }
+}
+
+class GeneratorTest : public testing::Test {
+ protected:
+  static DatasetProfile SmallProfile() {
+    DatasetProfile p = PubMedLikeProfile();
+    p.num_entities = 150;
+    p.num_documents = 4;
+    p.num_rules = 60;
+    p.doc_len = 120;
+    return p;
+  }
+};
+
+TEST_F(GeneratorTest, DeterministicForFixedSeed) {
+  const auto a = GenerateDataset(SmallProfile());
+  const auto b = GenerateDataset(SmallProfile());
+  EXPECT_EQ(a.entity_texts, b.entity_texts);
+  EXPECT_EQ(a.rule_lines, b.rule_lines);
+  EXPECT_EQ(a.documents, b.documents);
+  ASSERT_EQ(a.ground_truth.size(), b.ground_truth.size());
+}
+
+TEST_F(GeneratorTest, SeedChangesOutput) {
+  DatasetProfile p2 = SmallProfile();
+  p2.seed += 1;
+  const auto a = GenerateDataset(SmallProfile());
+  const auto b = GenerateDataset(p2);
+  EXPECT_NE(a.documents, b.documents);
+}
+
+TEST_F(GeneratorTest, CountsMatchProfile) {
+  const auto ds = GenerateDataset(SmallProfile());
+  EXPECT_EQ(ds.num_original_entities, 150u);
+  EXPECT_GE(ds.entity_texts.size(), 150u);  // + confusables
+  EXPECT_EQ(ds.documents.size(), 4u);
+  EXPECT_EQ(ds.ground_truth.size(), 4u * SmallProfile().mentions_per_doc);
+}
+
+TEST_F(GeneratorTest, GroundTruthSpansMatchTokenization) {
+  const auto ds = GenerateDataset(SmallProfile());
+  Tokenizer tokenizer;
+  std::vector<std::vector<std::string>> docs;
+  for (const auto& d : ds.documents) {
+    docs.push_back(tokenizer.TokenizeToStrings(d));
+  }
+  for (const GroundTruthPair& gt : ds.ground_truth) {
+    ASSERT_LT(gt.doc, docs.size());
+    ASSERT_LE(gt.token_begin + gt.token_len, docs[gt.doc].size());
+    ASSERT_LT(gt.entity, ds.num_original_entities);
+    // Exact mentions must literally reproduce the entity tokens.
+    if (gt.kind == MentionKind::kExact) {
+      const auto entity_toks =
+          tokenizer.TokenizeToStrings(ds.entity_texts[gt.entity]);
+      ASSERT_EQ(entity_toks.size(), gt.token_len);
+      for (size_t i = 0; i < entity_toks.size(); ++i) {
+        EXPECT_EQ(docs[gt.doc][gt.token_begin + i], entity_toks[i]);
+      }
+    }
+  }
+}
+
+TEST_F(GeneratorTest, MentionKindsAreMixed) {
+  DatasetProfile p = SmallProfile();
+  p.num_documents = 30;
+  const auto ds = GenerateDataset(p);
+  std::set<MentionKind> kinds;
+  for (const auto& gt : ds.ground_truth) kinds.insert(gt.kind);
+  EXPECT_GE(kinds.size(), 2u);  // at least exact + synonym at these rates
+}
+
+TEST_F(GeneratorTest, RuleLinesParse) {
+  const auto ds = GenerateDataset(SmallProfile());
+  Tokenizer tokenizer;
+  TokenDictionary dict;
+  RuleSet rules;
+  for (const auto& line : ds.rule_lines) {
+    EXPECT_TRUE(rules.AddFromText(line, tokenizer, dict).ok()) << line;
+  }
+  EXPECT_EQ(rules.size(), ds.rule_lines.size());
+}
+
+TEST_F(GeneratorTest, StatsReflectProfileShape) {
+  const auto ds = GenerateDataset(SmallProfile());
+  const DatasetStats st = ComputeDatasetStats(ds, /*entity_sample=*/100);
+  EXPECT_EQ(st.num_docs, ds.documents.size());
+  EXPECT_EQ(st.num_entities, ds.entity_texts.size());
+  // avg |e| within the profile's [min, max] band.
+  EXPECT_GE(st.avg_entity_tokens, 1.5);
+  EXPECT_LE(st.avg_entity_tokens, 4.5);
+  // Documents carry the background plus planted mentions.
+  EXPECT_GT(st.avg_doc_tokens, 100.0);
+}
+
+TEST(ProfileTest, PresetsCarryPaperShape) {
+  EXPECT_EQ(PubMedLikeProfile().doc_len, 188u);
+  EXPECT_EQ(DBWorldLikeProfile().doc_len, 796u);
+  EXPECT_EQ(USJobLikeProfile().doc_len, 322u);
+  EXPECT_GT(USJobLikeProfile().entity_len_min,
+            PubMedLikeProfile().entity_len_min);
+}
+
+TEST(ProfileTest, WithScaleScalesCounts) {
+  const DatasetProfile base = PubMedLikeProfile();
+  const DatasetProfile doubled = WithScale(base, 2.0);
+  EXPECT_EQ(doubled.num_entities, base.num_entities * 2);
+  EXPECT_EQ(doubled.num_documents, base.num_documents * 2);
+  const DatasetProfile tiny = WithScale(base, 0.01);
+  EXPECT_GE(tiny.num_entities, 1u);
+}
+
+}  // namespace
+}  // namespace aeetes

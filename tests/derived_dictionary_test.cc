@@ -1,0 +1,144 @@
+#include "src/synonym/derived_dictionary.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+namespace aeetes {
+namespace {
+
+class DerivedDictionaryTest : public testing::Test {
+ protected:
+  std::unique_ptr<TokenDictionary> NewDict() {
+    auto dict = std::make_unique<TokenDictionary>();
+    for (const char* w : {"uq", "au", "university", "of", "queensland",
+                          "australia", "purdue", "usa"}) {
+      ids_[w] = dict->GetOrAdd(w);
+    }
+    return dict;
+  }
+
+  TokenId Id(const std::string& w) { return ids_.at(w); }
+
+  std::map<std::string, TokenId> ids_;
+};
+
+TEST_F(DerivedDictionaryTest, BuildsDerivedEntitiesPerOrigin) {
+  auto dict = NewDict();
+  RuleSet rules;
+  ASSERT_TRUE(
+      rules.Add({Id("uq")}, {Id("university"), Id("of"), Id("queensland")})
+          .ok());
+  ASSERT_TRUE(rules.Add({Id("au")}, {Id("australia")}).ok());
+  std::vector<TokenSeq> entities = {{Id("uq"), Id("au")},
+                                    {Id("purdue"), Id("usa")}};
+  auto dd = DerivedDictionary::Build(std::move(entities), rules,
+                                     std::move(dict));
+  ASSERT_TRUE(dd.ok());
+  EXPECT_EQ((*dd)->num_origins(), 2u);
+  const auto [b0, e0] = (*dd)->DerivedRange(0);
+  EXPECT_EQ(e0 - b0, 4u);  // paper's four variants of "UQ AU"
+  const auto [b1, e1] = (*dd)->DerivedRange(1);
+  EXPECT_EQ(e1 - b1, 1u);  // no applicable rules
+  for (DerivedId d = b0; d < e0; ++d) {
+    EXPECT_EQ((*dd)->derived()[d].origin, 0u);
+  }
+}
+
+TEST_F(DerivedDictionaryTest, FreezesDictionaryAndComputesOrderedSets) {
+  auto dict = NewDict();
+  RuleSet rules;
+  ASSERT_TRUE(rules.Add({Id("au")}, {Id("australia")}).ok());
+  std::vector<TokenSeq> entities = {{Id("uq"), Id("au")}};
+  auto dd =
+      DerivedDictionary::Build(std::move(entities), rules, std::move(dict));
+  ASSERT_TRUE(dd.ok());
+  EXPECT_TRUE((*dd)->token_dict().frozen());
+  for (const DerivedEntity& de : (*dd)->derived()) {
+    ASSERT_FALSE(de.ordered_set.empty());
+    for (size_t i = 1; i < de.ordered_set.size(); ++i) {
+      EXPECT_LT((*dd)->token_dict().Rank(de.ordered_set[i - 1]),
+                (*dd)->token_dict().Rank(de.ordered_set[i]));
+    }
+  }
+}
+
+TEST_F(DerivedDictionaryTest, FrequenciesCountDerivedOccurrences) {
+  auto dict = NewDict();
+  TokenDictionary* raw = dict.get();
+  RuleSet rules;
+  ASSERT_TRUE(rules.Add({Id("au")}, {Id("australia")}).ok());
+  std::vector<TokenSeq> entities = {{Id("uq"), Id("au")}};
+  auto dd =
+      DerivedDictionary::Build(std::move(entities), rules, std::move(dict));
+  ASSERT_TRUE(dd.ok());
+  // Derived: {uq au}, {uq australia} -> uq appears twice, au and australia
+  // once each.
+  EXPECT_EQ(raw->frequency(Id("uq")), 2u);
+  EXPECT_EQ(raw->frequency(Id("au")), 1u);
+  EXPECT_EQ(raw->frequency(Id("australia")), 1u);
+  EXPECT_EQ(raw->frequency(Id("purdue")), 0u);  // not used by any entity
+}
+
+TEST_F(DerivedDictionaryTest, MinMaxSetSizes) {
+  auto dict = NewDict();
+  RuleSet rules;
+  ASSERT_TRUE(
+      rules.Add({Id("uq")}, {Id("university"), Id("of"), Id("queensland")})
+          .ok());
+  std::vector<TokenSeq> entities = {{Id("uq"), Id("au")}};
+  auto dd =
+      DerivedDictionary::Build(std::move(entities), rules, std::move(dict));
+  ASSERT_TRUE(dd.ok());
+  EXPECT_EQ((*dd)->min_set_size(), 2u);  // {uq au}
+  EXPECT_EQ((*dd)->max_set_size(), 4u);  // {university of queensland au}
+}
+
+TEST_F(DerivedDictionaryTest, RejectsEmptyInputs) {
+  RuleSet rules;
+  EXPECT_FALSE(DerivedDictionary::Build({}, rules,
+                                        std::make_unique<TokenDictionary>())
+                   .ok());
+  auto dict = std::make_unique<TokenDictionary>();
+  EXPECT_FALSE(
+      DerivedDictionary::Build({{}}, rules, std::move(dict)).ok());
+}
+
+TEST_F(DerivedDictionaryTest, RejectsNullOrFrozenDictionary) {
+  RuleSet rules;
+  EXPECT_FALSE(DerivedDictionary::Build({{0}}, rules, nullptr).ok());
+  auto dict = std::make_unique<TokenDictionary>();
+  dict->GetOrAdd("x");
+  dict->Freeze();
+  EXPECT_EQ(DerivedDictionary::Build({{0}}, rules, std::move(dict))
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(DerivedDictionaryTest, RejectsUninternedEntityTokens) {
+  RuleSet rules;
+  auto dict = std::make_unique<TokenDictionary>();
+  dict->GetOrAdd("only");
+  EXPECT_EQ(DerivedDictionary::Build({{5}}, rules, std::move(dict))
+                .status()
+                .code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(DerivedDictionaryTest, AvgApplicableRulesStatistic) {
+  auto dict = NewDict();
+  RuleSet rules;
+  ASSERT_TRUE(rules.Add({Id("uq")}, {Id("queensland")}).ok());
+  ASSERT_TRUE(rules.Add({Id("au")}, {Id("australia")}).ok());
+  std::vector<TokenSeq> entities = {{Id("uq"), Id("au")},
+                                    {Id("purdue"), Id("usa")}};
+  auto dd =
+      DerivedDictionary::Build(std::move(entities), rules, std::move(dict));
+  ASSERT_TRUE(dd.ok());
+  EXPECT_DOUBLE_EQ((*dd)->avg_applicable_rules(), 1.0);  // (2 + 0) / 2
+}
+
+}  // namespace
+}  // namespace aeetes

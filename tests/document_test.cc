@@ -1,0 +1,70 @@
+#include "src/core/document.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/hash.h"
+
+namespace aeetes {
+namespace {
+
+TEST(DocumentTest, FromTextTracksSpans) {
+  Tokenizer tokenizer;
+  TokenDictionary dict;
+  const Document doc =
+      Document::FromText("Hello, New York!", tokenizer, dict);
+  ASSERT_EQ(doc.size(), 3u);
+  EXPECT_EQ(doc.TokenSpan(0), (std::pair<size_t, size_t>{0, 5}));
+  EXPECT_EQ(doc.SubstringText(1, 2), "New York");
+  EXPECT_EQ(doc.SubstringText(0, 3), "Hello, New York");
+}
+
+TEST(DocumentTest, SubstringSpanClampsAtEnd) {
+  Tokenizer tokenizer;
+  TokenDictionary dict;
+  const Document doc = Document::FromText("a b c", tokenizer, dict);
+  EXPECT_EQ(doc.SubstringText(1, 99), "b c");
+  EXPECT_EQ(doc.SubstringText(5, 1), "");
+  EXPECT_EQ(doc.SubstringText(0, 0), "");
+}
+
+TEST(DocumentTest, FromTokensHasNoSpans) {
+  const Document doc = Document::FromTokens({1, 2, 3});
+  EXPECT_EQ(doc.size(), 3u);
+  EXPECT_EQ(doc.TokenSpan(0), (std::pair<size_t, size_t>{0, 0}));
+  EXPECT_EQ(doc.SubstringText(0, 2), "");
+  EXPECT_TRUE(doc.text().empty());
+}
+
+TEST(DocumentTest, DefaultIsEmpty) {
+  const Document doc;
+  EXPECT_EQ(doc.size(), 0u);
+}
+
+TEST(DocumentTest, InternsIntoSharedDictionary) {
+  Tokenizer tokenizer;
+  TokenDictionary dict;
+  const TokenId known = dict.GetOrAdd("york");
+  const Document doc = Document::FromText("new york", tokenizer, dict);
+  ASSERT_EQ(doc.size(), 2u);
+  EXPECT_EQ(doc.tokens()[1], known);
+  EXPECT_TRUE(dict.Lookup("new").has_value());
+}
+
+TEST(HashTest, IntVectorHashIsDeterministicAndOrderSensitive) {
+  const std::vector<uint32_t> a = {1, 2, 3};
+  const std::vector<uint32_t> b = {3, 2, 1};
+  IntVectorHash<uint32_t> h;
+  EXPECT_EQ(h(a), h(a));
+  EXPECT_NE(h(a), h(b));  // order matters
+  EXPECT_NE(h(a), h(std::vector<uint32_t>{1, 2}));
+}
+
+TEST(HashTest, HashCombineChanges) {
+  size_t s1 = 0, s2 = 0;
+  HashCombine(s1, 1);
+  HashCombine(s2, 2);
+  EXPECT_NE(s1, s2);
+}
+
+}  // namespace
+}  // namespace aeetes

@@ -1,0 +1,159 @@
+#include "src/chargram/ed_extractor.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+#include <tuple>
+
+#include "src/chargram/qgram.h"
+#include "src/sim/edit_distance.h"
+
+namespace aeetes {
+namespace {
+
+using EdMatch = EditDistanceExtractor::EdMatch;
+
+std::set<std::tuple<uint32_t, uint32_t, uint32_t>> Keys(
+    const std::vector<EdMatch>& ms) {
+  std::set<std::tuple<uint32_t, uint32_t, uint32_t>> out;
+  for (const auto& m : ms) out.emplace(m.char_begin, m.char_len, m.entity);
+  return out;
+}
+
+/// Naive sliding oracle.
+std::set<std::tuple<uint32_t, uint32_t, uint32_t>> Oracle(
+    const std::vector<std::string>& entities, std::string_view doc,
+    size_t k) {
+  std::set<std::tuple<uint32_t, uint32_t, uint32_t>> out;
+  for (uint32_t e = 0; e < entities.size(); ++e) {
+    const size_t m = entities[e].size();
+    const size_t lo = m > k ? m - k : 1;
+    for (size_t len = lo; len <= m + k && len <= doc.size(); ++len) {
+      for (size_t p = 0; p + len <= doc.size(); ++p) {
+        if (EditDistance(doc.substr(p, len), entities[e]) <= k) {
+          out.emplace(static_cast<uint32_t>(p), static_cast<uint32_t>(len),
+                      e);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+TEST(QGramTest, PositionalGrams) {
+  const auto grams = PositionalQGrams("abcd", 2);
+  ASSERT_EQ(grams.size(), 3u);
+  EXPECT_EQ(grams[0], (std::pair<std::string, uint32_t>{"ab", 0}));
+  EXPECT_EQ(grams[2], (std::pair<std::string, uint32_t>{"cd", 2}));
+  EXPECT_TRUE(PositionalQGrams("a", 2).empty());
+  EXPECT_TRUE(PositionalQGrams("abc", 0).empty());
+}
+
+TEST(QGramTest, LowerBound) {
+  // |a|=|b|=10, q=2, k=1: 10-2+1 - 2 = 7.
+  EXPECT_EQ(QGramLowerBound(10, 10, 2, 1), 7u);
+  EXPECT_EQ(QGramLowerBound(4, 4, 2, 2), 0u);  // degenerate
+  EXPECT_EQ(QGramLowerBound(1, 1, 2, 0), 0u);  // shorter than q
+}
+
+TEST(EdExtractorTest, RejectsBadInputs) {
+  EXPECT_FALSE(EditDistanceExtractor::Build({}).ok());
+  EXPECT_FALSE(EditDistanceExtractor::Build({""}).ok());
+  EditDistanceExtractor::Options opts;
+  opts.q = 0;
+  EXPECT_FALSE(EditDistanceExtractor::Build({"abc"}, opts).ok());
+}
+
+TEST(EdExtractorTest, ExactAndTypoMatches) {
+  auto ex = EditDistanceExtractor::Build({"auckland", "sydney"});
+  ASSERT_TRUE(ex.ok());
+  const std::string doc = "flights to aukland and sydney today";
+  const auto k1 = (*ex)->Extract(doc, 1);
+  bool found_typo = false, found_exact = false;
+  for (const auto& m : k1) {
+    const std::string span = doc.substr(m.char_begin, m.char_len);
+    if (m.entity == 0 && span == "aukland" && m.distance == 1) {
+      found_typo = true;
+    }
+    if (m.entity == 1 && span == "sydney" && m.distance == 0) {
+      found_exact = true;
+    }
+  }
+  EXPECT_TRUE(found_typo);
+  EXPECT_TRUE(found_exact);
+}
+
+TEST(EdExtractorTest, ZeroDistanceIsExactSearch) {
+  auto ex = EditDistanceExtractor::Build({"abc"});
+  ASSERT_TRUE(ex.ok());
+  const auto ms = (*ex)->Extract("zabcz abc", 0);
+  ASSERT_EQ(ms.size(), 2u);
+  EXPECT_EQ(ms[0].char_begin, 1u);
+  EXPECT_EQ(ms[1].char_begin, 6u);
+  EXPECT_EQ(ms[0].distance, 0u);
+}
+
+TEST(EdExtractorTest, ShortEntitiesAreScannedDirectly) {
+  auto ex = EditDistanceExtractor::Build({"a"});
+  ASSERT_TRUE(ex.ok());
+  const auto ms = (*ex)->Extract("bab", 0);
+  ASSERT_EQ(ms.size(), 1u);
+  EXPECT_EQ(ms[0].char_begin, 1u);
+}
+
+TEST(EdExtractorTest, EmptyDocument) {
+  auto ex = EditDistanceExtractor::Build({"abc"});
+  ASSERT_TRUE(ex.ok());
+  EXPECT_TRUE((*ex)->Extract("", 1).empty());
+}
+
+TEST(EdExtractorPropertyTest, MatchesNaiveOracle) {
+  std::mt19937_64 rng(401);
+  const std::string alphabet = "abcd";
+  for (int iter = 0; iter < 40; ++iter) {
+    std::vector<std::string> entities;
+    const size_t ne = 1 + rng() % 6;
+    for (size_t i = 0; i < ne; ++i) {
+      std::string e;
+      const size_t len = 1 + rng() % 7;
+      for (size_t j = 0; j < len; ++j) e += alphabet[rng() % alphabet.size()];
+      entities.push_back(std::move(e));
+    }
+    std::string doc;
+    const size_t n = rng() % 60;
+    for (size_t j = 0; j < n; ++j) doc += alphabet[rng() % alphabet.size()];
+
+    auto ex = EditDistanceExtractor::Build(entities);
+    ASSERT_TRUE(ex.ok());
+    for (size_t k : {0u, 1u, 2u}) {
+      EXPECT_EQ(Keys((*ex)->Extract(doc, k)), Oracle(entities, doc, k))
+          << "iter=" << iter << " k=" << k << " doc=" << doc;
+    }
+  }
+}
+
+TEST(EdExtractorTest, ReportedDistancesAreExact) {
+  auto ex = EditDistanceExtractor::Build({"hello world"});
+  ASSERT_TRUE(ex.ok());
+  const std::string doc = "say helo world now";
+  for (const auto& m : (*ex)->Extract(doc, 2)) {
+    EXPECT_EQ(m.distance,
+              EditDistance(doc.substr(m.char_begin, m.char_len),
+                           (*ex)->entity(m.entity)));
+    EXPECT_LE(m.distance, 2u);
+  }
+}
+
+TEST(EdExtractorTest, StatsReported) {
+  auto ex = EditDistanceExtractor::Build({"abcdef"});
+  ASSERT_TRUE(ex.ok());
+  EditDistanceExtractor::Stats stats;
+  (*ex)->Extract("xx abcdef yy", 1, &stats);
+  EXPECT_GT(stats.gram_hits, 0u);
+  EXPECT_GT(stats.candidates, 0u);
+  EXPECT_GE(stats.candidates, stats.verified);
+}
+
+}  // namespace
+}  // namespace aeetes

@@ -1,0 +1,59 @@
+#include "src/sim/edit_distance.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+namespace aeetes {
+namespace {
+
+TEST(EditDistanceTest, BasicCases) {
+  EXPECT_EQ(EditDistance("", ""), 0u);
+  EXPECT_EQ(EditDistance("abc", ""), 3u);
+  EXPECT_EQ(EditDistance("", "abc"), 3u);
+  EXPECT_EQ(EditDistance("abc", "abc"), 0u);
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistance("aukland", "auckland"), 1u);
+  EXPECT_EQ(EditDistance("flaw", "lawn"), 2u);
+}
+
+TEST(EditDistanceTest, Symmetry) {
+  EXPECT_EQ(EditDistance("abcdef", "azced"), EditDistance("azced", "abcdef"));
+}
+
+TEST(EditDistanceWithinTest, ThresholdedChecks) {
+  EXPECT_TRUE(EditDistanceWithin("abc", "abc", 0));
+  EXPECT_FALSE(EditDistanceWithin("abc", "abd", 0));
+  EXPECT_TRUE(EditDistanceWithin("abc", "abd", 1));
+  EXPECT_TRUE(EditDistanceWithin("kitten", "sitting", 3));
+  EXPECT_FALSE(EditDistanceWithin("kitten", "sitting", 2));
+  EXPECT_FALSE(EditDistanceWithin("a", "abcdef", 2));  // length gap prunes
+}
+
+TEST(EditDistanceWithinTest, AgreesWithFullDistance) {
+  std::mt19937_64 rng(99);
+  const std::string alphabet = "abcd";
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string a, b;
+    const size_t na = rng() % 12;
+    const size_t nb = rng() % 12;
+    for (size_t i = 0; i < na; ++i) a += alphabet[rng() % alphabet.size()];
+    for (size_t i = 0; i < nb; ++i) b += alphabet[rng() % alphabet.size()];
+    const size_t d = EditDistance(a, b);
+    for (size_t k = 0; k <= 6; ++k) {
+      EXPECT_EQ(EditDistanceWithin(a, b, k), d <= k)
+          << "a=" << a << " b=" << b << " k=" << k << " d=" << d;
+    }
+  }
+}
+
+TEST(NormalizedEditSimilarityTest, Values) {
+  EXPECT_DOUBLE_EQ(NormalizedEditSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedEditSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedEditSimilarity("abcd", "abce"), 0.75);
+  EXPECT_DOUBLE_EQ(NormalizedEditSimilarity("ab", ""), 0.0);
+}
+
+}  // namespace
+}  // namespace aeetes

@@ -1,0 +1,139 @@
+#include "src/synonym/expander.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/synonym/applicability.h"
+
+namespace aeetes {
+namespace {
+
+std::set<TokenSeq> TokenSets(const std::vector<DerivedForm>& forms) {
+  std::set<TokenSeq> out;
+  for (const auto& f : forms) out.insert(f.tokens);
+  return out;
+}
+
+class ExpanderTest : public testing::Test {
+ protected:
+  std::vector<RuleGroup> Groups(const TokenSeq& entity) {
+    return SelectNonConflictGroups(FindApplicableRules(entity, rules_));
+  }
+  RuleSet rules_;
+};
+
+TEST_F(ExpanderTest, NoRulesYieldsOriginOnly) {
+  const TokenSeq e = {1, 2, 3};
+  const auto forms = ExpandEntity(e, {});
+  ASSERT_EQ(forms.size(), 1u);
+  EXPECT_EQ(forms[0].tokens, e);
+  EXPECT_TRUE(forms[0].applied.empty());
+  EXPECT_DOUBLE_EQ(forms[0].weight, 1.0);
+}
+
+TEST_F(ExpanderTest, PaperUqAuExample) {
+  // e3 = "UQ AU" with r1: UQ <=> University of Queensland and r3:
+  // AU <=> Australia yields exactly the four derived entities of
+  // Section 2.1.
+  const TokenId kUq = 1, kAu = 2, kUniversity = 3, kOf = 4, kQueensland = 5,
+                kAustralia = 6;
+  ASSERT_TRUE(rules_.Add({kUq}, {kUniversity, kOf, kQueensland}).ok());
+  ASSERT_TRUE(rules_.Add({kAu}, {kAustralia}).ok());
+  const TokenSeq e = {kUq, kAu};
+  const auto forms = ExpandEntity(e, Groups(e));
+  const auto sets = TokenSets(forms);
+  ASSERT_EQ(sets.size(), 4u);
+  EXPECT_TRUE(sets.count({kUq, kAu}));
+  EXPECT_TRUE(sets.count({kUniversity, kOf, kQueensland, kAu}));
+  EXPECT_TRUE(sets.count({kUq, kAustralia}));
+  EXPECT_TRUE(sets.count({kUniversity, kOf, kQueensland, kAustralia}));
+}
+
+TEST_F(ExpanderTest, SameSpanRulesAreMutuallyExclusive) {
+  // Two rules with identical lhs: each derived form applies at most one.
+  ASSERT_TRUE(rules_.Add({1}, {8}).ok());
+  ASSERT_TRUE(rules_.Add({1}, {9}).ok());
+  const TokenSeq e = {1, 2};
+  const auto forms = ExpandEntity(e, Groups(e));
+  const auto sets = TokenSets(forms);
+  ASSERT_EQ(sets.size(), 3u);
+  EXPECT_TRUE(sets.count({1, 2}));
+  EXPECT_TRUE(sets.count({8, 2}));
+  EXPECT_TRUE(sets.count({9, 2}));
+}
+
+TEST_F(ExpanderTest, BreadthFirstOrderKeepsSimplestUnderCap) {
+  ASSERT_TRUE(rules_.Add({1}, {8}).ok());
+  ASSERT_TRUE(rules_.Add({2}, {9}).ok());
+  const TokenSeq e = {1, 2};
+  ExpanderOptions opts;
+  opts.max_derived = 3;  // origin + the two single-rule variants
+  const auto forms = ExpandEntity(e, Groups(e), opts);
+  ASSERT_EQ(forms.size(), 3u);
+  EXPECT_EQ(forms[0].tokens, (TokenSeq{1, 2}));
+  EXPECT_EQ(forms[0].applied.size(), 0u);
+  EXPECT_EQ(forms[1].applied.size(), 1u);
+  EXPECT_EQ(forms[2].applied.size(), 1u);
+}
+
+TEST_F(ExpanderTest, DedupesIdenticalDerivedForms) {
+  // Both rules rewrite to the same token, producing identical forms.
+  ASSERT_TRUE(rules_.Add({1}, {8}).ok());
+  ASSERT_TRUE(rules_.Add({1, 2}, {8, 2}).ok());
+  const TokenSeq e = {1, 2};
+  const auto forms = ExpandEntity(e, Groups(e));
+  const auto sets = TokenSets(forms);
+  EXPECT_EQ(forms.size(), sets.size());  // no duplicates
+}
+
+TEST_F(ExpanderTest, WeightsMultiplyAcrossAppliedRules) {
+  ASSERT_TRUE(rules_.Add({1}, {8}, 0.5).ok());
+  ASSERT_TRUE(rules_.Add({2}, {9}, 0.4).ok());
+  const TokenSeq e = {1, 2};
+  const auto forms = ExpandEntity(e, Groups(e));
+  double min_weight = 1.0;
+  for (const auto& f : forms) min_weight = std::min(min_weight, f.weight);
+  EXPECT_DOUBLE_EQ(min_weight, 0.2);  // both rules applied
+}
+
+TEST_F(ExpanderTest, CountMatchesProductFormula) {
+  // Three disjoint groups with 1, 2, 3 rules: |D(e)| = 2 * 3 * 4 = 24.
+  ASSERT_TRUE(rules_.Add({1}, {11}).ok());
+  ASSERT_TRUE(rules_.Add({2}, {12}).ok());
+  ASSERT_TRUE(rules_.Add({2}, {13}).ok());
+  ASSERT_TRUE(rules_.Add({3}, {14}).ok());
+  ASSERT_TRUE(rules_.Add({3}, {15}).ok());
+  ASSERT_TRUE(rules_.Add({3}, {16}).ok());
+  const TokenSeq e = {1, 2, 3};
+  ExpanderOptions opts;
+  opts.max_derived = 1000;
+  const auto forms = ExpandEntity(e, Groups(e), opts);
+  EXPECT_EQ(forms.size(), 24u);
+}
+
+TEST_F(ExpanderTest, CapIsRespected) {
+  for (TokenId t = 1; t <= 8; ++t) {
+    ASSERT_TRUE(rules_.Add({t}, {t + 100}).ok());
+  }
+  TokenSeq e;
+  for (TokenId t = 1; t <= 8; ++t) e.push_back(t);
+  ExpanderOptions opts;
+  opts.max_derived = 20;
+  const auto forms = ExpandEntity(e, Groups(e), opts);
+  EXPECT_EQ(forms.size(), 20u);
+}
+
+TEST_F(ExpanderTest, ReplacementAtEntityBoundaries) {
+  ASSERT_TRUE(rules_.Add({1}, {8, 9}).ok());  // head
+  ASSERT_TRUE(rules_.Add({3}, {7}).ok());     // tail
+  const TokenSeq e = {1, 2, 3};
+  const auto sets = TokenSets(ExpandEntity(e, Groups(e)));
+  EXPECT_TRUE(sets.count({8, 9, 2, 3}));
+  EXPECT_TRUE(sets.count({1, 2, 7}));
+  EXPECT_TRUE(sets.count({8, 9, 2, 7}));
+}
+
+}  // namespace
+}  // namespace aeetes

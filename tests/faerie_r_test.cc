@@ -1,0 +1,109 @@
+#include "src/baseline/faerie_r.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/baseline/brute_force.h"
+#include "src/core/candidate_generator.h"
+#include "src/core/verifier.h"
+#include "src/index/clustered_index.h"
+#include "tests/test_util.h"
+
+namespace aeetes {
+namespace {
+
+using testutil::MakeRandomWorld;
+using testutil::Sorted;
+
+TEST(FaerieRTest, MatchesMapToOriginEntities) {
+  auto dict = std::make_unique<TokenDictionary>();
+  const TokenId uq = dict->GetOrAdd("uq");
+  const TokenId au = dict->GetOrAdd("au");
+  const TokenId australia = dict->GetOrAdd("australia");
+  RuleSet rules;
+  ASSERT_TRUE(rules.Add({au}, {australia}).ok());
+  auto dd = DerivedDictionary::Build({{uq, au}}, rules, std::move(dict));
+  ASSERT_TRUE(dd.ok());
+  auto fr = FaerieR::Build(**dd);
+  ASSERT_TRUE(fr.ok());
+  const Document doc = Document::FromTokens({uq, australia});
+  const auto matches = (*fr)->Extract(doc, 0.9);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].entity, 0u);  // origin, not the derived variant
+  EXPECT_DOUBLE_EQ(matches[0].score, 1.0);
+}
+
+TEST(FaerieRTest, DedupesMultipleDerivedWitnesses) {
+  // Two rules rewriting to overlapping forms make several derived entities
+  // match the same window; FaerieR must report the origin once.
+  auto dict = std::make_unique<TokenDictionary>();
+  const TokenId a = dict->GetOrAdd("a");
+  const TokenId b = dict->GetOrAdd("b");
+  const TokenId c = dict->GetOrAdd("c");
+  RuleSet rules;
+  ASSERT_TRUE(rules.Add({a}, {c}).ok());
+  auto dd = DerivedDictionary::Build({{a, b}}, rules, std::move(dict));
+  ASSERT_TRUE(dd.ok());
+  auto fr = FaerieR::Build(**dd);
+  ASSERT_TRUE(fr.ok());
+  // Window {a, b, c}: matches both derived forms at tau = 0.6 (2/3).
+  const Document doc = Document::FromTokens({a, b, c});
+  const auto matches = (*fr)->Extract(doc, 0.6);
+  size_t full_window = 0;
+  for (const Match& m : matches) {
+    if (m.token_len == 3) ++full_window;
+  }
+  EXPECT_EQ(full_window, 1u);
+}
+
+/// FaerieR solves the same AEES problem as Aeetes, so their (substring,
+/// origin) result sets must coincide exactly — the strongest end-to-end
+/// cross-validation available.
+TEST(FaerieRPropertyTest, AgreesWithAeetesPipeline) {
+  std::mt19937_64 rng(97);
+  for (int iter = 0; iter < 25; ++iter) {
+    auto world = MakeRandomWorld(rng);
+    const Document doc = Document::FromTokens(world.doc_tokens);
+    auto index = ClusteredIndex::Build(*world.dd);
+    auto fr = FaerieR::Build(*world.dd);
+    ASSERT_TRUE(fr.ok());
+    for (double tau : {0.7, 0.8, 0.9}) {
+      auto gen = GenerateCandidates(FilterStrategy::kLazy, doc, *world.dd,
+                                    *index, tau);
+      const auto aeetes_matches = Sorted(VerifyCandidates(
+          std::move(gen.candidates), doc, *world.dd, tau, {}));
+      const auto faerie_matches = Sorted((*fr)->Extract(doc, tau));
+      ASSERT_EQ(faerie_matches.size(), aeetes_matches.size())
+          << "iter=" << iter << " tau=" << tau;
+      for (size_t i = 0; i < faerie_matches.size(); ++i) {
+        EXPECT_EQ(faerie_matches[i].token_begin,
+                  aeetes_matches[i].token_begin);
+        EXPECT_EQ(faerie_matches[i].token_len, aeetes_matches[i].token_len);
+        EXPECT_EQ(faerie_matches[i].entity, aeetes_matches[i].entity);
+        EXPECT_NEAR(faerie_matches[i].score, aeetes_matches[i].score, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(FaerieRPropertyTest, AgreesWithBruteForceOracle) {
+  std::mt19937_64 rng(101);
+  for (int iter = 0; iter < 15; ++iter) {
+    auto world = MakeRandomWorld(rng);
+    const Document doc = Document::FromTokens(world.doc_tokens);
+    auto fr = FaerieR::Build(*world.dd);
+    ASSERT_TRUE(fr.ok());
+    const double tau = 0.8;
+    const auto oracle = Sorted(BruteForceExtract(doc, *world.dd, tau));
+    const auto got = Sorted((*fr)->Extract(doc, tau));
+    ASSERT_EQ(got.size(), oracle.size()) << "iter=" << iter;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].token_begin, oracle[i].token_begin);
+      EXPECT_EQ(got[i].entity, oracle[i].entity);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aeetes

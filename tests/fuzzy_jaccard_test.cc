@@ -1,0 +1,61 @@
+#include "src/sim/fuzzy_jaccard.h"
+
+#include <gtest/gtest.h>
+
+namespace aeetes {
+namespace {
+
+TEST(FuzzyJaccardTest, ExactSetsReduceToJaccard) {
+  FuzzyJaccard fj;
+  EXPECT_DOUBLE_EQ(fj.Similarity({"a", "b", "c"}, {"a", "b", "c"}), 1.0);
+  EXPECT_DOUBLE_EQ(fj.Similarity({"a", "b"}, {"b", "c"}), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(fj.Similarity({"a"}, {"b"}), 0.0);
+}
+
+TEST(FuzzyJaccardTest, RecoversTypoTokens) {
+  FuzzyJaccard fj;
+  // "aukland" ~ "auckland": ed = 1, sim = 1 - 1/8 = 0.875 >= 0.8.
+  const double s = fj.Similarity({"univ", "aukland"}, {"univ", "auckland"});
+  EXPECT_NEAR(s, 1.875 / 2.125, 1e-9);  // (1 + 0.875) / (2 + 2 - 1.875)
+  EXPECT_LT(s, 1.0);
+}
+
+TEST(FuzzyJaccardTest, ThresholdGatesFuzzyEdges) {
+  FuzzyJaccardOptions opts;
+  opts.token_sim_threshold = 0.95;  // too strict for a 1-in-8 typo
+  FuzzyJaccard fj(opts);
+  EXPECT_DOUBLE_EQ(fj.Similarity({"aukland"}, {"auckland"}), 0.0);
+}
+
+TEST(FuzzyJaccardTest, DuplicateTokensAreSetSemantics) {
+  FuzzyJaccard fj;
+  EXPECT_DOUBLE_EQ(fj.Similarity({"a", "a", "b"}, {"a", "b"}), 1.0);
+}
+
+TEST(FuzzyJaccardTest, EmptyInputs) {
+  FuzzyJaccard fj;
+  EXPECT_DOUBLE_EQ(fj.Similarity(std::vector<std::string>{}, {"a"}), 0.0);
+  EXPECT_DOUBLE_EQ(fj.Similarity({"a"}, std::vector<std::string>{}), 0.0);
+}
+
+TEST(FuzzyJaccardTest, AtLeastPlainJaccard) {
+  // FJ can only add fuzzy weight on top of exact matches.
+  FuzzyJaccard fj;
+  const std::vector<std::string> a = {"alpha", "beta", "gamma"};
+  const std::vector<std::string> b = {"alpha", "betta", "delta"};
+  const double plain = 1.0 / 5.0;  // only "alpha" matches exactly
+  EXPECT_GE(fj.Similarity(a, b), plain);
+}
+
+TEST(FuzzyJaccardTest, TokenIdOverloadUsesDictionaryTexts) {
+  TokenDictionary dict;
+  const TokenId a = dict.GetOrAdd("research");
+  const TokenId b = dict.GetOrAdd("resaerch");  // transposition, ed = 2
+  FuzzyJaccard fj(FuzzyJaccardOptions{0.7});
+  const double s = fj.Similarity(TokenSeq{a}, TokenSeq{b}, dict);
+  EXPECT_GT(s, 0.0);
+  EXPECT_LT(s, 1.0);
+}
+
+}  // namespace
+}  // namespace aeetes

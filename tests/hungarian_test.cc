@@ -1,0 +1,100 @@
+#include "src/sim/hungarian.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+namespace aeetes {
+namespace {
+
+/// Exhaustive max-weight matching for small instances (reference oracle).
+double BruteForceMatching(const std::vector<std::vector<double>>& w) {
+  size_t n = w.size();
+  if (n == 0) return 0.0;
+  size_t m = w[0].size();
+  if (n > m) {  // transpose so every injection is enumerated below
+    std::vector<std::vector<double>> t(m, std::vector<double>(n));
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < m; ++j) t[j][i] = w[i][j];
+    }
+    return BruteForceMatching(t);
+  }
+  std::vector<int> cols(m);
+  for (size_t j = 0; j < m; ++j) cols[j] = static_cast<int>(j);
+  double best = 0.0;
+  // Try every assignment of rows to column permutations (n, m <= 6).
+  std::sort(cols.begin(), cols.end());
+  do {
+    double total = 0.0;
+    for (size_t i = 0; i < std::min(n, m); ++i) {
+      total += w[i][static_cast<size_t>(cols[i])];
+    }
+    best = std::max(best, total);
+  } while (std::next_permutation(cols.begin(), cols.end()));
+  return best;
+}
+
+TEST(HungarianTest, EmptyInputs) {
+  EXPECT_DOUBLE_EQ(MaxWeightBipartiteMatching({}), 0.0);
+  EXPECT_DOUBLE_EQ(MaxWeightBipartiteMatching({{}, {}}), 0.0);
+}
+
+TEST(HungarianTest, SingleEdge) {
+  EXPECT_DOUBLE_EQ(MaxWeightBipartiteMatching({{0.5}}), 0.5);
+}
+
+TEST(HungarianTest, PrefersHeavierDiagonal) {
+  const std::vector<std::vector<double>> w = {{1.0, 0.9}, {0.9, 1.0}};
+  EXPECT_DOUBLE_EQ(MaxWeightBipartiteMatching(w), 2.0);
+}
+
+TEST(HungarianTest, CrossAssignmentWhenBetter) {
+  // Greedy picks (0,0)=0.9 then (1,1)=0.0 for 0.9; optimum crosses for 1.6.
+  const std::vector<std::vector<double>> w = {{0.9, 0.8}, {0.8, 0.0}};
+  EXPECT_DOUBLE_EQ(MaxWeightBipartiteMatching(w), 1.6);
+}
+
+TEST(HungarianTest, RectangularMatrices) {
+  const std::vector<std::vector<double>> wide = {{0.2, 0.9, 0.4}};
+  EXPECT_DOUBLE_EQ(MaxWeightBipartiteMatching(wide), 0.9);
+  const std::vector<std::vector<double>> tall = {{0.2}, {0.9}, {0.4}};
+  EXPECT_DOUBLE_EQ(MaxWeightBipartiteMatching(tall), 0.9);
+}
+
+TEST(HungarianTest, AssignmentVectorIsConsistent) {
+  const std::vector<std::vector<double>> w = {{0.9, 0.8}, {0.8, 0.0}};
+  std::vector<int> assignment;
+  const double total = MaxWeightBipartiteMatching(w, &assignment);
+  ASSERT_EQ(assignment.size(), 2u);
+  double recomputed = 0.0;
+  std::vector<bool> used(2, false);
+  for (size_t i = 0; i < 2; ++i) {
+    if (assignment[i] < 0) continue;
+    EXPECT_FALSE(used[static_cast<size_t>(assignment[i])]);
+    used[static_cast<size_t>(assignment[i])] = true;
+    recomputed += w[i][static_cast<size_t>(assignment[i])];
+  }
+  EXPECT_DOUBLE_EQ(recomputed, total);
+}
+
+TEST(HungarianPropertyTest, MatchesBruteForceOnRandomInstances) {
+  std::mt19937_64 rng(2024);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  for (int iter = 0; iter < 300; ++iter) {
+    const size_t n = 1 + rng() % 5;
+    const size_t m = 1 + rng() % 5;
+    std::vector<std::vector<double>> w(n, std::vector<double>(m));
+    for (auto& row : w) {
+      for (double& x : row) {
+        x = uni(rng) < 0.3 ? 0.0 : uni(rng);
+      }
+    }
+    const double got = MaxWeightBipartiteMatching(w);
+    const double want = BruteForceMatching(w);
+    EXPECT_NEAR(got, want, 1e-9) << "n=" << n << " m=" << m;
+  }
+}
+
+}  // namespace
+}  // namespace aeetes

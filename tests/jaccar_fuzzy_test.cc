@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+
+#include "src/baseline/brute_force.h"
+#include "src/sim/jaccar.h"
+#include "src/text/token_set.h"
+#include "tests/test_util.h"
+
+namespace aeetes {
+namespace {
+
+using testutil::MakeRandomWorld;
+
+class FuzzyJaccArTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    auto dict = std::make_unique<TokenDictionary>();
+    uq_ = dict->GetOrAdd("uq");
+    au_ = dict->GetOrAdd("au");
+    australia_ = dict->GetOrAdd("australia");
+    austalia_ = dict->GetOrAdd("austalia");  // typo: dropped 'r'
+    RuleSet rules;
+    ASSERT_TRUE(rules.Add({au_}, {australia_}).ok());
+    auto dd = DerivedDictionary::Build({{uq_, au_}}, rules, std::move(dict));
+    ASSERT_TRUE(dd.ok());
+    dd_ = std::move(*dd);
+  }
+
+  TokenSeq Set(const TokenSeq& seq) {
+    return BuildOrderedSet(seq, dd_->token_dict());
+  }
+
+  TokenId uq_, au_, australia_, austalia_;
+  std::unique_ptr<DerivedDictionary> dd_;
+};
+
+TEST_F(FuzzyJaccArTest, CleanTokensReduceToJaccAR) {
+  FuzzyJaccArVerifier fuzzy(*dd_);
+  JaccArVerifier plain(*dd_);
+  for (const TokenSeq& s :
+       {TokenSeq{uq_, au_}, TokenSeq{uq_, australia_}, TokenSeq{uq_}}) {
+    EXPECT_DOUBLE_EQ(fuzzy.Score(0, Set(s)).score,
+                     plain.Score(0, Set(s)).score);
+  }
+}
+
+TEST_F(FuzzyJaccArTest, SurvivesSynonymPlusTypo) {
+  // "uq austalia": needs the au -> australia rule AND typo tolerance.
+  FuzzyJaccArVerifier fuzzy(*dd_, FuzzyJaccardOptions{0.8});
+  JaccArVerifier plain(*dd_);
+  const TokenSeq s = Set({uq_, austalia_});
+  EXPECT_LE(plain.Score(0, s).score, 0.5);   // typo breaks plain JaccAR
+  EXPECT_GT(fuzzy.Score(0, s).score, 0.85);  // 1 + (1 - 1/9) fuzzy match
+}
+
+TEST_F(FuzzyJaccArTest, WitnessPointsAtFuzzyBestDerived) {
+  FuzzyJaccArVerifier fuzzy(*dd_, FuzzyJaccardOptions{0.8});
+  const auto score = fuzzy.Score(0, Set({uq_, austalia_}));
+  ASSERT_NE(score.best_derived, JaccArScore::kNoDerived);
+  // The witness is the rule-rewritten variant containing "australia".
+  const DerivedEntity& witness = dd_->derived()[score.best_derived];
+  EXPECT_EQ(witness.applied_rules.size(), 1u);
+}
+
+TEST(FuzzyBruteForceTest, SupersetOfPlainBruteForce) {
+  std::mt19937_64 rng(61);
+  for (int iter = 0; iter < 10; ++iter) {
+    auto world = MakeRandomWorld(rng, /*vocab=*/20, /*num_entities=*/8,
+                                 /*num_rules=*/5, /*doc_len=*/40);
+    const Document doc = Document::FromTokens(world.doc_tokens);
+    const double tau = 0.8;
+    const auto plain = BruteForceExtract(doc, *world.dd, tau);
+    const auto fuzzy = BruteForceFuzzyExtract(doc, *world.dd, tau);
+    // FJ >= Jaccard pointwise, so every plain match must reappear.
+    for (const Match& m : plain) {
+      bool found = false;
+      for (const Match& f : fuzzy) {
+        if (f == m) {
+          found = true;
+          EXPECT_GE(f.score + 1e-9, m.score);
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << "plain match lost at pos=" << m.token_begin;
+    }
+  }
+}
+
+TEST(FuzzyBruteForceTest, WeightedScalesScores) {
+  auto dict = std::make_unique<TokenDictionary>();
+  const TokenId a = dict->GetOrAdd("alpha");
+  const TokenId b = dict->GetOrAdd("beta");
+  RuleSet rules;
+  ASSERT_TRUE(rules.Add({a}, {b}, 0.5).ok());
+  auto dd = DerivedDictionary::Build({{a}}, rules, std::move(dict));
+  ASSERT_TRUE(dd.ok());
+  const Document doc = Document::FromTokens({b});
+  const auto strict =
+      BruteForceFuzzyExtract(doc, **dd, 0.6, {}, /*weighted=*/true);
+  EXPECT_TRUE(strict.empty());  // 0.5 * 1.0 < 0.6
+  const auto loose =
+      BruteForceFuzzyExtract(doc, **dd, 0.4, {}, /*weighted=*/true);
+  ASSERT_EQ(loose.size(), 1u);
+  EXPECT_DOUBLE_EQ(loose[0].score, 0.5);
+}
+
+}  // namespace
+}  // namespace aeetes

@@ -1,0 +1,49 @@
+#include "src/common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace aeetes {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrips) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(before);
+}
+
+TEST(LoggingTest, BelowThresholdMessagesAreDropped) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  testing::internal::CaptureStderr();
+  AEETES_LOG(Info) << "invisible";
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.find("invisible"), std::string::npos);
+  SetLogLevel(before);
+}
+
+TEST(LoggingTest, AtOrAboveThresholdMessagesAreEmitted) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  AEETES_LOG(Warning) << "visible " << 42;
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("visible 42"), std::string::npos);
+  EXPECT_NE(out.find("WARN"), std::string::npos);
+  SetLogLevel(before);
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ AEETES_CHECK(1 == 2) << "impossible"; }, "Check failed");
+}
+
+TEST(LoggingTest, CheckSuccessIsSilentAndCheap) {
+  testing::internal::CaptureStderr();
+  AEETES_CHECK(true) << "never evaluated";
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+}  // namespace
+}  // namespace aeetes

@@ -1,0 +1,93 @@
+// Full-pipeline property tests parameterized over every supported metric:
+// the filter + verify pipeline must agree with the brute-force oracle for
+// Cosine, Dice and Overlap exactly as it does for Jaccard, across all four
+// filtering strategies.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <tuple>
+
+#include "src/baseline/brute_force.h"
+#include "src/core/candidate_generator.h"
+#include "src/core/verifier.h"
+#include "src/index/clustered_index.h"
+#include "tests/test_util.h"
+
+namespace aeetes {
+namespace {
+
+using testutil::MakeRandomWorld;
+using testutil::Sorted;
+
+class MetricPipelineTest
+    : public testing::TestWithParam<std::tuple<Metric, FilterStrategy>> {};
+
+TEST_P(MetricPipelineTest, PipelineEqualsBruteForceOracle) {
+  const auto [metric, strategy] = GetParam();
+  std::mt19937_64 rng(1009 + static_cast<uint64_t>(metric) * 31 +
+                      static_cast<uint64_t>(strategy));
+  for (int iter = 0; iter < 12; ++iter) {
+    auto world = MakeRandomWorld(rng, /*vocab=*/25, /*num_entities=*/10,
+                                 /*num_rules=*/6, /*doc_len=*/60);
+    const Document doc = Document::FromTokens(world.doc_tokens);
+    auto index = ClusteredIndex::Build(*world.dd);
+    for (double tau : {0.75, 0.9}) {
+      JaccArOptions jopts;
+      jopts.metric = metric;
+      const auto oracle =
+          Sorted(BruteForceExtract(doc, *world.dd, tau, jopts));
+      auto gen =
+          GenerateCandidates(strategy, doc, *world.dd, *index, tau, metric);
+      const auto got = Sorted(VerifyCandidates(std::move(gen.candidates),
+                                               doc, *world.dd, tau, jopts));
+      ASSERT_EQ(got.size(), oracle.size())
+          << MetricName(metric) << "/" << FilterStrategyName(strategy)
+          << " tau=" << tau << " iter=" << iter;
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i], oracle[i]);
+        EXPECT_DOUBLE_EQ(got[i].score, oracle[i].score);
+      }
+    }
+  }
+}
+
+TEST_P(MetricPipelineTest, PositionalFilterStaysSoundPerMetric) {
+  const auto [metric, strategy] = GetParam();
+  std::mt19937_64 rng(2027 + static_cast<uint64_t>(metric) * 17 +
+                      static_cast<uint64_t>(strategy));
+  CandidateGenOptions with;
+  with.positional_filter = true;
+  for (int iter = 0; iter < 8; ++iter) {
+    auto world = MakeRandomWorld(rng, /*vocab=*/25, /*num_entities=*/10,
+                                 /*num_rules=*/6, /*doc_len=*/50);
+    const Document doc = Document::FromTokens(world.doc_tokens);
+    auto index = ClusteredIndex::Build(*world.dd);
+    const double tau = 0.8;
+    JaccArOptions jopts;
+    jopts.metric = metric;
+    const auto oracle = Sorted(BruteForceExtract(doc, *world.dd, tau, jopts));
+    auto gen = GenerateCandidates(strategy, doc, *world.dd, *index, tau,
+                                  metric, with);
+    const auto got = Sorted(VerifyCandidates(std::move(gen.candidates), doc,
+                                             *world.dd, tau, jopts));
+    EXPECT_EQ(got, oracle) << MetricName(metric) << "/"
+                           << FilterStrategyName(strategy);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMetricsAndStrategies, MetricPipelineTest,
+    testing::Combine(testing::Values(Metric::kJaccard, Metric::kCosine,
+                                     Metric::kDice, Metric::kOverlap),
+                     testing::Values(FilterStrategy::kSimple,
+                                     FilterStrategy::kSkip,
+                                     FilterStrategy::kDynamic,
+                                     FilterStrategy::kLazy)),
+    [](const auto& info) {
+      return std::string(MetricName(std::get<0>(info.param))) +
+             FilterStrategyName(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace aeetes

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+#include <tuple>
+
+#include "src/baseline/brute_force.h"
+#include "src/core/aeetes.h"
+#include "src/core/candidate_generator.h"
+#include "src/core/verifier.h"
+#include "src/index/clustered_index.h"
+#include "tests/test_util.h"
+
+namespace aeetes {
+namespace {
+
+using testutil::MakeRandomWorld;
+using testutil::Sorted;
+
+constexpr FilterStrategy kAllStrategies[] = {
+    FilterStrategy::kSimple, FilterStrategy::kSkip, FilterStrategy::kDynamic,
+    FilterStrategy::kLazy};
+
+std::set<std::tuple<uint32_t, uint32_t, EntityId>> CandidateSet(
+    const std::vector<Candidate>& cs) {
+  std::set<std::tuple<uint32_t, uint32_t, EntityId>> out;
+  for (const Candidate& c : cs) out.emplace(c.pos, c.len, c.origin);
+  return out;
+}
+
+TEST(PositionalFilterTest, NeverLosesATrueMatch) {
+  std::mt19937_64 rng(211);
+  CandidateGenOptions with;
+  with.positional_filter = true;
+  for (int iter = 0; iter < 25; ++iter) {
+    auto world = MakeRandomWorld(rng);
+    const Document doc = Document::FromTokens(world.doc_tokens);
+    auto index = ClusteredIndex::Build(*world.dd);
+    for (double tau : {0.7, 0.8, 0.9}) {
+      const auto matches = BruteForceExtract(doc, *world.dd, tau);
+      for (FilterStrategy s : kAllStrategies) {
+        const auto got = GenerateCandidates(s, doc, *world.dd, *index, tau,
+                                            Metric::kJaccard, with);
+        const auto cset = CandidateSet(got.candidates);
+        for (const Match& m : matches) {
+          EXPECT_TRUE(cset.count(
+              std::make_tuple(m.token_begin, m.token_len, m.entity)))
+              << FilterStrategyName(s) << " tau=" << tau
+              << " lost match at pos=" << m.token_begin;
+        }
+      }
+    }
+  }
+}
+
+TEST(PositionalFilterTest, CandidatesAreASubsetOfUnfiltered) {
+  std::mt19937_64 rng(223);
+  CandidateGenOptions with;
+  with.positional_filter = true;
+  uint64_t pruned_total = 0;
+  for (int iter = 0; iter < 15; ++iter) {
+    auto world = MakeRandomWorld(rng);
+    const Document doc = Document::FromTokens(world.doc_tokens);
+    auto index = ClusteredIndex::Build(*world.dd);
+    for (FilterStrategy s : kAllStrategies) {
+      const auto without =
+          GenerateCandidates(s, doc, *world.dd, *index, 0.8);
+      const auto filtered = GenerateCandidates(s, doc, *world.dd, *index,
+                                               0.8, Metric::kJaccard, with);
+      const auto base = CandidateSet(without.candidates);
+      for (const Candidate& c : filtered.candidates) {
+        EXPECT_TRUE(base.count(std::make_tuple(c.pos, c.len, c.origin)))
+            << FilterStrategyName(s);
+      }
+      EXPECT_LE(filtered.candidates.size(), without.candidates.size());
+      pruned_total += filtered.stats.positional_pruned;
+    }
+  }
+  EXPECT_GT(pruned_total, 0u) << "filter never fired on random data";
+}
+
+TEST(PositionalFilterTest, AllStrategiesAgreeWithFilterOn) {
+  std::mt19937_64 rng(227);
+  CandidateGenOptions with;
+  with.positional_filter = true;
+  for (int iter = 0; iter < 15; ++iter) {
+    auto world = MakeRandomWorld(rng);
+    const Document doc = Document::FromTokens(world.doc_tokens);
+    auto index = ClusteredIndex::Build(*world.dd);
+    // The per-strategy candidate sets may legally differ slightly under
+    // the positional filter (Skip admits via any token, Dynamic/Lazy via
+    // the best witness position), but the *verified matches* must agree.
+    const double tau = 0.8;
+    std::vector<Match> reference;
+    for (size_t i = 0; i < 4; ++i) {
+      auto gen = GenerateCandidates(kAllStrategies[i], doc, *world.dd,
+                                    *index, tau, Metric::kJaccard, with);
+      auto matches = Sorted(VerifyCandidates(std::move(gen.candidates), doc,
+                                             *world.dd, tau, {}));
+      if (i == 0) {
+        reference = std::move(matches);
+      } else {
+        EXPECT_EQ(matches, reference)
+            << FilterStrategyName(kAllStrategies[i]);
+      }
+    }
+  }
+}
+
+TEST(PositionalFilterTest, EndToEndViaAeetesOptions) {
+  AeetesOptions options;
+  options.positional_filter = true;
+  auto built = Aeetes::BuildFromText(
+      {"new york city", "san francisco"},
+      {"big apple <=> new york", "sf <=> san francisco"}, options);
+  ASSERT_TRUE(built.ok());
+  Document doc = (*built)->EncodeDocument(
+      "from sf to the big apple city in one flight");
+  auto result = (*built)->Extract(doc, 0.8);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->matches.size(), 2u);
+}
+
+}  // namespace
+}  // namespace aeetes

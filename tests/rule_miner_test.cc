@@ -1,0 +1,128 @@
+#include "src/synonym/rule_miner.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/aeetes.h"
+
+namespace aeetes {
+namespace {
+
+TEST(RuleMinerTest, LearnsMiddleDifference) {
+  // ("univ of washington", "university of washington") -> univ <=>
+  // university.
+  const std::vector<std::pair<TokenSeq, TokenSeq>> pairs = {
+      {{1, 2, 3}, {9, 2, 3}},
+  };
+  const auto mined = MineRules(pairs);
+  ASSERT_EQ(mined.size(), 1u);
+  EXPECT_EQ(mined[0].lhs, (TokenSeq{1}));
+  EXPECT_EQ(mined[0].rhs, (TokenSeq{9}));
+  EXPECT_EQ(mined[0].support, 1u);
+}
+
+TEST(RuleMinerTest, StripsPrefixAndSuffix) {
+  // Common prefix {5} and suffix {7, 8} stripped; middles {1} vs {2, 3}.
+  const std::vector<std::pair<TokenSeq, TokenSeq>> pairs = {
+      {{5, 1, 7, 8}, {5, 2, 3, 7, 8}},
+  };
+  const auto mined = MineRules(pairs);
+  ASSERT_EQ(mined.size(), 1u);
+  EXPECT_EQ(mined[0].lhs, (TokenSeq{1}));
+  EXPECT_EQ(mined[0].rhs, (TokenSeq{2, 3}));
+}
+
+TEST(RuleMinerTest, IdenticalPairsYieldNothing) {
+  const std::vector<std::pair<TokenSeq, TokenSeq>> pairs = {
+      {{1, 2}, {1, 2}},
+  };
+  EXPECT_TRUE(MineRules(pairs).empty());
+}
+
+TEST(RuleMinerTest, PureInsertionsAreSkipped) {
+  // {1,2} vs {1,9,2}: middle of the first side is empty.
+  const std::vector<std::pair<TokenSeq, TokenSeq>> pairs = {
+      {{1, 2}, {1, 9, 2}},
+  };
+  EXPECT_TRUE(MineRules(pairs).empty());
+}
+
+TEST(RuleMinerTest, SupportCountsAcrossPairsAndDirections) {
+  const std::vector<std::pair<TokenSeq, TokenSeq>> pairs = {
+      {{1, 5}, {9, 5}},
+      {{7, 1}, {7, 9}},    // same diff {1} vs {9}, other context
+      {{9, 4}, {1, 4}},    // reversed direction, canonicalized
+      {{2, 5}, {3, 5}},    // a different rule
+  };
+  const auto mined = MineRules(pairs);
+  ASSERT_EQ(mined.size(), 2u);
+  EXPECT_EQ(mined[0].support, 3u);  // sorted by support
+  EXPECT_EQ(mined[0].lhs, (TokenSeq{1}));
+  EXPECT_EQ(mined[0].rhs, (TokenSeq{9}));
+  EXPECT_EQ(mined[1].support, 1u);
+}
+
+TEST(RuleMinerTest, MinSupportThreshold) {
+  const std::vector<std::pair<TokenSeq, TokenSeq>> pairs = {
+      {{1, 5}, {9, 5}},
+      {{2, 5}, {3, 5}},
+      {{6, 1}, {6, 9}},
+  };
+  RuleMinerOptions opts;
+  opts.min_support = 2;
+  const auto mined = MineRules(pairs, opts);
+  ASSERT_EQ(mined.size(), 1u);
+  EXPECT_EQ(mined[0].support, 2u);
+}
+
+TEST(RuleMinerTest, MaxSideTokensBound) {
+  const std::vector<std::pair<TokenSeq, TokenSeq>> pairs = {
+      {{1, 2, 3, 4, 5, 9}, {7, 9}},
+  };
+  RuleMinerOptions opts;
+  opts.max_side_tokens = 3;
+  EXPECT_TRUE(MineRules(pairs, opts).empty());
+  opts.max_side_tokens = 5;
+  EXPECT_EQ(MineRules(pairs, opts).size(), 1u);
+}
+
+TEST(RuleMinerTest, ToRuleSetWithSupportWeights) {
+  const std::vector<MinedRule> mined = {
+      {{1}, {9}, 4},
+      {{2}, {8}, 1},
+  };
+  auto rules = ToRuleSet(mined, /*support_weights=*/true);
+  ASSERT_TRUE(rules.ok());
+  ASSERT_EQ(rules->size(), 2u);
+  EXPECT_DOUBLE_EQ(rules->rule(0).weight, 1.0);
+  EXPECT_DOUBLE_EQ(rules->rule(1).weight, 0.25);
+}
+
+TEST(RuleMinerTest, EndToEndMinedRulesDriveExtraction) {
+  // Learn "big apple <=> new york" from matched pairs, then extract with
+  // the learned rules.
+  Tokenizer tokenizer;
+  auto dict = std::make_unique<TokenDictionary>();
+  auto encode = [&](const std::string& s) {
+    return dict->Encode(tokenizer.TokenizeToStrings(s));
+  };
+  const std::vector<std::pair<TokenSeq, TokenSeq>> pairs = {
+      {encode("big apple pizza"), encode("new york pizza")},
+      {encode("the big apple marathon"), encode("the new york marathon")},
+  };
+  const auto mined = MineRules(pairs);
+  ASSERT_EQ(mined.size(), 1u);
+  auto rules = ToRuleSet(mined);
+  ASSERT_TRUE(rules.ok());
+
+  const TokenSeq entity = encode("new york city");
+  auto built = Aeetes::Build({entity}, *rules, std::move(dict));
+  ASSERT_TRUE(built.ok());
+  Document doc = (*built)->EncodeDocument("i love the big apple city");
+  auto result = (*built)->Extract(doc, 0.9);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->matches.size(), 1u);
+  EXPECT_DOUBLE_EQ(result->matches[0].score, 1.0);
+}
+
+}  // namespace
+}  // namespace aeetes

@@ -1,0 +1,79 @@
+#include "src/synonym/rule.h"
+
+#include <gtest/gtest.h>
+
+namespace aeetes {
+namespace {
+
+TEST(RuleSetTest, AddStoresRule) {
+  RuleSet rules;
+  auto r = rules.Add({1, 2}, {3}, 0.9);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 0u);
+  EXPECT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules.rule(0).lhs, (TokenSeq{1, 2}));
+  EXPECT_EQ(rules.rule(0).rhs, (TokenSeq{3}));
+  EXPECT_DOUBLE_EQ(rules.rule(0).weight, 0.9);
+}
+
+TEST(RuleSetTest, RejectsEmptySides) {
+  RuleSet rules;
+  EXPECT_EQ(rules.Add({}, {1}).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(rules.Add({1}, {}).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RuleSetTest, RejectsIdenticalSides) {
+  RuleSet rules;
+  EXPECT_EQ(rules.Add({1, 2}, {1, 2}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RuleSetTest, RejectsBadWeights) {
+  RuleSet rules;
+  EXPECT_FALSE(rules.Add({1}, {2}, 0.0).ok());
+  EXPECT_FALSE(rules.Add({1}, {2}, -0.5).ok());
+  EXPECT_FALSE(rules.Add({1}, {2}, 1.5).ok());
+  EXPECT_TRUE(rules.Add({1}, {2}, 1.0).ok());
+}
+
+TEST(RuleSetTest, AddFromTextParsesArrowSeparator) {
+  RuleSet rules;
+  Tokenizer tokenizer;
+  TokenDictionary dict;
+  auto r = rules.AddFromText("Big Apple <=> New York", tokenizer, dict);
+  ASSERT_TRUE(r.ok());
+  const SynonymRule& rule = rules.rule(*r);
+  ASSERT_EQ(rule.lhs.size(), 2u);
+  ASSERT_EQ(rule.rhs.size(), 2u);
+  EXPECT_EQ(dict.Text(rule.lhs[0]), "big");
+  EXPECT_EQ(dict.Text(rule.rhs[1]), "york");
+}
+
+TEST(RuleSetTest, AddFromTextParsesTabSeparator) {
+  RuleSet rules;
+  Tokenizer tokenizer;
+  TokenDictionary dict;
+  auto r = rules.AddFromText("uq\tuniversity of queensland", tokenizer, dict);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(rules.rule(*r).rhs.size(), 3u);
+}
+
+TEST(RuleSetTest, AddFromTextRejectsMissingSeparator) {
+  RuleSet rules;
+  Tokenizer tokenizer;
+  TokenDictionary dict;
+  EXPECT_EQ(rules.AddFromText("no separator here", tokenizer, dict)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RuleSetTest, AddFromTextRejectsEmptySide) {
+  RuleSet rules;
+  Tokenizer tokenizer;
+  TokenDictionary dict;
+  EXPECT_FALSE(rules.AddFromText(" <=> new york", tokenizer, dict).ok());
+}
+
+}  // namespace
+}  // namespace aeetes

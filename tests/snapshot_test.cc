@@ -1,0 +1,165 @@
+#include "src/io/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <random>
+
+#include "src/datagen/generator.h"
+#include "src/datagen/profile.h"
+#include "src/io/binary_stream.h"
+#include "tests/test_util.h"
+
+namespace aeetes {
+namespace {
+
+using testutil::Sorted;
+
+class SnapshotTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("aeetes_snap_" + std::to_string(::getpid()) + ".bin"))
+                .string();
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+  std::string path_;
+};
+
+TEST_F(SnapshotTest, RoundTripPreservesExtractionResults) {
+  DatasetProfile profile = PubMedLikeProfile();
+  profile.num_entities = 200;
+  profile.num_documents = 3;
+  profile.num_rules = 80;
+  profile.doc_len = 120;
+  const SyntheticDataset ds = GenerateDataset(profile);
+
+  auto built = Aeetes::BuildFromText(ds.entity_texts, ds.rule_lines);
+  ASSERT_TRUE(built.ok());
+  auto& original = *built;
+
+  ASSERT_TRUE(SaveSnapshot(*original, path_).ok());
+  auto loaded = LoadSnapshot(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  // Structural equality.
+  const auto& dd_a = original->derived_dictionary();
+  const auto& dd_b = (*loaded)->derived_dictionary();
+  ASSERT_EQ(dd_a.num_origins(), dd_b.num_origins());
+  ASSERT_EQ(dd_a.num_derived(), dd_b.num_derived());
+  EXPECT_EQ(dd_a.min_set_size(), dd_b.min_set_size());
+  EXPECT_EQ(dd_a.max_set_size(), dd_b.max_set_size());
+  EXPECT_DOUBLE_EQ(dd_a.avg_applicable_rules(), dd_b.avg_applicable_rules());
+  for (DerivedId d = 0; d < dd_a.num_derived(); ++d) {
+    EXPECT_EQ(dd_a.derived()[d].tokens, dd_b.derived()[d].tokens);
+    EXPECT_EQ(dd_a.derived()[d].ordered_set, dd_b.derived()[d].ordered_set);
+    EXPECT_EQ(dd_a.derived()[d].origin, dd_b.derived()[d].origin);
+  }
+
+  // Behavioural equality on every document and threshold.
+  for (const std::string& text : ds.documents) {
+    Document doc_a = original->EncodeDocument(text);
+    Document doc_b = (*loaded)->EncodeDocument(text);
+    for (double tau : {0.7, 0.85}) {
+      auto ra = original->Extract(doc_a, tau);
+      auto rb = (*loaded)->Extract(doc_b, tau);
+      ASSERT_TRUE(ra.ok());
+      ASSERT_TRUE(rb.ok());
+      EXPECT_EQ(Sorted(ra->matches), Sorted(rb->matches)) << "tau=" << tau;
+    }
+  }
+}
+
+TEST_F(SnapshotTest, PreservesRuleWeights) {
+  auto dict = std::make_unique<TokenDictionary>();
+  const TokenId big = dict->GetOrAdd("big");
+  const TokenId apple = dict->GetOrAdd("apple");
+  const TokenId ny = dict->GetOrAdd("ny");
+  RuleSet rules;
+  ASSERT_TRUE(rules.Add({big, apple}, {ny}, 0.7).ok());
+  AeetesOptions options;
+  options.weighted = true;
+  auto built = Aeetes::Build({{big, apple}}, rules, std::move(dict), options);
+  ASSERT_TRUE(built.ok());
+  ASSERT_TRUE(SaveSnapshot(**built, path_).ok());
+  auto loaded = LoadSnapshot(path_, options);
+  ASSERT_TRUE(loaded.ok());
+  Document doc = (*loaded)->EncodeDocument("ny pizza");
+  auto result = (*loaded)->Extract(doc, 0.6);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->matches.size(), 1u);
+  EXPECT_DOUBLE_EQ(result->matches[0].score, 0.7);
+}
+
+TEST_F(SnapshotTest, RejectsMissingFile) {
+  auto loaded = LoadSnapshot(path_ + ".does-not-exist");
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST_F(SnapshotTest, RejectsWrongMagic) {
+  std::ofstream(path_, std::ios::binary) << "not a snapshot at all";
+  auto loaded = LoadSnapshot(path_);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SnapshotTest, RejectsTruncatedFile) {
+  auto built = Aeetes::BuildFromText({"alpha beta"}, {});
+  ASSERT_TRUE(built.ok());
+  ASSERT_TRUE(SaveSnapshot(**built, path_).ok());
+  // Truncate to the first 20 bytes.
+  const auto size = std::filesystem::file_size(path_);
+  ASSERT_GT(size, 20u);
+  std::filesystem::resize_file(path_, 20);
+  auto loaded = LoadSnapshot(path_);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(BinaryStreamTest, PrimitivesRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "aeetes_bin_test.bin")
+          .string();
+  {
+    BinaryWriter w(path);
+    w.WriteU32(0xdeadbeef);
+    w.WriteU64(1ull << 40);
+    w.WriteDouble(0.8);
+    w.WriteString("hello");
+    w.WriteU32Vector({1, 2, 3});
+    ASSERT_TRUE(w.Finish().ok());
+  }
+  BinaryReader r(path);
+  EXPECT_EQ(r.ReadU32(), 0xdeadbeefu);
+  EXPECT_EQ(r.ReadU64(), 1ull << 40);
+  EXPECT_DOUBLE_EQ(r.ReadDouble(), 0.8);
+  EXPECT_EQ(r.ReadString(), "hello");
+  EXPECT_EQ(r.ReadU32Vector(), (std::vector<uint32_t>{1, 2, 3}));
+  EXPECT_TRUE(r.ok());
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+}
+
+TEST(BinaryStreamTest, ReadPastEndFails) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "aeetes_bin_eof.bin")
+          .string();
+  {
+    BinaryWriter w(path);
+    w.WriteU32(7);
+    ASSERT_TRUE(w.Finish().ok());
+  }
+  BinaryReader r(path);
+  EXPECT_EQ(r.ReadU32(), 7u);
+  r.ReadU64();
+  EXPECT_FALSE(r.ok());
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+}
+
+}  // namespace
+}  // namespace aeetes

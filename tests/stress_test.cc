@@ -1,0 +1,78 @@
+// Randomized stress sweep: random thresholds (not just the usual grid),
+// random worlds, all strategies and both verification modes against the
+// brute-force oracle. Complements the fixed-grid property tests.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/baseline/brute_force.h"
+#include "src/baseline/faerie_r.h"
+#include "src/core/candidate_generator.h"
+#include "src/core/verifier.h"
+#include "src/index/clustered_index.h"
+#include "tests/test_util.h"
+
+namespace aeetes {
+namespace {
+
+using testutil::MakeRandomWorld;
+using testutil::Sorted;
+
+TEST(StressTest, RandomThresholdsFullPipeline) {
+  std::mt19937_64 rng(4242);
+  std::uniform_real_distribution<double> tau_dist(0.5, 1.0);
+  for (int iter = 0; iter < 30; ++iter) {
+    auto world = MakeRandomWorld(rng);
+    const Document doc = Document::FromTokens(world.doc_tokens);
+    auto index = ClusteredIndex::Build(*world.dd);
+    const double tau = tau_dist(rng);
+    const auto oracle = Sorted(BruteForceExtract(doc, *world.dd, tau));
+
+    for (FilterStrategy s :
+         {FilterStrategy::kSimple, FilterStrategy::kSkip,
+          FilterStrategy::kDynamic, FilterStrategy::kLazy}) {
+      for (bool positional : {false, true}) {
+        CandidateGenOptions gen_options;
+        gen_options.positional_filter = positional;
+        auto gen = GenerateCandidates(s, doc, *world.dd, *index, tau,
+                                      Metric::kJaccard, gen_options);
+        const auto got = Sorted(VerifyCandidates(std::move(gen.candidates),
+                                                 doc, *world.dd, tau, {}));
+        ASSERT_EQ(got.size(), oracle.size())
+            << FilterStrategyName(s) << " positional=" << positional
+            << " tau=" << tau << " iter=" << iter;
+        for (size_t i = 0; i < got.size(); ++i) {
+          EXPECT_EQ(got[i], oracle[i]);
+          EXPECT_DOUBLE_EQ(got[i].score, oracle[i].score);
+        }
+      }
+    }
+  }
+}
+
+TEST(StressTest, RandomThresholdsFaerieRCrossCheck) {
+  std::mt19937_64 rng(4343);
+  std::uniform_real_distribution<double> tau_dist(0.55, 0.98);
+  for (int iter = 0; iter < 20; ++iter) {
+    auto world = MakeRandomWorld(rng);
+    const Document doc = Document::FromTokens(world.doc_tokens);
+    auto index = ClusteredIndex::Build(*world.dd);
+    auto fr = FaerieR::Build(*world.dd);
+    ASSERT_TRUE(fr.ok());
+    const double tau = tau_dist(rng);
+    auto gen = GenerateCandidates(FilterStrategy::kLazy, doc, *world.dd,
+                                  *index, tau);
+    const auto aeetes_matches = Sorted(VerifyCandidates(
+        std::move(gen.candidates), doc, *world.dd, tau, {}));
+    const auto faerie_matches = Sorted((*fr)->Extract(doc, tau));
+    ASSERT_EQ(aeetes_matches.size(), faerie_matches.size())
+        << "tau=" << tau << " iter=" << iter;
+    for (size_t i = 0; i < aeetes_matches.size(); ++i) {
+      EXPECT_EQ(aeetes_matches[i], faerie_matches[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aeetes

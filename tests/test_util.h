@@ -1,0 +1,88 @@
+#ifndef AEETES_TESTS_TEST_UTIL_H_
+#define AEETES_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/core/aeetes.h"
+#include "src/core/document.h"
+#include "src/synonym/derived_dictionary.h"
+
+namespace aeetes {
+namespace testutil {
+
+/// A randomly generated AEES world for property tests: a token universe,
+/// random entities, random synonym rules, and documents that embed entity
+/// variants among noise tokens.
+struct RandomWorld {
+  std::unique_ptr<DerivedDictionary> dd;
+  TokenSeq doc_tokens;
+};
+
+inline RandomWorld MakeRandomWorld(std::mt19937_64& rng,
+                                   size_t vocab = 30,
+                                   size_t num_entities = 12,
+                                   size_t num_rules = 8,
+                                   size_t doc_len = 80) {
+  auto dict = std::make_unique<TokenDictionary>();
+  std::vector<TokenId> ids;
+  for (size_t i = 0; i < vocab; ++i) {
+    ids.push_back(dict->GetOrAdd("tok" + std::to_string(i)));
+  }
+  auto rand_tok = [&]() { return ids[rng() % ids.size()]; };
+
+  std::vector<TokenSeq> entities;
+  for (size_t i = 0; i < num_entities; ++i) {
+    TokenSeq e;
+    const size_t len = 1 + rng() % 4;
+    for (size_t j = 0; j < len; ++j) e.push_back(rand_tok());
+    entities.push_back(std::move(e));
+  }
+
+  RuleSet rules;
+  size_t added = 0, guard = 0;
+  while (added < num_rules && ++guard < num_rules * 20) {
+    TokenSeq lhs, rhs;
+    const size_t ll = 1 + rng() % 2;
+    const size_t rl = 1 + rng() % 3;
+    for (size_t j = 0; j < ll; ++j) lhs.push_back(rand_tok());
+    for (size_t j = 0; j < rl; ++j) rhs.push_back(rand_tok());
+    if (rules.Add(std::move(lhs), std::move(rhs)).ok()) ++added;
+  }
+
+  RandomWorld world;
+  // Documents mix noise with planted (possibly rule-rewritten) entities so
+  // matches actually occur.
+  for (size_t i = 0; i < doc_len; ++i) {
+    if (rng() % 5 == 0) {
+      const TokenSeq& e = entities[rng() % entities.size()];
+      world.doc_tokens.insert(world.doc_tokens.end(), e.begin(), e.end());
+    } else {
+      world.doc_tokens.push_back(rand_tok());
+    }
+  }
+
+  DerivedDictionaryOptions opts;
+  opts.expander.max_derived = 16;
+  auto dd = DerivedDictionary::Build(std::move(entities), rules,
+                                     std::move(dict), opts);
+  world.dd = std::move(*dd);
+  return world;
+}
+
+/// Sorts matches by (begin, len, entity) for set comparisons.
+inline std::vector<Match> Sorted(std::vector<Match> ms) {
+  std::sort(ms.begin(), ms.end(), [](const Match& a, const Match& b) {
+    if (a.token_begin != b.token_begin) return a.token_begin < b.token_begin;
+    if (a.token_len != b.token_len) return a.token_len < b.token_len;
+    return a.entity < b.entity;
+  });
+  return ms;
+}
+
+}  // namespace testutil
+}  // namespace aeetes
+
+#endif  // AEETES_TESTS_TEST_UTIL_H_

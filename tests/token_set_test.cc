@@ -1,0 +1,113 @@
+#include "src/text/token_set.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace aeetes {
+namespace {
+
+class TokenSetTest : public testing::Test {
+ protected:
+  TokenId Add(const std::string& text, uint64_t freq) {
+    const TokenId id = dict_.GetOrAdd(text);
+    EXPECT_TRUE(dict_.AddFrequency(id, freq).ok());
+    return id;
+  }
+  TokenDictionary dict_;
+};
+
+TEST_F(TokenSetTest, BuildOrderedSetSortsByRankAndDedupes) {
+  const TokenId common = Add("common", 50);
+  const TokenId mid = Add("mid", 5);
+  const TokenId rare = Add("rare", 1);
+  dict_.Freeze();
+  const TokenSeq set = BuildOrderedSet({common, rare, mid, common}, dict_);
+  ASSERT_EQ(set.size(), 3u);
+  EXPECT_EQ(set[0], rare);
+  EXPECT_EQ(set[1], mid);
+  EXPECT_EQ(set[2], common);
+}
+
+TEST_F(TokenSetTest, OverlapSizeCountsCommonTokens) {
+  const TokenId a = Add("a", 1);
+  const TokenId b = Add("b", 2);
+  const TokenId c = Add("c", 3);
+  const TokenId d = Add("d", 4);
+  dict_.Freeze();
+  const TokenSeq x = BuildOrderedSet({a, b, c}, dict_);
+  const TokenSeq y = BuildOrderedSet({b, c, d}, dict_);
+  EXPECT_EQ(OverlapSize(x, y, dict_), 2u);
+  EXPECT_EQ(OverlapSize(x, x, dict_), 3u);
+  EXPECT_EQ(OverlapSize(x, {}, dict_), 0u);
+}
+
+TEST_F(TokenSetTest, PrefixesIntersectDetectsSharedPrefixToken) {
+  const TokenId a = Add("a", 1);
+  const TokenId b = Add("b", 2);
+  const TokenId c = Add("c", 3);
+  const TokenId d = Add("d", 4);
+  dict_.Freeze();
+  const TokenSeq x = BuildOrderedSet({a, c}, dict_);  // ordered: a, c
+  const TokenSeq y = BuildOrderedSet({b, d}, dict_);  // ordered: b, d
+  EXPECT_FALSE(PrefixesIntersect(x, 1, y, 1, dict_));
+  const TokenSeq z = BuildOrderedSet({a, d}, dict_);
+  EXPECT_TRUE(PrefixesIntersect(x, 1, z, 1, dict_));
+}
+
+TEST_F(TokenSetTest, PrefixLengthsAreClamped) {
+  const TokenId a = Add("a", 1);
+  dict_.Freeze();
+  const TokenSeq x = {a};
+  EXPECT_TRUE(PrefixesIntersect(x, 99, x, 99, dict_));
+}
+
+TEST(SubsequenceTest, FindsAllOccurrences) {
+  const TokenSeq hay = {1, 2, 3, 1, 2, 3, 1, 2};
+  const TokenSeq needle = {1, 2};
+  const auto occ = FindSubsequence(hay, needle);
+  ASSERT_EQ(occ.size(), 3u);
+  EXPECT_EQ(occ[0], 0u);
+  EXPECT_EQ(occ[1], 3u);
+  EXPECT_EQ(occ[2], 6u);
+  EXPECT_TRUE(ContainsSubsequence(hay, needle));
+}
+
+TEST(SubsequenceTest, RequiresContiguity) {
+  const TokenSeq hay = {1, 9, 2};
+  EXPECT_FALSE(ContainsSubsequence(hay, {1, 2}));
+}
+
+TEST(SubsequenceTest, EdgeCases) {
+  EXPECT_TRUE(FindSubsequence({1, 2}, {}).empty());
+  EXPECT_TRUE(FindSubsequence({1}, {1, 2}).empty());
+  EXPECT_EQ(FindSubsequence({1, 2}, {1, 2}).size(), 1u);
+}
+
+TEST(TokenSetPropertyTest, OrderedSetEqualsSortedUniqueUnderAnyFrequencies) {
+  std::mt19937_64 rng(7);
+  for (int iter = 0; iter < 50; ++iter) {
+    TokenDictionary dict;
+    const size_t vocab = 20;
+    for (size_t i = 0; i < vocab; ++i) {
+      const TokenId id = dict.GetOrAdd("t" + std::to_string(i));
+      ASSERT_TRUE(dict.AddFrequency(id, rng() % 5).ok());  // some freq 0
+    }
+    dict.Freeze();
+    TokenSeq seq;
+    const size_t n = 1 + rng() % 15;
+    for (size_t i = 0; i < n; ++i) seq.push_back(rng() % vocab);
+    const TokenSeq set = BuildOrderedSet(seq, dict);
+    // Strictly increasing ranks => sorted and distinct.
+    for (size_t i = 1; i < set.size(); ++i) {
+      EXPECT_LT(dict.Rank(set[i - 1]), dict.Rank(set[i]));
+    }
+    // Same elements as the input.
+    for (TokenId t : seq) {
+      EXPECT_NE(std::find(set.begin(), set.end(), t), set.end());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aeetes

@@ -1,0 +1,97 @@
+#include "src/text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace aeetes {
+namespace {
+
+TEST(TokenizerTest, SplitsOnWhitespaceAndPunctuation) {
+  Tokenizer t;
+  const auto toks = t.TokenizeToStrings("Hello, world! foo-bar");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0], "hello");
+  EXPECT_EQ(toks[1], "world");
+  EXPECT_EQ(toks[2], "foo");
+  EXPECT_EQ(toks[3], "bar");
+}
+
+TEST(TokenizerTest, LowercaseCanBeDisabled) {
+  TokenizerOptions opts;
+  opts.lowercase = false;
+  Tokenizer t(opts);
+  const auto toks = t.TokenizeToStrings("MIT Rocks");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0], "MIT");
+  EXPECT_EQ(toks[1], "Rocks");
+}
+
+TEST(TokenizerTest, DigitsKeptByDefault) {
+  Tokenizer t;
+  const auto toks = t.TokenizeToStrings("vldb2018 pc");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0], "vldb2018");
+}
+
+TEST(TokenizerTest, DigitsCanBeSeparators) {
+  TokenizerOptions opts;
+  opts.keep_digits = false;
+  Tokenizer t(opts);
+  const auto toks = t.TokenizeToStrings("vldb2018");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0], "vldb");
+}
+
+TEST(TokenizerTest, ExtraTokenCharsJoinTokens) {
+  TokenizerOptions opts;
+  opts.extra_token_chars = "-";
+  Tokenizer t(opts);
+  const auto toks = t.TokenizeToStrings("foo-bar baz");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0], "foo-bar");
+}
+
+TEST(TokenizerTest, SpansPointIntoOriginalText) {
+  Tokenizer t;
+  const std::string text = "  New York,  USA";
+  const auto toks = t.Tokenize(text);
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(text.substr(toks[0].begin, toks[0].end - toks[0].begin), "New");
+  EXPECT_EQ(text.substr(toks[1].begin, toks[1].end - toks[1].begin), "York");
+  EXPECT_EQ(text.substr(toks[2].begin, toks[2].end - toks[2].begin), "USA");
+}
+
+TEST(TokenizerTest, EmptyAndSeparatorOnlyInput) {
+  Tokenizer t;
+  EXPECT_TRUE(t.TokenizeToStrings("").empty());
+  EXPECT_TRUE(t.TokenizeToStrings("  ,;!  ").empty());
+}
+
+TEST(TokenizerTest, TokenAtEndOfInput) {
+  Tokenizer t;
+  const auto toks = t.Tokenize("abc");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].begin, 0u);
+  EXPECT_EQ(toks[0].end, 3u);
+}
+
+TEST(TokenizerTest, NonAsciiBytesActAsSeparators) {
+  Tokenizer t;
+  const auto toks = t.TokenizeToStrings("caf\xc3\xa9 bar");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0], "caf");
+  EXPECT_EQ(toks[1], "bar");
+}
+
+TEST(TokenizerTest, Utf8ModeKeepsMultiByteWords) {
+  TokenizerOptions opts;
+  opts.utf8_token_bytes = true;
+  Tokenizer t(opts);
+  const auto toks = t.TokenizeToStrings("caf\xc3\xa9 M\xc3\xbcnchen bar");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0], "caf\xc3\xa9");
+  EXPECT_EQ(toks[1], "m\xc3\xbcnchen");  // ASCII letters folded, bytes kept
+  EXPECT_EQ(toks[2], "bar");
+}
+
+}  // namespace
+}  // namespace aeetes

@@ -1,0 +1,75 @@
+#include "src/datagen/tsv_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "src/datagen/profile.h"
+
+namespace aeetes {
+namespace {
+
+class TsvIoTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("aeetes_tsv_test_" + std::to_string(::getpid()));
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::filesystem::path dir_;
+};
+
+TEST_F(TsvIoTest, RoundTripsDataset) {
+  DatasetProfile p = PubMedLikeProfile();
+  p.num_entities = 60;
+  p.num_documents = 3;
+  p.num_rules = 25;
+  p.doc_len = 60;
+  const SyntheticDataset ds = GenerateDataset(p);
+
+  ASSERT_TRUE(SaveDataset(ds, dir_.string()).ok());
+  auto loaded = LoadDataset(dir_.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  EXPECT_EQ(loaded->entity_texts, ds.entity_texts);
+  EXPECT_EQ(loaded->rule_lines, ds.rule_lines);
+  EXPECT_EQ(loaded->documents, ds.documents);
+  EXPECT_EQ(loaded->num_original_entities, ds.num_original_entities);
+  ASSERT_EQ(loaded->ground_truth.size(), ds.ground_truth.size());
+  for (size_t i = 0; i < ds.ground_truth.size(); ++i) {
+    EXPECT_EQ(loaded->ground_truth[i].doc, ds.ground_truth[i].doc);
+    EXPECT_EQ(loaded->ground_truth[i].token_begin,
+              ds.ground_truth[i].token_begin);
+    EXPECT_EQ(loaded->ground_truth[i].token_len,
+              ds.ground_truth[i].token_len);
+    EXPECT_EQ(loaded->ground_truth[i].entity, ds.ground_truth[i].entity);
+    EXPECT_EQ(loaded->ground_truth[i].kind, ds.ground_truth[i].kind);
+  }
+  EXPECT_EQ(loaded->profile.name, ds.profile.name);
+}
+
+TEST_F(TsvIoTest, LoadFromMissingDirectoryFails) {
+  auto loaded = LoadDataset((dir_ / "nope").string());
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(TsvIoTest, SaveCreatesDirectory) {
+  DatasetProfile p = PubMedLikeProfile();
+  p.num_entities = 10;
+  p.num_documents = 1;
+  p.num_rules = 4;
+  p.doc_len = 30;
+  const SyntheticDataset ds = GenerateDataset(p);
+  const auto nested = dir_ / "a" / "b";
+  ASSERT_TRUE(SaveDataset(ds, nested.string()).ok());
+  EXPECT_TRUE(std::filesystem::exists(nested / "entities.txt"));
+  EXPECT_TRUE(std::filesystem::exists(nested / "ground_truth.tsv"));
+}
+
+}  // namespace
+}  // namespace aeetes

@@ -1,0 +1,115 @@
+#include "src/core/verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/baseline/brute_force.h"
+#include "src/core/candidate_generator.h"
+#include "src/index/clustered_index.h"
+#include "tests/test_util.h"
+
+namespace aeetes {
+namespace {
+
+using testutil::MakeRandomWorld;
+using testutil::Sorted;
+
+TEST(ScorePassesTest, EpsilonGuard) {
+  EXPECT_TRUE(ScorePasses(0.8, 0.8));
+  EXPECT_TRUE(ScorePasses(4.0 / 5.0, 0.8));
+  EXPECT_TRUE(ScorePasses(0.8 - 1e-12, 0.8));
+  EXPECT_FALSE(ScorePasses(0.79, 0.8));
+}
+
+TEST(VerifierTest, FilterPlusVerifyEqualsBruteForce) {
+  std::mt19937_64 rng(41);
+  for (int iter = 0; iter < 25; ++iter) {
+    auto world = MakeRandomWorld(rng);
+    const Document doc = Document::FromTokens(world.doc_tokens);
+    auto index = ClusteredIndex::Build(*world.dd);
+    for (double tau : {0.7, 0.8, 0.9}) {
+      const auto oracle = Sorted(BruteForceExtract(doc, *world.dd, tau));
+      auto gen = GenerateCandidates(FilterStrategy::kLazy, doc, *world.dd,
+                                    *index, tau);
+      const auto got = Sorted(VerifyCandidates(std::move(gen.candidates),
+                                               doc, *world.dd, tau, {}));
+      ASSERT_EQ(got.size(), oracle.size()) << "tau=" << tau;
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].token_begin, oracle[i].token_begin);
+        EXPECT_EQ(got[i].token_len, oracle[i].token_len);
+        EXPECT_EQ(got[i].entity, oracle[i].entity);
+        EXPECT_DOUBLE_EQ(got[i].score, oracle[i].score);
+      }
+    }
+  }
+}
+
+TEST(VerifierTest, ReportsStats) {
+  std::mt19937_64 rng(43);
+  auto world = MakeRandomWorld(rng);
+  const Document doc = Document::FromTokens(world.doc_tokens);
+  auto index = ClusteredIndex::Build(*world.dd);
+  auto gen = GenerateCandidates(FilterStrategy::kLazy, doc, *world.dd,
+                                *index, 0.8);
+  const size_t n_cand = gen.candidates.size();
+  VerifyStats stats;
+  const auto matches = VerifyCandidates(std::move(gen.candidates), doc,
+                                        *world.dd, 0.8, {}, &stats);
+  EXPECT_EQ(stats.verified, n_cand);
+  EXPECT_EQ(stats.matched, matches.size());
+  EXPECT_LE(stats.matched, stats.verified);
+}
+
+TEST(VerifierTest, MatchesCarryBestDerived) {
+  std::mt19937_64 rng(47);
+  auto world = MakeRandomWorld(rng);
+  const Document doc = Document::FromTokens(world.doc_tokens);
+  auto index = ClusteredIndex::Build(*world.dd);
+  auto gen = GenerateCandidates(FilterStrategy::kLazy, doc, *world.dd,
+                                *index, 0.7);
+  const auto matches =
+      VerifyCandidates(std::move(gen.candidates), doc, *world.dd, 0.7, {});
+  for (const Match& m : matches) {
+    ASSERT_NE(m.best_derived, JaccArScore::kNoDerived);
+    EXPECT_EQ(world.dd->derived()[m.best_derived].origin, m.entity);
+  }
+}
+
+TEST(VerifierTest, EarlyTerminationMatchesExactVerification) {
+  std::mt19937_64 rng(59);
+  for (int iter = 0; iter < 15; ++iter) {
+    auto world = MakeRandomWorld(rng);
+    const Document doc = Document::FromTokens(world.doc_tokens);
+    auto index = ClusteredIndex::Build(*world.dd);
+    for (double tau : {0.7, 0.85}) {
+      auto gen = GenerateCandidates(FilterStrategy::kLazy, doc, *world.dd,
+                                    *index, tau);
+      auto gen2 = gen;
+      const auto fast =
+          Sorted(VerifyCandidates(std::move(gen.candidates), doc, *world.dd,
+                                  tau, {}, nullptr,
+                                  /*early_termination=*/true));
+      const auto slow =
+          Sorted(VerifyCandidates(std::move(gen2.candidates), doc,
+                                  *world.dd, tau, {}, nullptr,
+                                  /*early_termination=*/false));
+      ASSERT_EQ(fast.size(), slow.size());
+      for (size_t i = 0; i < fast.size(); ++i) {
+        EXPECT_EQ(fast[i], slow[i]);
+        EXPECT_DOUBLE_EQ(fast[i].score, slow[i].score);
+        EXPECT_EQ(fast[i].best_derived, slow[i].best_derived);
+      }
+    }
+  }
+}
+
+TEST(VerifierTest, EmptyCandidatesEmptyMatches) {
+  std::mt19937_64 rng(53);
+  auto world = MakeRandomWorld(rng);
+  const Document doc = Document::FromTokens(world.doc_tokens);
+  EXPECT_TRUE(VerifyCandidates({}, doc, *world.dd, 0.8, {}).empty());
+}
+
+}  // namespace
+}  // namespace aeetes
