@@ -6,9 +6,13 @@
 #include <functional>
 #include <vector>
 
+#include "src/common/span.h"
+
 namespace aeetes {
 
-/// Mixes `v` into seed (boost::hash_combine recipe).
+/// Mixes `v` into seed (boost::hash_combine recipe). All arithmetic is on
+/// size_t: unsigned overflow wraps by definition, so the mix is UBSan-clean
+/// (a signed seed here would be a sanitizer finding waiting to happen).
 inline void HashCombine(size_t& seed, size_t v) {
   seed ^= v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
 }
@@ -16,12 +20,17 @@ inline void HashCombine(size_t& seed, size_t v) {
 /// Order-sensitive hash of an integer sequence; used to dedupe derived
 /// entities and to key token sequences.
 template <typename Int>
-size_t HashIntSpan(const std::vector<Int>& xs) {
+size_t HashIntSpan(Span<Int> xs) {
   size_t seed = 0xcbf29ce484222325ULL;
   for (const Int& x : xs) {
-    HashCombine(seed, std::hash<Int>{}(static_cast<Int>(x)));
+    HashCombine(seed, std::hash<Int>{}(x));
   }
   return seed;
+}
+
+template <typename Int>
+size_t HashIntSpan(const std::vector<Int>& xs) {
+  return HashIntSpan(MakeSpan(xs));
 }
 
 /// std::hash adaptor for vector keys in unordered containers.

@@ -47,6 +47,51 @@ class FatalLogMessage : public LogMessage {
   [[noreturn]] ~FatalLogMessage();
 };
 
+/// Outcome of one AEETES_CHECK_<OP> comparison. On failure it carries the
+/// stringified operand values so the fatal message can show them; converts
+/// to true exactly when the check FAILED (driving the `while` in the macro
+/// below, whose body aborts and therefore runs at most once).
+struct CheckOpState {
+  bool failed = false;
+  std::string lhs;
+  std::string rhs;
+  explicit operator bool() const { return failed; }
+};
+
+template <typename T>
+std::string CheckOpStringify(const T& v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+/// Characters (and unsigned/signed char) print as integers in check
+/// failures: the numeric value is what comparisons act on, and control
+/// characters would garble the log line.
+inline std::string CheckOpStringify(char v) {
+  return CheckOpStringify(static_cast<int>(v));
+}
+inline std::string CheckOpStringify(signed char v) {
+  return CheckOpStringify(static_cast<int>(v));
+}
+inline std::string CheckOpStringify(unsigned char v) {
+  return CheckOpStringify(static_cast<unsigned>(v));
+}
+
+#define AEETES_DEFINE_CHECK_OP_IMPL_(name, op)                  \
+  template <typename A, typename B>                             \
+  CheckOpState Check##name##Impl(const A& a, const B& b) {      \
+    if (a op b) return {};                                      \
+    return {true, CheckOpStringify(a), CheckOpStringify(b)};    \
+  }
+AEETES_DEFINE_CHECK_OP_IMPL_(EQ, ==)
+AEETES_DEFINE_CHECK_OP_IMPL_(NE, !=)
+AEETES_DEFINE_CHECK_OP_IMPL_(LT, <)
+AEETES_DEFINE_CHECK_OP_IMPL_(LE, <=)
+AEETES_DEFINE_CHECK_OP_IMPL_(GT, >)
+AEETES_DEFINE_CHECK_OP_IMPL_(GE, >=)
+#undef AEETES_DEFINE_CHECK_OP_IMPL_
+
 }  // namespace internal
 }  // namespace aeetes
 
@@ -60,6 +105,45 @@ class FatalLogMessage : public LogMessage {
   ::aeetes::internal::FatalLogMessage(__FILE__, __LINE__)              \
       << "Check failed: " #cond " "
 
+/// Comparison checks that print both operand values on failure
+/// (Arrow/RocksDB idiom; the library never throws). The `while` runs its
+/// body at most once — FatalLogMessage aborts — and, unlike `if`, cannot
+/// capture a dangling `else`. Extra context streams on:
+///   AEETES_CHECK_LT(pos, doc.size()) << "window out of range";
+#define AEETES_CHECK_OP_(name, op, a, b)                               \
+  while (::aeetes::internal::CheckOpState _aeetes_ck =                 \
+             ::aeetes::internal::Check##name##Impl((a), (b)))          \
+  ::aeetes::internal::FatalLogMessage(__FILE__, __LINE__)              \
+      << "Check failed: " #a " " #op " " #b " (" << _aeetes_ck.lhs     \
+      << " vs. " << _aeetes_ck.rhs << ") "
+
+#define AEETES_CHECK_EQ(a, b) AEETES_CHECK_OP_(EQ, ==, a, b)
+#define AEETES_CHECK_NE(a, b) AEETES_CHECK_OP_(NE, !=, a, b)
+#define AEETES_CHECK_LT(a, b) AEETES_CHECK_OP_(LT, <, a, b)
+#define AEETES_CHECK_LE(a, b) AEETES_CHECK_OP_(LE, <=, a, b)
+#define AEETES_CHECK_GT(a, b) AEETES_CHECK_OP_(GT, >, a, b)
+#define AEETES_CHECK_GE(a, b) AEETES_CHECK_OP_(GE, >=, a, b)
+
 #define AEETES_DCHECK(cond) assert(cond)
+
+/// Debug-only comparison checks for hot paths: full operand-printing
+/// checks in debug builds, zero-cost in NDEBUG builds (the `while (false)`
+/// compiles the operands without ever evaluating them, so streamed
+/// context and variables stay odr-used and warning-free).
+#ifndef NDEBUG
+#define AEETES_DCHECK_EQ(a, b) AEETES_CHECK_EQ(a, b)
+#define AEETES_DCHECK_NE(a, b) AEETES_CHECK_NE(a, b)
+#define AEETES_DCHECK_LT(a, b) AEETES_CHECK_LT(a, b)
+#define AEETES_DCHECK_LE(a, b) AEETES_CHECK_LE(a, b)
+#define AEETES_DCHECK_GT(a, b) AEETES_CHECK_GT(a, b)
+#define AEETES_DCHECK_GE(a, b) AEETES_CHECK_GE(a, b)
+#else
+#define AEETES_DCHECK_EQ(a, b) while (false) AEETES_CHECK_EQ(a, b)
+#define AEETES_DCHECK_NE(a, b) while (false) AEETES_CHECK_NE(a, b)
+#define AEETES_DCHECK_LT(a, b) while (false) AEETES_CHECK_LT(a, b)
+#define AEETES_DCHECK_LE(a, b) while (false) AEETES_CHECK_LE(a, b)
+#define AEETES_DCHECK_GT(a, b) while (false) AEETES_CHECK_GT(a, b)
+#define AEETES_DCHECK_GE(a, b) while (false) AEETES_CHECK_GE(a, b)
+#endif
 
 #endif  // AEETES_COMMON_LOGGING_H_

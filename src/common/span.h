@@ -1,0 +1,74 @@
+#ifndef AEETES_COMMON_SPAN_H_
+#define AEETES_COMMON_SPAN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace aeetes {
+
+/// Non-owning view over a contiguous array whose element access is
+/// bounds-checked in debug builds (AEETES_DCHECK_*) and free in release
+/// builds. The hot paths (candidate generation, verification, index
+/// scans) take their posting arrays through Span so every subscript that
+/// a wrong prefix length or group range could push out of bounds traps
+/// under the sanitizer/debug matrix instead of reading garbage.
+///
+/// Deliberately minimal — read-only, no iterators-over-mutable — because
+/// the index structures are immutable after Build.
+template <typename T>
+class Span {
+ public:
+  constexpr Span() = default;
+  constexpr Span(const T* data, size_t size) : data_(data), size_(size) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): mirrors std::span.
+  Span(const std::vector<T>& v) : data_(v.data()), size_(v.size()) {}
+
+  const T& operator[](size_t i) const {
+    AEETES_DCHECK_LT(i, size_);
+    return data_[i];
+  }
+
+  /// Checked in all build types; for cold paths guarding external input.
+  const T& at(size_t i) const {
+    AEETES_CHECK_LT(i, size_) << "Span::at out of range";
+    return data_[i];
+  }
+
+  const T& front() const {
+    AEETES_DCHECK_GT(size_, size_t{0});
+    return data_[0];
+  }
+  const T& back() const {
+    AEETES_DCHECK_GT(size_, size_t{0});
+    return data_[size_ - 1];
+  }
+
+  /// Sub-view of [offset, offset + count); both ends debug-checked.
+  Span subspan(size_t offset, size_t count) const {
+    AEETES_DCHECK_LE(offset, size_);
+    AEETES_DCHECK_LE(count, size_ - offset);
+    return Span(data_ + offset, count);
+  }
+
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+ private:
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+template <typename T>
+Span<T> MakeSpan(const std::vector<T>& v) {
+  return Span<T>(v);
+}
+
+}  // namespace aeetes
+
+#endif  // AEETES_COMMON_SPAN_H_

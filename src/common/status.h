@@ -1,11 +1,12 @@
 #ifndef AEETES_COMMON_STATUS_H_
 #define AEETES_COMMON_STATUS_H_
 
-#include <cassert>
 #include <optional>
 #include <ostream>
 #include <string>
 #include <utility>
+
+#include "src/common/logging.h"
 
 namespace aeetes {
 
@@ -81,7 +82,9 @@ class Status {
 std::ostream& operator<<(std::ostream& os, const Status& status);
 
 /// A value-or-error holder (a minimal StatusOr). Access to the value when
-/// the Result holds an error aborts in debug builds.
+/// the Result holds an error is a checked invariant violation: it aborts
+/// with the held status in every build type (the library never throws, so
+/// silently dereferencing an empty Result would otherwise be UB).
 template <typename T>
 class Result {
  public:
@@ -90,22 +93,23 @@ class Result {
 
   /// Implicit construction from a non-OK status.
   Result(Status status) : status_(std::move(status)) {
-    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+    AEETES_CHECK(!status_.ok())
+        << "Result(Status) requires a non-OK status";
   }
 
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
   const T& value() const& {
-    assert(ok());
+    CheckHasValue();
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    CheckHasValue();
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    CheckHasValue();
     return std::move(*value_);
   }
 
@@ -120,6 +124,10 @@ class Result {
   }
 
  private:
+  void CheckHasValue() const {
+    AEETES_CHECK(ok()) << "Result::value() called on error: " << status_;
+  }
+
   Status status_;
   std::optional<T> value_;
 };

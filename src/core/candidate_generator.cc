@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "src/common/logging.h"
+#include "src/common/span.h"
 #include "src/core/window.h"
 
 namespace aeetes {
@@ -81,15 +82,18 @@ bool PositionalAdmit(const ProbeContext& ctx, size_t set_size, size_t k,
 void ProbeFlat(const ProbeContext& ctx, TokenId t, size_t k, uint32_t pos,
                uint32_t len, size_t set_size, const LengthRange& partner) {
   const auto list = ctx.index.list(t);
-  const auto& lgs = ctx.index.length_groups();
-  const auto& ogs = ctx.index.origin_groups();
-  const auto& entries = ctx.index.entries();
+  const Span<LengthGroup> lgs(ctx.index.length_groups());
+  const Span<OriginGroup> ogs(ctx.index.origin_groups());
+  const Span<PostingEntry> entries(ctx.index.entries());
+  AEETES_DCHECK_LE(list.end, lgs.size());
   FilterStats& st = ctx.out->stats;
   for (uint32_t g = list.begin; g < list.end; ++g) {
     const LengthGroup& lg = lgs[g];
     const size_t prefix_len = PrefixLength(ctx.metric, lg.length, ctx.tau);
+    AEETES_DCHECK_LE(lg.end, ogs.size());
     for (uint32_t og = lg.begin; og < lg.end; ++og) {
       const OriginGroup& origin_group = ogs[og];
+      AEETES_DCHECK_LE(origin_group.end, entries.size());
       for (uint32_t i = origin_group.begin; i < origin_group.end; ++i) {
         ++st.entries_accessed;
         if (!partner.Contains(lg.length)) continue;
@@ -114,9 +118,10 @@ void ProbeFlat(const ProbeContext& ctx, TokenId t, size_t k, uint32_t pos,
 void ProbeSkip(const ProbeContext& ctx, TokenId t, size_t k, uint32_t pos,
                uint32_t len, size_t set_size, const LengthRange& partner) {
   const auto list = ctx.index.list(t);
-  const auto& lgs = ctx.index.length_groups();
-  const auto& ogs = ctx.index.origin_groups();
-  const auto& entries = ctx.index.entries();
+  const Span<LengthGroup> lgs(ctx.index.length_groups());
+  const Span<OriginGroup> ogs(ctx.index.origin_groups());
+  const Span<PostingEntry> entries(ctx.index.entries());
+  AEETES_DCHECK_LE(list.end, lgs.size());
   FilterStats& st = ctx.out->stats;
   for (uint32_t g = list.begin; g < list.end; ++g) {
     const LengthGroup& lg = lgs[g];
@@ -228,9 +233,10 @@ std::vector<ScanHit> ScanTokenList(const ProbeContext& ctx, TokenId t,
                                    size_t set_size) {
   std::vector<ScanHit> hits;
   const auto list = ctx.index.list(t);
-  const auto& lgs = ctx.index.length_groups();
-  const auto& ogs = ctx.index.origin_groups();
-  const auto& entries = ctx.index.entries();
+  const Span<LengthGroup> lgs(ctx.index.length_groups());
+  const Span<OriginGroup> ogs(ctx.index.origin_groups());
+  const Span<PostingEntry> entries(ctx.index.entries());
+  AEETES_DCHECK_LE(list.end, lgs.size());
   FilterStats& st = ctx.out->stats;
   const LengthRange partner =
       PartnerLengthRange(ctx.metric, set_size, ctx.tau);
@@ -380,14 +386,15 @@ void GenerateLazy(const ProbeContext& ctx, const LengthRange& win_len) {
 
   std::unordered_set<uint64_t> dedupe;
   auto candidate_key = [](uint32_t pos, uint32_t len, EntityId origin) {
-    AEETES_DCHECK(pos < (1u << 26) && len < (1u << 8));
+    AEETES_DCHECK_LT(pos, 1u << 26);
+    AEETES_DCHECK_LT(len, 1u << 8);
     return (static_cast<uint64_t>(pos) << 38) |
            (static_cast<uint64_t>(len) << 30) | static_cast<uint64_t>(origin);
   };
 
-  const auto& lgs = ctx.index.length_groups();
-  const auto& ogs = ctx.index.origin_groups();
-  const auto& entries = ctx.index.entries();
+  const Span<LengthGroup> lgs(ctx.index.length_groups());
+  const Span<OriginGroup> ogs(ctx.index.origin_groups());
+  const Span<PostingEntry> entries(ctx.index.entries());
 
   for (TokenId t : tokens) {
     auto& regs = inverted[t];
@@ -451,7 +458,8 @@ CandidateGenOutput GenerateCandidates(FilterStrategy strategy,
                                       Metric metric,
                                       const CandidateGenOptions& options) {
   CandidateGenOutput out;
-  AEETES_CHECK(tau > 0.0 && tau <= 1.0) << "threshold must be in (0, 1]";
+  AEETES_CHECK_GT(tau, 0.0) << "threshold must be in (0, 1]";
+  AEETES_CHECK_LE(tau, 1.0) << "threshold must be in (0, 1]";
   const LengthRange win_len = SubstringLengthBounds(
       metric, dd.min_set_size(), dd.max_set_size(), tau);
   OriginTracker tracker(dd.num_origins());
@@ -470,6 +478,7 @@ CandidateGenOutput GenerateCandidates(FilterStrategy strategy,
       GenerateLazy(ctx, win_len);
       break;
   }
+  out.stats.CheckConsistent();
   return out;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/common/logging.h"
+#include "src/common/span.h"
 #include "src/text/token_set.h"
 
 namespace aeetes {
@@ -25,10 +27,16 @@ std::vector<Match> VerifyCandidates(std::vector<Candidate> candidates,
   uint32_t cur_pos = 0, cur_len = 0;
   bool have_set = false;
 
+  const Span<TokenId> tokens(doc.tokens());
   for (const Candidate& c : candidates) {
     if (!have_set || c.pos != cur_pos || c.len != cur_len) {
-      TokenSeq slice(doc.tokens().begin() + c.pos,
-                     doc.tokens().begin() + c.pos + c.len);
+      // Candidates come from the generator, but a corrupted (pos, len)
+      // would slice past the document: check before touching memory.
+      AEETES_CHECK_LE(c.pos, tokens.size()) << "candidate past document end";
+      AEETES_CHECK_LE(c.len, tokens.size() - c.pos)
+          << "candidate overruns document";
+      const Span<TokenId> window = tokens.subspan(c.pos, c.len);
+      TokenSeq slice(window.begin(), window.end());
       ordered_set = BuildOrderedSet(slice, dd.token_dict());
       cur_pos = c.pos;
       cur_len = c.len;

@@ -1,30 +1,36 @@
 #include "src/core/window.h"
 
 #include <algorithm>
+#include <cstddef>
 
 #include "src/common/logging.h"
+#include "src/common/span.h"
 
 namespace aeetes {
 
 void SlidingWindow::Reset(size_t pos, size_t len) {
-  AEETES_DCHECK(pos + len <= doc_.size());
+  AEETES_CHECK_LE(pos, doc_.size()) << "window start past document end";
+  AEETES_CHECK_LE(len, doc_.size() - pos) << "window overruns document";
   pos_ = pos;
   len_ = len;
   slots_.clear();
-  for (size_t i = pos; i < pos + len; ++i) Insert(doc_.tokens()[i]);
+  const Span<TokenId> tokens(doc_.tokens());
+  for (size_t i = pos; i < pos + len; ++i) Insert(tokens[i]);
 }
 
 bool SlidingWindow::Extend() {
   if (pos_ + len_ >= doc_.size()) return false;
-  Insert(doc_.tokens()[pos_ + len_]);
+  const Span<TokenId> tokens(doc_.tokens());
+  Insert(tokens[pos_ + len_]);
   ++len_;
   return true;
 }
 
 bool SlidingWindow::Migrate() {
   if (pos_ + len_ >= doc_.size()) return false;
-  Remove(doc_.tokens()[pos_]);
-  Insert(doc_.tokens()[pos_ + len_]);
+  const Span<TokenId> tokens(doc_.tokens());
+  Remove(tokens[pos_]);
+  Insert(tokens[pos_ + len_]);
   ++pos_;
   return true;
 }
@@ -53,7 +59,11 @@ void SlidingWindow::Remove(TokenId t) {
   auto it = std::lower_bound(
       slots_.begin(), slots_.end(), rank,
       [](const Slot& s, TokenRank r) { return s.rank < r; });
-  AEETES_DCHECK(it != slots_.end() && it->rank == rank);
+  AEETES_DCHECK_NE(it - slots_.begin(),
+                   static_cast<std::ptrdiff_t>(slots_.size()))
+      << "Remove of token absent from window";
+  AEETES_DCHECK_EQ(it->rank, rank) << "Remove of token absent from window";
+  AEETES_DCHECK_GT(it->count, 0u);
   if (--it->count == 0) slots_.erase(it);
 }
 

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "src/common/logging.h"
 #include "src/core/document.h"
 #include "src/text/token.h"
 #include "src/text/token_dictionary.h"
@@ -41,7 +42,10 @@ class SlidingWindow {
   size_t set_size() const { return slots_.size(); }
 
   /// k-th distinct token in global order (k < set_size()).
-  TokenId DistinctToken(size_t k) const { return slots_[k].token; }
+  TokenId DistinctToken(size_t k) const {
+    AEETES_DCHECK_LT(k, slots_.size());
+    return slots_[k].token;
+  }
 
   /// Materializes the ordered set (distinct tokens by rank).
   TokenSeq OrderedSet() const;

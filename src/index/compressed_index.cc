@@ -1,5 +1,8 @@
 #include "src/index/compressed_index.h"
 
+#include "src/common/logging.h"
+#include "src/common/span.h"
+
 namespace aeetes {
 
 namespace internal {
@@ -26,22 +29,30 @@ std::unique_ptr<CompressedIndex> CompressedIndex::Build(
   idx->offsets_.assign(vocab_size + 1, 0);
   idx->num_entries_ = plain.num_entries();
 
-  const auto& lgs = plain.length_groups();
-  const auto& ogs = plain.origin_groups();
-  const auto& entries = plain.entries();
+  const Span<LengthGroup> lgs(plain.length_groups());
+  const Span<OriginGroup> ogs(plain.origin_groups());
+  const Span<PostingEntry> entries(plain.entries());
 
   for (TokenId t = 0; t < vocab_size; ++t) {
     idx->offsets_[t] = idx->blob_.size();
     const auto list = plain.list(t);
     if (list.empty()) continue;
+    AEETES_CHECK_LE(list.begin, list.end);
+    AEETES_CHECK_LE(list.end, lgs.size());
     internal::EncodeVarint(list.end - list.begin, &idx->blob_);
     for (uint32_t g = list.begin; g < list.end; ++g) {
       const LengthGroup& lg = lgs[g];
+      AEETES_CHECK_LE(lg.end, ogs.size());
       internal::EncodeVarint(lg.length, &idx->blob_);
       internal::EncodeVarint(lg.end - lg.begin, &idx->blob_);
       uint32_t prev_origin = 0;
       for (uint32_t og = lg.begin; og < lg.end; ++og) {
         const OriginGroup& origin_group = ogs[og];
+        // Delta coding relies on ascending ids within each group; an
+        // unsorted index would silently wrap the unsigned subtraction.
+        AEETES_CHECK_GE(origin_group.origin, prev_origin)
+            << "origin groups not sorted; delta coding would corrupt";
+        AEETES_CHECK_LE(origin_group.end, entries.size());
         internal::EncodeVarint(origin_group.origin - prev_origin,
                                &idx->blob_);
         prev_origin = origin_group.origin;
@@ -49,6 +60,8 @@ std::unique_ptr<CompressedIndex> CompressedIndex::Build(
                                &idx->blob_);
         uint32_t prev_derived = 0;
         for (uint32_t i = origin_group.begin; i < origin_group.end; ++i) {
+          AEETES_CHECK_GE(entries[i].derived, prev_derived)
+              << "postings not sorted by derived id within origin group";
           internal::EncodeVarint(entries[i].derived - prev_derived,
                                  &idx->blob_);
           prev_derived = entries[i].derived;
@@ -63,10 +76,14 @@ std::unique_ptr<CompressedIndex> CompressedIndex::Build(
 }
 
 const uint8_t* CompressedIndex::TokenStream(TokenId t, size_t* size) const {
-  if (t + 1 >= offsets_.size()) {
+  // Widen before adding one: `t + 1` in 32 bits wraps to 0 for
+  // t == kNoToken, which used to slip past this guard and read
+  // offsets_ out of bounds.
+  if (static_cast<size_t>(t) + 1 >= offsets_.size()) {
     *size = 0;
     return nullptr;
   }
+  AEETES_DCHECK_LE(offsets_[t], offsets_[t + 1]);
   *size = offsets_[t + 1] - offsets_[t];
   return blob_.data() + offsets_[t];
 }

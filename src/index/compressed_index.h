@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/logging.h"
 #include "src/index/clustered_index.h"
 
 namespace aeetes {
@@ -62,10 +63,17 @@ class CompressedIndex {
 
 namespace internal {
 
-inline uint32_t DecodeVarint(const uint8_t*& p) {
+/// Decodes one LEB128-style varint from [p, end), advancing p. The debug
+/// checks catch both a truncated stream (read past `end`) and a
+/// five-plus-byte varint whose shift of 35 would be UB on uint32_t.
+inline uint32_t DecodeVarint(const uint8_t*& p, const uint8_t* end) {
   uint32_t v = 0;
   int shift = 0;
   while (true) {
+    AEETES_DCHECK_LT(static_cast<const void*>(p),
+                     static_cast<const void*>(end))
+        << "varint stream truncated";
+    AEETES_DCHECK_LT(shift, 32) << "varint wider than 32 bits";
     const uint8_t byte = *p++;
     v |= static_cast<uint32_t>(byte & 0x7f) << shift;
     if ((byte & 0x80) == 0) break;
@@ -83,23 +91,26 @@ void CompressedIndex::Scan(TokenId t, Fn&& fn) const {
   size_t size = 0;
   const uint8_t* p = TokenStream(t, &size);
   if (p == nullptr || size == 0) return;
-  const uint32_t num_lengths = internal::DecodeVarint(p);
+  const uint8_t* const end = p + size;
+  const uint32_t num_lengths = internal::DecodeVarint(p, end);
   for (uint32_t lg = 0; lg < num_lengths; ++lg) {
-    const uint32_t length = internal::DecodeVarint(p);
-    const uint32_t num_origins = internal::DecodeVarint(p);
+    const uint32_t length = internal::DecodeVarint(p, end);
+    const uint32_t num_origins = internal::DecodeVarint(p, end);
     uint32_t origin = 0;
     for (uint32_t og = 0; og < num_origins; ++og) {
-      origin += internal::DecodeVarint(p);  // delta-coded, ascending
-      const uint32_t num_entries = internal::DecodeVarint(p);
+      origin += internal::DecodeVarint(p, end);  // delta-coded, ascending
+      const uint32_t num_entries = internal::DecodeVarint(p, end);
       uint32_t derived = 0;
       for (uint32_t i = 0; i < num_entries; ++i) {
-        derived += internal::DecodeVarint(p);  // delta-coded, ascending
-        const uint32_t pos = internal::DecodeVarint(p);
+        derived += internal::DecodeVarint(p, end);  // delta-coded, ascending
+        const uint32_t pos = internal::DecodeVarint(p, end);
         fn(length, static_cast<EntityId>(origin),
            static_cast<DerivedId>(derived), pos);
       }
     }
   }
+  AEETES_DCHECK_EQ(static_cast<const void*>(p), static_cast<const void*>(end))
+      << "posting stream not fully consumed";
 }
 
 }  // namespace aeetes

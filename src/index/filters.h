@@ -29,6 +29,13 @@ struct FilterStats {
   /// Candidate admissions rejected by the positional filter.
   uint64_t positional_pruned = 0;
 
+  /// Cross-counter invariants that hold for every filter strategy; aborts
+  /// via AEETES_CHECK_* on violation. Candidate generation calls this
+  /// after every document, so a miscounted window/probe pairing (the
+  /// classic sliding-window off-by-one) fails loudly in tests and under
+  /// the sanitizer matrix instead of skewing Figure 10/11 accounting.
+  void CheckConsistent() const;
+
   FilterStats& operator+=(const FilterStats& o) {
     windows += o.windows;
     substrings += o.substrings;

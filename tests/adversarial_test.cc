@@ -31,7 +31,7 @@ DuplicateWorld MakeDuplicateWorld(std::mt19937_64& rng) {
   auto dict = std::make_unique<TokenDictionary>();
   std::vector<TokenId> ids;
   for (size_t i = 0; i < 6; ++i) {  // tiny vocabulary -> heavy repetition
-    ids.push_back(dict->GetOrAdd("d" + std::to_string(i)));
+    ids.push_back(dict->GetOrAdd(testutil::NumberedName("d", i)));
   }
   std::vector<TokenSeq> entities;
   for (size_t i = 0; i < 8; ++i) {

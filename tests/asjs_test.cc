@@ -13,6 +13,14 @@
 namespace aeetes {
 namespace {
 
+/// Builds "<prefix><i>" without std::string operator+ (works around a
+/// spurious GCC 12 -Wrestrict warning at -O2).
+std::string NumberedName(const char* prefix, size_t i) {
+  std::string name(prefix);
+  name += std::to_string(i);
+  return name;
+}
+
 /// Brute-force JaccT: max Jaccard over derived cross product.
 std::map<std::pair<uint32_t, uint32_t>, double> Oracle(
     const std::vector<TokenSeq>& left, const std::vector<TokenSeq>& right,
@@ -112,7 +120,7 @@ TEST(AsjsPropertyTest, MatchesBruteForceOracle) {
     const size_t vocab = 18;
     std::vector<TokenId> ids;
     for (size_t i = 0; i < vocab; ++i) {
-      ids.push_back(dict->GetOrAdd("j" + std::to_string(i)));
+      ids.push_back(dict->GetOrAdd(NumberedName("j", i)));
     }
     auto rand_seq = [&](size_t max_len) {
       TokenSeq s;
@@ -138,7 +146,7 @@ TEST(AsjsPropertyTest, MatchesBruteForceOracle) {
     // rebuild a twin dictionary deterministically.
     auto twin = std::make_unique<TokenDictionary>();
     for (size_t i = 0; i < vocab; ++i) {
-      twin->GetOrAdd("j" + std::to_string(i));
+      twin->GetOrAdd(NumberedName("j", i));
     }
 
     auto join =

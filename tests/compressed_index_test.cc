@@ -17,10 +17,11 @@ TEST(VarintTest, RoundTrip) {
                                         0xffffffffu};
   for (uint32_t v : values) internal::EncodeVarint(v, &buf);
   const uint8_t* p = buf.data();
+  const uint8_t* const end = buf.data() + buf.size();
   for (uint32_t v : values) {
-    EXPECT_EQ(internal::DecodeVarint(p), v);
+    EXPECT_EQ(internal::DecodeVarint(p, end), v);
   }
-  EXPECT_EQ(p, buf.data() + buf.size());
+  EXPECT_EQ(p, end);
 }
 
 TEST(VarintTest, SmallValuesAreOneByte) {

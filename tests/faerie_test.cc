@@ -11,6 +11,14 @@
 namespace aeetes {
 namespace {
 
+/// Builds "<prefix><i>" without std::string operator+ (works around a
+/// spurious GCC 12 -Wrestrict warning at -O2).
+std::string NumberedName(const char* prefix, size_t i) {
+  std::string name(prefix);
+  name += std::to_string(i);
+  return name;
+}
+
 using MatchKey = std::tuple<uint32_t, uint32_t, uint32_t>;
 
 std::set<MatchKey> Keys(const std::vector<Faerie::FaerieMatch>& ms) {
@@ -80,7 +88,7 @@ TEST(FaeriePropertyTest, MatchesOracleOnRandomData) {
     const size_t vocab = 15;
     std::vector<TokenId> ids;
     for (size_t i = 0; i < vocab; ++i) {
-      ids.push_back(dict->GetOrAdd("t" + std::to_string(i)));
+      ids.push_back(dict->GetOrAdd(NumberedName("t", i)));
       ASSERT_TRUE(dict->AddFrequency(ids.back(), 1 + rng() % 4).ok());
     }
     std::vector<TokenSeq> entities;

@@ -165,8 +165,8 @@ TEST_P(IntegrationTest, StatsAccumulateAcrossDocuments) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Profiles, IntegrationTest, testing::Values(0, 1, 2),
-                         [](const testing::TestParamInfo<int>& info) {
-                           switch (info.param) {
+                         [](const testing::TestParamInfo<int>& param_info) {
+                           switch (param_info.param) {
                              case 0:
                                return std::string("PubMedLike");
                              case 1:

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <vector>
+
+#include "src/common/span.h"
+
 namespace aeetes {
 namespace {
 
@@ -44,6 +49,103 @@ TEST(LoggingTest, CheckSuccessIsSilentAndCheap) {
   AEETES_CHECK(true) << "never evaluated";
   EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
 }
+
+// --- comparison checks ----------------------------------------------------
+
+TEST(CheckOpDeathTest, FailurePrintsBothOperandValues) {
+  const size_t pos = 41;
+  const size_t limit = 7;
+  // The message must contain the expression AND the runtime values — the
+  // whole point of the _OP macros over plain AEETES_CHECK.
+  EXPECT_DEATH(AEETES_CHECK_LT(pos, limit),
+               "Check failed: pos < limit \\(41 vs. 7\\)");
+}
+
+TEST(CheckOpDeathTest, StreamedContextIsAppended) {
+  const int got = 3;
+  EXPECT_DEATH(AEETES_CHECK_EQ(got, 4) << "while probing window",
+               "\\(3 vs. 4\\).*while probing window");
+}
+
+TEST(CheckOpDeathTest, EveryComparisonDirectionAborts) {
+  EXPECT_DEATH(AEETES_CHECK_EQ(1, 2), "1 == 2");
+  EXPECT_DEATH(AEETES_CHECK_NE(5, 5), "5 != 5");
+  EXPECT_DEATH(AEETES_CHECK_LT(2, 2), "2 < 2");
+  EXPECT_DEATH(AEETES_CHECK_LE(3, 2), "3 <= 2");
+  EXPECT_DEATH(AEETES_CHECK_GT(2, 2), "2 > 2");
+  EXPECT_DEATH(AEETES_CHECK_GE(1, 2), "1 >= 2");
+}
+
+TEST(CheckOpTest, SuccessIsSilentAndEvaluatesOperandsOnce) {
+  int evals = 0;
+  auto bump = [&evals] { return ++evals; };
+  testing::internal::CaptureStderr();
+  AEETES_CHECK_GE(bump(), 1) << "context never printed";
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+  EXPECT_EQ(evals, 1);
+}
+
+TEST(CheckOpTest, ComparesMixedIntegerWidths) {
+  const uint32_t small = 7;
+  const size_t big = 7;
+  testing::internal::CaptureStderr();
+  AEETES_CHECK_EQ(small, big);
+  AEETES_CHECK_LE(small, big);
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST(CheckOpTest, DanglingElseSafe) {
+  // The while-based expansion must not capture this else.
+  bool reached_else = false;
+  if (false)
+    AEETES_CHECK_EQ(1, 1);
+  else
+    reached_else = true;
+  EXPECT_TRUE(reached_else);
+}
+
+TEST(CheckOpDeathTest, DcheckOpAbortsInDebugOnly) {
+#ifndef NDEBUG
+  EXPECT_DEATH(AEETES_DCHECK_LT(2, 1), "2 < 1");
+#else
+  // Release: must compile, must not evaluate operands.
+  int evals = 0;
+  auto bump = [&evals] { return ++evals; };
+  AEETES_DCHECK_LT(bump(), 0) << "unreachable";
+  EXPECT_EQ(evals, 0);
+#endif
+}
+
+// --- bounds-checked span --------------------------------------------------
+
+TEST(SpanTest, ViewsVectorContents) {
+  const std::vector<int> v = {10, 20, 30};
+  const Span<int> s(v);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], 10);
+  EXPECT_EQ(s.front(), 10);
+  EXPECT_EQ(s.back(), 30);
+  EXPECT_EQ(s.at(2), 30);
+  const Span<int> sub = s.subspan(1, 2);
+  ASSERT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub[0], 20);
+  EXPECT_TRUE(Span<int>().empty());
+}
+
+TEST(SpanDeathTest, AtAbortsOutOfRangeInAllBuilds) {
+  const std::vector<int> v = {1, 2, 3};
+  const Span<int> s(v);
+  EXPECT_DEATH(s.at(3), "Span::at out of range");
+}
+
+#ifndef NDEBUG
+TEST(SpanDeathTest, SubscriptAbortsOutOfRangeInDebug) {
+  const std::vector<int> v = {1, 2, 3};
+  const Span<int> s(v);
+  EXPECT_DEATH(s[3], "3 vs. 3");
+  EXPECT_DEATH(s.subspan(2, 2), "2 vs. 1");
+}
+#endif
 
 }  // namespace
 }  // namespace aeetes

@@ -84,9 +84,9 @@ INSTANTIATE_TEST_SUITE_P(
                                      FilterStrategy::kSkip,
                                      FilterStrategy::kDynamic,
                                      FilterStrategy::kLazy)),
-    [](const auto& info) {
-      return std::string(MetricName(std::get<0>(info.param))) +
-             FilterStrategyName(std::get<1>(info.param));
+    [](const auto& param_info) {
+      return std::string(MetricName(std::get<0>(param_info.param))) +
+             FilterStrategyName(std::get<1>(param_info.param));
     });
 
 }  // namespace

@@ -10,6 +10,14 @@
 namespace aeetes {
 namespace {
 
+/// Builds "<prefix><i>" without std::string operator+ (works around a
+/// spurious GCC 12 -Wrestrict warning at -O2).
+std::string NumberedName(const char* prefix, size_t i) {
+  std::string name(prefix);
+  name += std::to_string(i);
+  return name;
+}
+
 TEST(EpsMathTest, GuardsAgainstFloatingPointDrift) {
   // (1 - 0.8) * 5 evaluates to 0.9999999999999998 in doubles; the naive
   // floor of (that + 1) is 1, losing a prefix slot. EpsCeil/EpsFloor must
@@ -148,7 +156,7 @@ TEST_P(PrefixFilterProperty, DisjointPrefixesImplyDissimilar) {
   TokenDictionary dict;
   const size_t vocab = 30;
   for (size_t i = 0; i < vocab; ++i) {
-    const TokenId id = dict.GetOrAdd("w" + std::to_string(i));
+    const TokenId id = dict.GetOrAdd(NumberedName("w", i));
     ASSERT_TRUE(dict.AddFrequency(id, 1 + rng() % 9).ok());
   }
   dict.Freeze();
@@ -157,8 +165,12 @@ TEST_P(PrefixFilterProperty, DisjointPrefixesImplyDissimilar) {
     TokenSeq a, b;
     const size_t na = 1 + rng() % 10;
     const size_t nb = 1 + rng() % 10;
-    for (size_t i = 0; i < na; ++i) a.push_back(rng() % vocab);
-    for (size_t i = 0; i < nb; ++i) b.push_back(rng() % vocab);
+    for (size_t i = 0; i < na; ++i) {
+      a.push_back(static_cast<TokenId>(rng() % vocab));
+    }
+    for (size_t i = 0; i < nb; ++i) {
+      b.push_back(static_cast<TokenId>(rng() % vocab));
+    }
     const TokenSeq sa = BuildOrderedSet(a, dict);
     const TokenSeq sb = BuildOrderedSet(b, dict);
     const size_t pa = PrefixLength(metric, sa.size(), tau);

@@ -76,6 +76,34 @@ TEST(ResultTest, ArrowOperator) {
   EXPECT_EQ(r->size(), 3u);
 }
 
+// Misuse paths abort via AEETES_CHECK in every build type: the library
+// never throws, so these are the only guard between a forgotten ok()
+// check and dereferencing an empty optional.
+TEST(ResultDeathTest, ValueOnErrorAborts) {
+  Result<int> r(Status::NotFound("no such entity"));
+  EXPECT_DEATH(r.value(), "Result::value\\(\\) called on error.*NotFound");
+}
+
+TEST(ResultDeathTest, DereferenceOnErrorAborts) {
+  Result<std::string> r(Status::Internal("boom"));
+  EXPECT_DEATH(*r, "Result::value\\(\\) called on error.*Internal: boom");
+  EXPECT_DEATH(r->size(), "Result::value\\(\\) called on error");
+}
+
+TEST(ResultDeathTest, MoveValueOnErrorAborts) {
+  EXPECT_DEATH(
+      {
+        Result<std::string> r(Status::IOError("disk gone"));
+        std::string v = std::move(r).value();
+      },
+      "Result::value\\(\\) called on error.*IOError");
+}
+
+TEST(ResultDeathTest, ConstructingFromOkStatusAborts) {
+  EXPECT_DEATH(Result<int>(Status::OK()),
+               "Result\\(Status\\) requires a non-OK status");
+}
+
 Status FailIfNegative(int x) {
   if (x < 0) return Status::InvalidArgument("negative");
   return Status::OK();

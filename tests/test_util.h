@@ -13,6 +13,15 @@
 namespace aeetes {
 namespace testutil {
 
+/// Builds "<prefix><i>". Written with += rather than std::string
+/// operator+ to dodge a spurious GCC 12 -Wrestrict warning that the
+/// inlined temporary-string concatenation triggers at -O2.
+inline std::string NumberedName(const char* prefix, size_t i) {
+  std::string name(prefix);
+  name += std::to_string(i);
+  return name;
+}
+
 /// A randomly generated AEES world for property tests: a token universe,
 /// random entities, random synonym rules, and documents that embed entity
 /// variants among noise tokens.
@@ -29,7 +38,7 @@ inline RandomWorld MakeRandomWorld(std::mt19937_64& rng,
   auto dict = std::make_unique<TokenDictionary>();
   std::vector<TokenId> ids;
   for (size_t i = 0; i < vocab; ++i) {
-    ids.push_back(dict->GetOrAdd("tok" + std::to_string(i)));
+    ids.push_back(dict->GetOrAdd(NumberedName("tok", i)));
   }
   auto rand_tok = [&]() { return ids[rng() % ids.size()]; };
 

@@ -7,6 +7,14 @@
 namespace aeetes {
 namespace {
 
+/// Builds "<prefix><i>" without std::string operator+ (works around a
+/// spurious GCC 12 -Wrestrict warning at -O2).
+std::string NumberedName(const char* prefix, size_t i) {
+  std::string name(prefix);
+  name += std::to_string(i);
+  return name;
+}
+
 class TokenSetTest : public testing::Test {
  protected:
   TokenId Add(const std::string& text, uint64_t freq) {
@@ -90,13 +98,15 @@ TEST(TokenSetPropertyTest, OrderedSetEqualsSortedUniqueUnderAnyFrequencies) {
     TokenDictionary dict;
     const size_t vocab = 20;
     for (size_t i = 0; i < vocab; ++i) {
-      const TokenId id = dict.GetOrAdd("t" + std::to_string(i));
+      const TokenId id = dict.GetOrAdd(NumberedName("t", i));
       ASSERT_TRUE(dict.AddFrequency(id, rng() % 5).ok());  // some freq 0
     }
     dict.Freeze();
     TokenSeq seq;
     const size_t n = 1 + rng() % 15;
-    for (size_t i = 0; i < n; ++i) seq.push_back(rng() % vocab);
+    for (size_t i = 0; i < n; ++i) {
+      seq.push_back(static_cast<TokenId>(rng() % vocab));
+    }
     const TokenSeq set = BuildOrderedSet(seq, dict);
     // Strictly increasing ranks => sorted and distinct.
     for (size_t i = 1; i < set.size(); ++i) {

@@ -9,11 +9,19 @@
 namespace aeetes {
 namespace {
 
+/// Builds "<prefix><i>" without std::string operator+ (works around a
+/// spurious GCC 12 -Wrestrict warning at -O2).
+std::string NumberedName(const char* prefix, size_t i) {
+  std::string name(prefix);
+  name += std::to_string(i);
+  return name;
+}
+
 class WindowTest : public testing::Test {
  protected:
   void SetUp() override {
     for (size_t i = 0; i < 10; ++i) {
-      const TokenId id = dict_.GetOrAdd("w" + std::to_string(i));
+      const TokenId id = dict_.GetOrAdd(NumberedName("w", i));
       ASSERT_TRUE(dict_.AddFrequency(id, i + 1).ok());  // rank = id order
     }
     dict_.Freeze();
@@ -85,13 +93,15 @@ TEST(WindowPropertyTest, IncrementalStateMatchesFromScratch) {
     TokenDictionary dict;
     const size_t vocab = 12;
     for (size_t i = 0; i < vocab; ++i) {
-      const TokenId id = dict.GetOrAdd("t" + std::to_string(i));
+      const TokenId id = dict.GetOrAdd(NumberedName("t", i));
       ASSERT_TRUE(dict.AddFrequency(id, rng() % 6).ok());
     }
     dict.Freeze();
     TokenSeq tokens;
     const size_t n = 10 + rng() % 40;
-    for (size_t i = 0; i < n; ++i) tokens.push_back(rng() % vocab);
+    for (size_t i = 0; i < n; ++i) {
+      tokens.push_back(static_cast<TokenId>(rng() % vocab));
+    }
     const Document doc = Document::FromTokens(tokens);
 
     // Random walk of Extend/Migrate, checking equality with a rebuilt
@@ -123,12 +133,14 @@ TEST(WindowPropertyTest, OrderedSetMatchesBuildOrderedSet) {
   std::mt19937_64 rng(77);
   TokenDictionary dict;
   for (size_t i = 0; i < 9; ++i) {
-    const TokenId id = dict.GetOrAdd("t" + std::to_string(i));
+    const TokenId id = dict.GetOrAdd(NumberedName("t", i));
     ASSERT_TRUE(dict.AddFrequency(id, 1 + rng() % 4).ok());
   }
   dict.Freeze();
   TokenSeq tokens;
-  for (size_t i = 0; i < 50; ++i) tokens.push_back(rng() % 9);
+  for (size_t i = 0; i < 50; ++i) {
+    tokens.push_back(static_cast<TokenId>(rng() % 9));
+  }
   const Document doc = Document::FromTokens(tokens);
   SlidingWindow w(doc, dict);
   for (size_t p = 0; p + 5 <= doc.size(); p += 3) {

@@ -1,0 +1,151 @@
+#!/usr/bin/env bash
+# tools/check.sh — the one entry point for every correctness gate.
+#
+# Runs, in order:
+#   format      clang-format --dry-run over src/ tests/ bench/ examples/
+#   tidy        clang-tidy over src/ with the checked-in .clang-tidy
+#   werror      full build with AEETES_WERROR=ON (hardened warning set)
+#   release     Release build + ctest
+#   asan-ubsan  Debug + ASan/UBSan build + ctest
+#   tsan        Debug + TSan build + ctest
+#
+# Usage:
+#   tools/check.sh                 # run everything available
+#   tools/check.sh format tidy     # run a subset (CI runs one per job)
+#
+# Steps whose tool is not installed (clang-format / clang-tidy) are
+# SKIPPED with a notice rather than failed, so the script is usable on
+# minimal containers; CI images are expected to have them.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$ROOT"
+
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
+FAILED=0
+declare -a SUMMARY=()
+
+note()  { printf '\n== %s ==\n' "$*"; }
+skip()  { printf 'SKIP %s: %s\n' "$1" "${*:2}"; SUMMARY+=("SKIP $1"); }
+pass()  { SUMMARY+=("PASS $1"); }
+fail()  { printf 'FAIL: %s\n' "$*"; SUMMARY+=("FAIL $1"); FAILED=1; }
+
+cxx_sources() {
+  find src tests bench examples \
+    \( -name '*.cc' -o -name '*.h' -o -name '*.cpp' \) -type f | sort
+}
+
+configure_and_test() {
+  # configure_and_test <preset-name> <extra cmake args...>
+  local name="$1"; shift
+  local bindir="build/$name"
+  cmake -S . -B "$bindir" "$@" >"$bindir.configure.log" 2>&1 || {
+    cat "$bindir.configure.log"; return 1; }
+  cmake --build "$bindir" -j "$JOBS" >"$bindir.build.log" 2>&1 || {
+    tail -n 60 "$bindir.build.log"; return 1; }
+  ctest --test-dir "$bindir" --output-on-failure -j "$JOBS"
+}
+
+step_format() {
+  note "clang-format (diff check)"
+  if ! command -v clang-format >/dev/null 2>&1; then
+    skip format "clang-format not installed"
+    return
+  fi
+  if cxx_sources | xargs clang-format --dry-run --Werror; then
+    pass format
+  else
+    fail format "run: $(printf 'cxx_sources | xargs clang-format -i')"
+  fi
+}
+
+step_tidy() {
+  note "clang-tidy over src/"
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    skip tidy "clang-tidy not installed"
+    return
+  fi
+  local bindir=build/tidy-db
+  cmake -S . -B "$bindir" -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >"$bindir.configure.log" 2>&1
+  local srcs
+  srcs=$(find src -name '*.cc' | sort)
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    # shellcheck disable=SC2086
+    run-clang-tidy -p "$bindir" -quiet $srcs && pass tidy || fail tidy
+  else
+    # shellcheck disable=SC2086
+    clang-tidy -p "$bindir" --quiet $srcs && pass tidy || fail tidy
+  fi
+}
+
+step_werror() {
+  note "warning-hardened build (AEETES_WERROR=ON)"
+  local bindir=build/werror
+  if cmake -S . -B "$bindir" -DCMAKE_BUILD_TYPE=Release \
+       -DAEETES_WERROR=ON >"$bindir.configure.log" 2>&1 \
+     && cmake --build "$bindir" -j "$JOBS" >"$bindir.build.log" 2>&1; then
+    pass werror
+  else
+    tail -n 60 "$bindir.build.log" 2>/dev/null || cat "$bindir.configure.log"
+    fail werror
+  fi
+}
+
+step_release() {
+  note "Release build + ctest"
+  if configure_and_test release -DCMAKE_BUILD_TYPE=Release \
+       -DAEETES_WERROR=ON; then
+    pass release
+  else
+    fail release
+  fi
+}
+
+step_asan_ubsan() {
+  note "ASan+UBSan build + ctest"
+  if ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+     configure_and_test asan-ubsan -DCMAKE_BUILD_TYPE=Debug \
+       "-DAEETES_SANITIZE=address,undefined"; then
+    pass asan-ubsan
+  else
+    fail asan-ubsan
+  fi
+}
+
+step_tsan() {
+  note "TSan build + ctest"
+  if configure_and_test tsan -DCMAKE_BUILD_TYPE=Debug \
+       "-DAEETES_SANITIZE=thread"; then
+    pass tsan
+  else
+    fail tsan
+  fi
+}
+
+run_step() {
+  case "$1" in
+    format)     step_format ;;
+    tidy)       step_tidy ;;
+    werror)     step_werror ;;
+    release)    step_release ;;
+    asan-ubsan) step_asan_ubsan ;;
+    tsan)       step_tsan ;;
+    *) echo "unknown step: $1 (expected" \
+            "format|tidy|werror|release|asan-ubsan|tsan)" >&2; exit 2 ;;
+  esac
+}
+
+STEPS=("$@")
+if [ ${#STEPS[@]} -eq 0 ]; then
+  STEPS=(format tidy werror release asan-ubsan tsan)
+fi
+
+mkdir -p build
+for s in "${STEPS[@]}"; do
+  run_step "$s"
+done
+
+note "summary"
+printf '%s\n' "${SUMMARY[@]}"
+exit "$FAILED"
