@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 
 #include "src/common/logging.h"
@@ -16,6 +17,91 @@ double EnvDouble(const char* name, double fallback) {
   const double parsed = std::strtod(v, &end);
   if (end == v) return fallback;
   return parsed;
+}
+
+double TimedMillis(const std::function<void()>& fn) {
+  double ms = 0.0;
+  {
+    ScopedTimer timer(nullptr, &ms);
+    fn();
+  }
+  return ms;
+}
+
+BenchReporter::BenchReporter(std::string name, std::string title,
+                             std::string paper_ref)
+    : name_(std::move(name)), paper_ref_(std::move(paper_ref)) {
+  PrintHeader(title, paper_ref_);
+}
+
+BenchReporter::~BenchReporter() { Emit(); }
+
+BenchReporter::Row& BenchReporter::Row::Set(std::string_view key,
+                                            double value) {
+  if (!json_.empty()) json_.push_back(',');
+  jsonio::AppendString(&json_, key);
+  json_.push_back(':');
+  jsonio::AppendDouble(&json_, value);
+  return *this;
+}
+
+BenchReporter::Row& BenchReporter::Row::Set(std::string_view key,
+                                            uint64_t value) {
+  if (!json_.empty()) json_.push_back(',');
+  jsonio::AppendString(&json_, key);
+  json_.push_back(':');
+  json_ += std::to_string(value);
+  return *this;
+}
+
+BenchReporter::Row& BenchReporter::Row::Set(std::string_view key,
+                                            std::string_view value) {
+  if (!json_.empty()) json_.push_back(',');
+  jsonio::AppendString(&json_, key);
+  json_.push_back(':');
+  jsonio::AppendString(&json_, value);
+  return *this;
+}
+
+BenchReporter::Row& BenchReporter::AddRow() {
+  rows_.emplace_back();
+  return rows_.back();
+}
+
+std::string BenchReporter::ToJson() const {
+  std::string out = "{\"bench\":";
+  jsonio::AppendString(&out, name_);
+  out += ",\"paper_ref\":";
+  jsonio::AppendString(&out, paper_ref_);
+  out += ",\"rows\":[";
+  bool first = true;
+  for (const Row& row : rows_) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('{');
+    out += row.json_;
+    out.push_back('}');
+  }
+  out += "]}";
+  return out;
+}
+
+void BenchReporter::Emit() {
+  if (emitted_) return;
+  emitted_ = true;
+  const std::string blob = ToJson();
+  const char* dir = std::getenv("AEETES_BENCH_JSON_DIR");
+  if (dir != nullptr && *dir != '\0') {
+    const std::string path = std::string(dir) + "/BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (out) {
+      out << blob << "\n";
+      return;
+    }
+    std::cerr << "BenchReporter: cannot write " << path
+              << "; falling back to stdout\n";
+  }
+  std::cout << blob << "\n";
 }
 
 std::vector<DatasetProfile> EvaluationProfiles(double scale) {

@@ -1,12 +1,16 @@
 #ifndef AEETES_BENCH_BENCH_COMMON_H_
 #define AEETES_BENCH_BENCH_COMMON_H_
 
+#include <deque>
+#include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/baseline/faerie_r.h"
 #include "src/common/logging.h"
+#include "src/common/metrics.h"
 #include "src/core/aeetes.h"
 #include "src/datagen/generator.h"
 #include "src/datagen/profile.h"
@@ -16,6 +20,55 @@ namespace bench {
 
 /// Reads a double from the environment (benchmark scaling knobs).
 double EnvDouble(const char* name, double fallback);
+
+/// Wall time of one call, via ScopedTimer — the single timing primitive
+/// shared by every benchmark (replaces per-benchmark Stopwatch plumbing).
+double TimedMillis(const std::function<void()>& fn);
+
+/// Collects benchmark measurements as rows of key/value pairs and emits
+/// them as one uniform machine-readable blob, so trajectory tooling parses
+/// every benchmark the same way instead of scraping bespoke tables.
+///
+/// The blob is a single JSON line
+///   {"bench":NAME,"paper_ref":REF,"rows":[{...},{...}]}
+/// written at destruction. Destination: `$AEETES_BENCH_JSON_DIR/BENCH_<name>.json`
+/// when that environment variable names a directory, stdout otherwise.
+/// The human-readable tables printed by each benchmark are unaffected.
+class BenchReporter {
+ public:
+  /// Also prints the standard bench header (title + paper reference).
+  BenchReporter(std::string name, std::string title, std::string paper_ref);
+  ~BenchReporter();
+
+  BenchReporter(const BenchReporter&) = delete;
+  BenchReporter& operator=(const BenchReporter&) = delete;
+
+  /// One measurement row; Set preserves insertion order within the row.
+  class Row {
+   public:
+    Row& Set(std::string_view key, double value);
+    Row& Set(std::string_view key, uint64_t value);
+    Row& Set(std::string_view key, std::string_view value);
+
+   private:
+    friend class BenchReporter;
+    std::string json_;  // accumulated `"k":v` pairs, comma-separated
+  };
+
+  Row& AddRow();
+
+  /// The full blob as JSON (also what Emit writes).
+  std::string ToJson() const;
+
+  /// Writes the blob; called automatically by the destructor (idempotent).
+  void Emit();
+
+ private:
+  std::string name_;
+  std::string paper_ref_;
+  std::deque<Row> rows_;  // reference stability for returned Row&
+  bool emitted_ = false;
+};
 
 /// The three evaluation corpora of the paper, regenerated synthetically.
 /// `scale` multiplies entity/document/rule counts (see

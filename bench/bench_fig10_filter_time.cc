@@ -5,12 +5,12 @@
 #include <iostream>
 
 #include "bench/bench_common.h"
-#include "src/common/stopwatch.h"
 
 int main() {
   using namespace aeetes;
-  bench::PrintHeader("Effect of filtering techniques: query time",
-                     "Figure 10");
+  bench::BenchReporter reporter("fig10_filter_time",
+                                "Effect of filtering techniques: query time",
+                                "Figure 10");
 
   constexpr FilterStrategy kStrategies[] = {
       FilterStrategy::kSimple, FilterStrategy::kSkip,
@@ -30,15 +30,19 @@ int main() {
       std::cout << std::left << std::setw(14) << profile.name << std::setw(6)
                 << std::setprecision(2) << tau << std::right << std::fixed
                 << std::setprecision(3);
+      auto& row = reporter.AddRow().Set("dataset", profile.name).Set("tau",
+                                                                     tau);
       for (FilterStrategy s : kStrategies) {
-        Stopwatch sw;
-        for (const Document& doc : w.documents) {
-          auto r = w.aeetes->ExtractWithStrategy(doc, tau, s);
-          AEETES_CHECK(r.ok());
-        }
-        std::cout << std::setw(13)
-                  << sw.ElapsedMillis() /
-                         static_cast<double>(w.documents.size());
+        const double ms =
+            bench::TimedMillis([&] {
+              for (const Document& doc : w.documents) {
+                auto r = w.aeetes->ExtractWithStrategy(doc, tau, s);
+                AEETES_CHECK(r.ok());
+              }
+            }) /
+            static_cast<double>(w.documents.size());
+        row.Set(std::string(FilterStrategyName(s)) + "_ms_per_doc", ms);
+        std::cout << std::setw(13) << ms;
       }
       std::cout << "\n";
     }

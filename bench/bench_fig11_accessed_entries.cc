@@ -9,8 +9,9 @@
 
 int main() {
   using namespace aeetes;
-  bench::PrintHeader("Effect of filtering techniques: accessed entries",
-                     "Figure 11");
+  bench::BenchReporter reporter(
+      "fig11_accessed_entries",
+      "Effect of filtering techniques: accessed entries", "Figure 11");
 
   constexpr FilterStrategy kStrategies[] = {
       FilterStrategy::kSimple, FilterStrategy::kSkip,
@@ -28,6 +29,8 @@ int main() {
     for (double tau : bench::ThresholdSweep()) {
       std::cout << std::left << std::setw(14) << profile.name << std::setw(6)
                 << std::setprecision(2) << tau << std::right;
+      auto& row = reporter.AddRow().Set("dataset", profile.name).Set("tau",
+                                                                     tau);
       for (FilterStrategy s : kStrategies) {
         uint64_t entries = 0;
         for (const Document& doc : w.documents) {
@@ -35,8 +38,10 @@ int main() {
           AEETES_CHECK(r.ok());
           entries += r->filter_stats.entries_accessed;
         }
-        std::cout << std::setw(12)
-                  << entries / w.documents.size();
+        const uint64_t per_doc = entries / w.documents.size();
+        row.Set(std::string(FilterStrategyName(s)) + "_entries_per_doc",
+                per_doc);
+        std::cout << std::setw(12) << per_doc;
       }
       std::cout << "\n";
     }

@@ -6,11 +6,12 @@
 #include <iostream>
 
 #include "bench/bench_common.h"
-#include "src/common/stopwatch.h"
 
 int main() {
   using namespace aeetes;
-  bench::PrintHeader("Scalability: varying number of entities", "Figure 12");
+  bench::BenchReporter reporter("fig12_scalability",
+                                "Scalability: varying number of entities",
+                                "Figure 12");
 
   const std::vector<double> kSizeFactors = {0.2, 0.4, 0.6, 0.8, 1.0};
 
@@ -32,15 +33,23 @@ int main() {
       std::cout << std::left << std::setw(14) << profile.name << std::setw(10)
                 << w.dataset.entity_texts.size() << std::right << std::fixed
                 << std::setprecision(3);
+      auto& row =
+          reporter.AddRow()
+              .Set("dataset", profile.name)
+              .Set("entities",
+                   static_cast<uint64_t>(w.dataset.entity_texts.size()));
       for (double tau : bench::ThresholdSweep()) {
-        Stopwatch sw;
-        for (const Document& doc : w.documents) {
-          auto r = w.aeetes->Extract(doc, tau);
-          AEETES_CHECK(r.ok());
-        }
-        std::cout << std::setw(12)
-                  << sw.ElapsedMillis() /
-                         static_cast<double>(w.documents.size());
+        const double ms =
+            bench::TimedMillis([&] {
+              for (const Document& doc : w.documents) {
+                auto r = w.aeetes->Extract(doc, tau);
+                AEETES_CHECK(r.ok());
+              }
+            }) /
+            static_cast<double>(w.documents.size());
+        row.Set("tau_" + std::to_string(tau).substr(0, 4) + "_ms_per_doc",
+                ms);
+        std::cout << std::setw(12) << ms;
       }
       std::cout << "\n";
     }

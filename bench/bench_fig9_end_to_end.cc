@@ -7,11 +7,11 @@
 #include <iostream>
 
 #include "bench/bench_common.h"
-#include "src/common/stopwatch.h"
 
 int main() {
   using namespace aeetes;
-  bench::PrintHeader("End-to-end performance", "Figure 9");
+  bench::BenchReporter reporter("fig9_end_to_end", "End-to-end performance",
+                                "Figure 9");
 
   std::cout << std::left << std::setw(14) << "dataset" << std::setw(6)
             << "tau" << std::right << std::setw(16) << "FaerieR(ms/doc)"
@@ -24,27 +24,36 @@ int main() {
     AEETES_CHECK(faerie_r.ok());
 
     for (double tau : bench::ThresholdSweep()) {
-      Stopwatch sw;
       size_t faerie_matches = 0;
-      for (const Document& doc : w.documents) {
-        faerie_matches += (*faerie_r)->Extract(doc, tau).size();
-      }
       const double faerie_ms =
-          sw.ElapsedMillis() / static_cast<double>(w.documents.size());
+          bench::TimedMillis([&] {
+            for (const Document& doc : w.documents) {
+              faerie_matches += (*faerie_r)->Extract(doc, tau).size();
+            }
+          }) /
+          static_cast<double>(w.documents.size());
 
-      sw.Restart();
       size_t aeetes_matches = 0;
-      for (const Document& doc : w.documents) {
-        auto r = w.aeetes->Extract(doc, tau);
-        AEETES_CHECK(r.ok());
-        aeetes_matches += r->matches.size();
-      }
       const double aeetes_ms =
-          sw.ElapsedMillis() / static_cast<double>(w.documents.size());
+          bench::TimedMillis([&] {
+            for (const Document& doc : w.documents) {
+              auto r = w.aeetes->Extract(doc, tau);
+              AEETES_CHECK(r.ok());
+              aeetes_matches += r->matches.size();
+            }
+          }) /
+          static_cast<double>(w.documents.size());
 
       AEETES_CHECK(faerie_matches == aeetes_matches)
           << "result sets diverged: " << faerie_matches << " vs "
           << aeetes_matches;
+
+      reporter.AddRow()
+          .Set("dataset", profile.name)
+          .Set("tau", tau)
+          .Set("faerie_ms_per_doc", faerie_ms)
+          .Set("aeetes_ms_per_doc", aeetes_ms)
+          .Set("matches", static_cast<uint64_t>(aeetes_matches));
 
       std::cout << std::left << std::setw(14) << profile.name << std::setw(6)
                 << std::setprecision(2) << tau << std::right << std::fixed

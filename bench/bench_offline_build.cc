@@ -6,14 +6,15 @@
 #include <filesystem>
 #include <iomanip>
 #include <iostream>
+#include <optional>
 
 #include "bench/bench_common.h"
-#include "src/common/stopwatch.h"
 #include "src/io/snapshot.h"
 
 int main() {
   using namespace aeetes;
-  bench::PrintHeader("Offline build costs", "Section 6.3");
+  bench::BenchReporter reporter("offline_build", "Offline build costs",
+                                "Section 6.3");
 
   std::cout << std::left << std::setw(14) << "dataset" << std::right
             << std::setw(11) << "#derived" << std::setw(12) << "derive(ms)"
@@ -35,36 +36,46 @@ int main() {
       AEETES_CHECK(r.ok());
     }
 
-    Stopwatch sw;
-    auto dd = DerivedDictionary::Build(std::move(entities), rules,
-                                       std::move(dict));
-    AEETES_CHECK(dd.ok());
-    const double derive_ms = sw.ElapsedMillis();
-    const size_t num_derived = (*dd)->num_derived();
+    std::optional<Result<std::unique_ptr<DerivedDictionary>>> dd;
+    const double derive_ms = bench::TimedMillis([&] {
+      dd.emplace(DerivedDictionary::Build(std::move(entities), rules,
+                                          std::move(dict)));
+    });
+    AEETES_CHECK(dd->ok());
+    const size_t num_derived = (**dd)->num_derived();
 
-    sw.Restart();
-    auto index = ClusteredIndex::Build(**dd);
-    const double index_ms = sw.ElapsedMillis();
+    std::unique_ptr<ClusteredIndex> index;
+    const double index_ms =
+        bench::TimedMillis([&] { index = ClusteredIndex::Build(***dd); });
     const size_t index_kb = index->MemoryBytes() / 1024;
 
-    auto aeetes = Aeetes::FromDerivedDictionary(std::move(*dd));
+    auto aeetes = Aeetes::FromDerivedDictionary(std::move(**dd));
     AEETES_CHECK(aeetes.ok());
 
     const std::string path =
         (std::filesystem::temp_directory_path() /
          ("aeetes_bench_snap_" + profile.name + ".bin"))
             .string();
-    sw.Restart();
-    AEETES_CHECK(SaveSnapshot(**aeetes, path).ok());
-    const double save_ms = sw.ElapsedMillis();
+    const double save_ms = bench::TimedMillis(
+        [&] { AEETES_CHECK(SaveSnapshot(**aeetes, path).ok()); });
     const size_t snap_kb =
         static_cast<size_t>(std::filesystem::file_size(path)) / 1024;
-    sw.Restart();
-    auto loaded = LoadSnapshot(path);
-    AEETES_CHECK(loaded.ok());
-    const double load_ms = sw.ElapsedMillis();
+    std::optional<Result<std::unique_ptr<Aeetes>>> loaded;
+    const double load_ms =
+        bench::TimedMillis([&] { loaded.emplace(LoadSnapshot(path)); });
+    AEETES_CHECK(loaded->ok());
     std::error_code ec;
     std::filesystem::remove(path, ec);
+
+    reporter.AddRow()
+        .Set("dataset", profile.name)
+        .Set("derived", static_cast<uint64_t>(num_derived))
+        .Set("derive_ms", derive_ms)
+        .Set("index_ms", index_ms)
+        .Set("index_kb", static_cast<uint64_t>(index_kb))
+        .Set("save_ms", save_ms)
+        .Set("load_ms", load_ms)
+        .Set("snapshot_kb", static_cast<uint64_t>(snap_kb));
 
     std::cout << std::left << std::setw(14) << profile.name << std::right
               << std::setw(11) << num_derived << std::fixed

@@ -6,13 +6,13 @@
 #include <iostream>
 
 #include "bench/bench_common.h"
-#include "src/common/stopwatch.h"
 #include "src/core/candidate_generator.h"
 
 int main() {
   using namespace aeetes;
-  bench::PrintHeader("Filter/verify time split + verification ablation",
-                     "future work (i)");
+  bench::BenchReporter reporter(
+      "verify_split", "Filter/verify time split + verification ablation",
+      "future work (i)");
 
   std::cout << std::left << std::setw(14) << "dataset" << std::setw(6)
             << "tau" << std::right << std::setw(12) << "filter(ms)"
@@ -28,26 +28,35 @@ int main() {
       double filter_ms = 0, verify_fast_ms = 0, verify_full_ms = 0;
       uint64_t cands = 0, matches = 0;
       for (const Document& doc : w.documents) {
-        Stopwatch sw;
-        auto gen = GenerateCandidates(FilterStrategy::kLazy, doc, dd, index,
-                                      tau);
-        filter_ms += sw.ElapsedMillis();
+        CandidateGenOutput gen;
+        filter_ms += bench::TimedMillis([&] {
+          gen = GenerateCandidates(FilterStrategy::kLazy, doc, dd, index,
+                                   tau);
+        });
         cands += gen.candidates.size();
 
         auto copy = gen.candidates;
-        sw.Restart();
-        const auto fast =
-            VerifyCandidates(std::move(gen.candidates), doc, dd, tau, {},
-                             nullptr, /*early_termination=*/true);
-        verify_fast_ms += sw.ElapsedMillis();
-        matches += fast.size();
+        verify_fast_ms += bench::TimedMillis([&] {
+          const auto fast =
+              VerifyCandidates(std::move(gen.candidates), doc, dd, tau, {},
+                               nullptr, /*early_termination=*/true);
+          matches += fast.size();
+        });
 
-        sw.Restart();
-        VerifyCandidates(std::move(copy), doc, dd, tau, {}, nullptr,
-                         /*early_termination=*/false);
-        verify_full_ms += sw.ElapsedMillis();
+        verify_full_ms += bench::TimedMillis([&] {
+          VerifyCandidates(std::move(copy), doc, dd, tau, {}, nullptr,
+                           /*early_termination=*/false);
+        });
       }
       const double docs = static_cast<double>(w.documents.size());
+      reporter.AddRow()
+          .Set("dataset", profile.name)
+          .Set("tau", tau)
+          .Set("filter_ms_per_doc", filter_ms / docs)
+          .Set("verify_et_ms_per_doc", verify_fast_ms / docs)
+          .Set("verify_full_ms_per_doc", verify_full_ms / docs)
+          .Set("candidates", cands)
+          .Set("matches", matches);
       std::cout << std::left << std::setw(14) << profile.name << std::setw(6)
                 << std::setprecision(2) << tau << std::right << std::fixed
                 << std::setprecision(3) << std::setw(12) << filter_ms / docs

@@ -2,13 +2,20 @@
 // data. Reads an entity dictionary, a synonym rule file and a document
 // file (one item per line), and prints matches as TSV.
 //
-//   $ ./aeetes_cli ENTITIES RULES DOCUMENTS [tau] [strategy]
+//   $ ./aeetes_cli ENTITIES RULES DOCUMENTS [tau] [strategy] [flags]
 //
 //   ENTITIES   one entity per line
 //   RULES      one "lhs <=> rhs" rule per line (empty file = no rules)
 //   DOCUMENTS  one document per line
 //   tau        similarity threshold, default 0.8
 //   strategy   simple|skip|dynamic|lazy, default lazy
+//
+// Flags (anywhere on the command line):
+//   --stats        print the metrics registry as a human table (stderr)
+//   --stats=json   print the metrics registry as one JSON line (stdout,
+//                  after the TSV rows — `tail -n 1` isolates it)
+//   --trace        print the per-stage span tree of every document's
+//                  Extract call (stderr)
 //
 // Output columns: doc_id, token_begin, token_len, substring, entity_id,
 // entity, score.
@@ -18,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/metrics.h"
 #include "src/core/aeetes.h"
 
 namespace {
@@ -51,20 +59,40 @@ bool ParseStrategy(const std::string& name, aeetes::FilterStrategy* out) {
 
 int main(int argc, char** argv) {
   using namespace aeetes;
-  if (argc < 4) {
+  bool stats_text = false;
+  bool stats_json = false;
+  bool trace_stages = false;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--stats") {
+      stats_text = true;
+    } else if (arg == "--stats=json") {
+      stats_json = true;
+    } else if (arg == "--trace") {
+      trace_stages = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() < 3) {
     std::cerr << "usage: " << argv[0]
-              << " ENTITIES RULES DOCUMENTS [tau=0.8] "
-                 "[strategy=lazy]\n";
+              << " ENTITIES RULES DOCUMENTS [tau=0.8] [strategy=lazy]"
+                 " [--stats[=json]] [--trace]\n";
     return 2;
   }
   std::vector<std::string> entities, rules, documents;
-  if (!ReadLines(argv[1], &entities, false)) return 1;
-  if (!ReadLines(argv[2], &rules, true)) return 1;
-  if (!ReadLines(argv[3], &documents, false)) return 1;
-  const double tau = argc > 4 ? std::stod(argv[4]) : 0.8;
+  if (!ReadLines(positional[0], &entities, false)) return 1;
+  if (!ReadLines(positional[1], &rules, true)) return 1;
+  if (!ReadLines(positional[2], &documents, false)) return 1;
+  const double tau = positional.size() > 3 ? std::stod(positional[3]) : 0.8;
   AeetesOptions options;
-  if (argc > 5 && !ParseStrategy(argv[5], &options.strategy)) {
-    std::cerr << "unknown strategy: " << argv[5] << "\n";
+  if (positional.size() > 4 &&
+      !ParseStrategy(positional[4], &options.strategy)) {
+    std::cerr << "unknown strategy: " << positional[4] << "\n";
     return 2;
   }
 
@@ -81,8 +109,15 @@ int main(int argc, char** argv) {
 
   size_t total = 0;
   for (size_t d = 0; d < documents.size(); ++d) {
-    Document doc = aeetes->EncodeDocument(documents[d]);
-    auto result = aeetes->Extract(doc, tau);
+    TraceRecorder recorder;
+    TraceRecorder* trace = trace_stages ? &recorder : nullptr;
+    Document doc;
+    {
+      TraceScope tokenize_span(trace, "tokenize");
+      doc = aeetes->EncodeDocument(documents[d]);
+      tokenize_span.AddStat("tokens", doc.size());
+    }
+    auto result = aeetes->Extract(doc, tau, trace);
     if (!result.ok()) {
       std::cerr << "doc " << d << ": " << result.status() << "\n";
       return 1;
@@ -94,8 +129,17 @@ int main(int argc, char** argv) {
                 << m.score << "\n";
       ++total;
     }
+    if (trace_stages) {
+      std::cerr << "doc " << d << " trace:\n" << recorder.ToText();
+    }
   }
   std::cerr << total << " matches across " << documents.size()
             << " documents at tau=" << tau << "\n";
+  if (stats_text) {
+    std::cerr << aeetes->metrics().ToText();
+  }
+  if (stats_json) {
+    std::cout << aeetes->metrics().ToJson() << "\n";
+  }
   return 0;
 }

@@ -2,10 +2,79 @@
 
 #include <algorithm>
 
-#include "src/common/stopwatch.h"
+#include "src/common/metrics.h"
 #include "src/text/token_set.h"
 
 namespace aeetes {
+
+Aeetes::PipelineMetrics::PipelineMetrics(MetricsRegistry& registry)
+    : extract_calls(registry.RegisterCounter("extract.calls",
+                                             "Extract invocations")),
+      filter_windows(registry.RegisterCounter(
+          "filter.windows", "window positions enumerated")),
+      filter_substrings(registry.RegisterCounter(
+          "filter.substrings", "substrings probed against the index")),
+      filter_prefix_rebuilds(registry.RegisterCounter(
+          "filter.prefix_rebuilds", "prefixes computed from scratch")),
+      filter_prefix_updates(registry.RegisterCounter(
+          "filter.prefix_updates",
+          "incremental prefix updates (Extend/Migrate)")),
+      filter_entries_accessed(registry.RegisterCounter(
+          "filter.entries_accessed",
+          "posting entries touched (Figure 11 measure)")),
+      filter_length_groups_skipped(registry.RegisterCounter(
+          "filter.length_groups_skipped",
+          "length groups batch-skipped by the length filter")),
+      filter_origin_groups_skipped(registry.RegisterCounter(
+          "filter.origin_groups_skipped",
+          "origin groups batch-skipped as known candidates")),
+      filter_candidates(registry.RegisterCounter(
+          "filter.candidates", "candidate (substring, origin) pairs")),
+      filter_positional_pruned(registry.RegisterCounter(
+          "filter.positional_pruned",
+          "candidates pruned by the positional filter")),
+      verify_pairs(registry.RegisterCounter("verify.pairs",
+                                            "candidate pairs verified")),
+      verify_matches(registry.RegisterCounter(
+          "verify.matches", "pairs reaching the threshold")),
+      extract_latency_us(registry.RegisterHistogram(
+          "extract.latency_us", "end-to-end Extract wall time (us)")),
+      filter_latency_us(registry.RegisterHistogram(
+          "filter.latency_us", "candidate generation wall time (us)")),
+      verify_latency_us(registry.RegisterHistogram(
+          "verify.latency_us", "verification wall time (us)")) {}
+
+void Aeetes::PublishBuildMetrics(double index_build_ms) {
+  const DerivedDictionary::BuildStats& bs = dd_->build_stats();
+  metrics_
+      .RegisterGauge("build.origins", "origin entities in the dictionary")
+      .Set(static_cast<int64_t>(dd_->num_origins()));
+  metrics_.RegisterGauge("build.derived", "derived entities |E|")
+      .Set(static_cast<int64_t>(dd_->num_derived()));
+  metrics_
+      .RegisterGauge("build.expand_forms",
+                     "derived forms emitted during expansion")
+      .Set(static_cast<int64_t>(bs.expand_forms));
+  metrics_
+      .RegisterGauge("build.expand_dedup_hits",
+                     "duplicate derived forms dropped")
+      .Set(static_cast<int64_t>(bs.expand_dedup_hits));
+  metrics_
+      .RegisterGauge("build.expand_capped_entities",
+                     "entities whose |D(e)| hit the cap")
+      .Set(static_cast<int64_t>(bs.capped_entities));
+  metrics_
+      .RegisterGauge("build.clique_steps",
+                     "clique solver iterations across entities")
+      .Set(static_cast<int64_t>(bs.clique_steps));
+  metrics_
+      .RegisterGauge("build.derive_us",
+                     "derived dictionary construction time (us)")
+      .Set(static_cast<int64_t>(bs.derive_ms * 1e3));
+  metrics_.RegisterGauge("build.index_us", "index construction time (us)")
+      .Set(static_cast<int64_t>(index_build_ms * 1e3));
+  index_->PublishMetrics(metrics_);
+}
 
 Result<std::unique_ptr<Aeetes>> Aeetes::Build(
     std::vector<TokenSeq> entities, const RuleSet& rules,
@@ -14,9 +83,16 @@ Result<std::unique_ptr<Aeetes>> Aeetes::Build(
   AEETES_ASSIGN_OR_RETURN(
       auto dd, DerivedDictionary::Build(std::move(entities), rules,
                                         std::move(dict), dd_options));
-  auto index = ClusteredIndex::Build(*dd);
-  return std::unique_ptr<Aeetes>(
+  double index_ms = 0.0;
+  std::unique_ptr<ClusteredIndex> index;
+  {
+    ScopedTimer timer(nullptr, &index_ms);
+    index = ClusteredIndex::Build(*dd);
+  }
+  auto aeetes = std::unique_ptr<Aeetes>(
       new Aeetes(options, std::move(dd), std::move(index)));
+  aeetes->PublishBuildMetrics(index_ms);
+  return aeetes;
 }
 
 Result<std::unique_ptr<Aeetes>> Aeetes::BuildFromText(
@@ -42,9 +118,16 @@ Result<std::unique_ptr<Aeetes>> Aeetes::FromDerivedDictionary(
   if (dd == nullptr) {
     return Status::InvalidArgument("derived dictionary must be non-null");
   }
-  auto index = ClusteredIndex::Build(*dd);
-  return std::unique_ptr<Aeetes>(
+  double index_ms = 0.0;
+  std::unique_ptr<ClusteredIndex> index;
+  {
+    ScopedTimer timer(nullptr, &index_ms);
+    index = ClusteredIndex::Build(*dd);
+  }
+  auto aeetes = std::unique_ptr<Aeetes>(
       new Aeetes(options, std::move(dd), std::move(index)));
+  aeetes->PublishBuildMetrics(index_ms);
+  return aeetes;
 }
 
 Document Aeetes::EncodeDocument(std::string_view text) {
@@ -52,32 +135,58 @@ Document Aeetes::EncodeDocument(std::string_view text) {
 }
 
 Result<Aeetes::ExtractionResult> Aeetes::Extract(const Document& doc,
-                                                 double tau) const {
-  return ExtractWithStrategy(doc, tau, options_.strategy);
+                                                 double tau,
+                                                 TraceRecorder* trace) const {
+  return ExtractWithStrategy(doc, tau, options_.strategy, trace);
 }
 
 Result<Aeetes::ExtractionResult> Aeetes::ExtractWithStrategy(
-    const Document& doc, double tau, FilterStrategy strategy) const {
+    const Document& doc, double tau, FilterStrategy strategy,
+    TraceRecorder* trace) const {
   if (!(tau > 0.0) || tau > 1.0) {
     return Status::InvalidArgument("threshold must be in (0, 1]");
   }
   ExtractionResult result;
-  Stopwatch sw;
-  CandidateGenOptions gen_options;
-  gen_options.positional_filter = options_.positional_filter;
-  CandidateGenOutput gen = GenerateCandidates(strategy, doc, *dd_, *index_,
-                                              tau, options_.metric,
-                                              gen_options);
-  result.filter_ms = sw.ElapsedMillis();
+  ScopedTimer extract_timer(&pipeline_.extract_latency_us);
+  TraceScope extract_span(trace, "extract");
+
+  CandidateGenOutput gen;
+  {
+    ScopedTimer timer(&pipeline_.filter_latency_us, &result.filter_ms);
+    CandidateGenOptions gen_options;
+    gen_options.positional_filter = options_.positional_filter;
+    gen = GenerateCandidates(strategy, doc, *dd_, *index_, tau,
+                             options_.metric, gen_options, trace);
+  }
   result.filter_stats = gen.stats;
 
-  sw.Restart();
-  JaccArOptions jopts;
-  jopts.metric = options_.metric;
-  jopts.weighted = options_.weighted;
-  result.matches = VerifyCandidates(std::move(gen.candidates), doc, *dd_, tau,
-                                    jopts, &result.verify_stats);
-  result.verify_ms = sw.ElapsedMillis();
+  {
+    ScopedTimer timer(&pipeline_.verify_latency_us, &result.verify_ms);
+    TraceScope verify_span(trace, "verify");
+    JaccArOptions jopts;
+    jopts.metric = options_.metric;
+    jopts.weighted = options_.weighted;
+    result.matches = VerifyCandidates(std::move(gen.candidates), doc, *dd_,
+                                      tau, jopts, &result.verify_stats);
+    verify_span.AddStat("verified", result.verify_stats.verified);
+    verify_span.AddStat("matched", result.verify_stats.matched);
+  }
+
+  // One relaxed atomic add per counter per call: the per-call structs stay
+  // the synchronous view, the registry accumulates across calls/threads.
+  const FilterStats& fs = result.filter_stats;
+  pipeline_.extract_calls.Increment();
+  pipeline_.filter_windows.Add(fs.windows);
+  pipeline_.filter_substrings.Add(fs.substrings);
+  pipeline_.filter_prefix_rebuilds.Add(fs.prefix_rebuilds);
+  pipeline_.filter_prefix_updates.Add(fs.prefix_updates);
+  pipeline_.filter_entries_accessed.Add(fs.entries_accessed);
+  pipeline_.filter_length_groups_skipped.Add(fs.length_groups_skipped);
+  pipeline_.filter_origin_groups_skipped.Add(fs.origin_groups_skipped);
+  pipeline_.filter_candidates.Add(fs.candidates);
+  pipeline_.filter_positional_pruned.Add(fs.positional_pruned);
+  pipeline_.verify_pairs.Add(result.verify_stats.verified);
+  pipeline_.verify_matches.Add(result.verify_stats.matched);
   return result;
 }
 

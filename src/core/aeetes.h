@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/metrics.h"
 #include "src/common/status.h"
 #include "src/core/candidate_generator.h"
 #include "src/core/document.h"
@@ -72,12 +73,16 @@ class Aeetes {
   };
 
   /// Online stage: all (entity, substring) pairs with JaccAR >= tau.
-  Result<ExtractionResult> Extract(const Document& doc, double tau) const;
+  /// When `trace` is non-null, the call records a per-stage span tree
+  /// (extract -> filter -> verify, with the stage stat counters attached)
+  /// into it; tracing off (the default) adds no work to the hot path.
+  Result<ExtractionResult> Extract(const Document& doc, double tau,
+                                   TraceRecorder* trace = nullptr) const;
 
   /// Extract with an explicit strategy (the Figure 10/11 ablation axis).
-  Result<ExtractionResult> ExtractWithStrategy(const Document& doc,
-                                               double tau,
-                                               FilterStrategy strategy) const;
+  Result<ExtractionResult> ExtractWithStrategy(
+      const Document& doc, double tau, FilterStrategy strategy,
+      TraceRecorder* trace = nullptr) const;
 
   /// One scored dictionary hit for a free-standing mention string.
   struct Lookup {
@@ -98,6 +103,12 @@ class Aeetes {
   const Tokenizer& tokenizer() const { return tokenizer_; }
   const AeetesOptions& options() const { return options_; }
 
+  /// Per-instance metrics registry: cumulative filter/verify/build/index
+  /// counters and latency histograms (naming scheme in DESIGN.md
+  /// §Observability). Counters are updated by Extract with relaxed
+  /// atomics, so reading or exporting concurrently is race-free.
+  const MetricsRegistry& metrics() const { return metrics_; }
+
   /// Original-entity text reconstruction (token texts joined by spaces).
   std::string EntityText(EntityId e) const;
 
@@ -114,17 +125,47 @@ class Aeetes {
   MatchExplanation Explain(const Match& match, const Document& doc) const;
 
  private:
+  /// Registered pipeline metrics, resolved once at construction so the
+  /// extraction path updates plain references (one relaxed atomic add
+  /// each) instead of doing name lookups.
+  struct PipelineMetrics {
+    explicit PipelineMetrics(MetricsRegistry& registry);
+
+    Counter& extract_calls;
+    Counter& filter_windows;
+    Counter& filter_substrings;
+    Counter& filter_prefix_rebuilds;
+    Counter& filter_prefix_updates;
+    Counter& filter_entries_accessed;
+    Counter& filter_length_groups_skipped;
+    Counter& filter_origin_groups_skipped;
+    Counter& filter_candidates;
+    Counter& filter_positional_pruned;
+    Counter& verify_pairs;
+    Counter& verify_matches;
+    Histogram& extract_latency_us;
+    Histogram& filter_latency_us;
+    Histogram& verify_latency_us;
+  };
+
   Aeetes(AeetesOptions options, std::unique_ptr<DerivedDictionary> dd,
          std::unique_ptr<ClusteredIndex> index)
       : options_(options),
         tokenizer_(options.tokenizer),
         dd_(std::move(dd)),
-        index_(std::move(index)) {}
+        index_(std::move(index)),
+        pipeline_(metrics_) {}
+
+  /// Publishes offline-stage observations (derivation expansion counts,
+  /// clique solver steps, index build time and sizes) as gauges.
+  void PublishBuildMetrics(double index_build_ms);
 
   AeetesOptions options_;
   Tokenizer tokenizer_;
   std::unique_ptr<DerivedDictionary> dd_;
   std::unique_ptr<ClusteredIndex> index_;
+  mutable MetricsRegistry metrics_;
+  PipelineMetrics pipeline_;
 };
 
 }  // namespace aeetes

@@ -338,7 +338,8 @@ struct Registration {
   uint32_t k;
 };
 
-void GenerateLazy(const ProbeContext& ctx, const LengthRange& win_len) {
+void GenerateLazy(const ProbeContext& ctx, const LengthRange& win_len,
+                  TraceRecorder* trace) {
   const size_t n = ctx.doc.size();
   FilterStats& st = ctx.out->stats;
 
@@ -363,22 +364,28 @@ void GenerateLazy(const ProbeContext& ctx, const LengthRange& win_len) {
     }
   };
 
-  std::vector<SlidingWindow> states = InitialWindows(ctx, win_len);
-  if (states.empty()) return;
-  ++st.windows;
-  for (auto& s : states) register_window(s);
-  for (size_t p = 1; p + win_len.lo <= n; ++p) {
+  {
+    TraceScope enumeration_span(trace, "window_enumeration");
+    std::vector<SlidingWindow> states = InitialWindows(ctx, win_len);
+    if (states.empty()) return;
     ++st.windows;
-    for (auto& s : states) {
-      if (p + s.len() > n) continue;
-      s.Migrate();
-      ++st.prefix_updates;
-      register_window(s);
+    for (auto& s : states) register_window(s);
+    for (size_t p = 1; p + win_len.lo <= n; ++p) {
+      ++st.windows;
+      for (auto& s : states) {
+        if (p + s.len() > n) continue;
+        s.Migrate();
+        ++st.prefix_updates;
+        register_window(s);
+      }
     }
+    enumeration_span.AddStat("valid_tokens",
+                             static_cast<uint64_t>(inverted.size()));
   }
 
   // Phase 2: one scan of L[t] per valid token. Sort registrations by set
   // size so each length group is matched against contiguous runs.
+  TraceScope scan_span(trace, "posting_scan");
   std::vector<TokenId> tokens;
   tokens.reserve(inverted.size());
   for (auto& [t, regs] : inverted) tokens.push_back(t);
@@ -456,10 +463,12 @@ CandidateGenOutput GenerateCandidates(FilterStrategy strategy,
                                       const DerivedDictionary& dd,
                                       const ClusteredIndex& index, double tau,
                                       Metric metric,
-                                      const CandidateGenOptions& options) {
+                                      const CandidateGenOptions& options,
+                                      TraceRecorder* trace) {
   CandidateGenOutput out;
   AEETES_CHECK_GT(tau, 0.0) << "threshold must be in (0, 1]";
   AEETES_CHECK_LE(tau, 1.0) << "threshold must be in (0, 1]";
+  TraceScope filter_span(trace, "filter");
   const LengthRange win_len = SubstringLengthBounds(
       metric, dd.min_set_size(), dd.max_set_size(), tau);
   OriginTracker tracker(dd.num_origins());
@@ -475,10 +484,21 @@ CandidateGenOutput GenerateCandidates(FilterStrategy strategy,
       GenerateDynamic(ctx, win_len);
       break;
     case FilterStrategy::kLazy:
-      GenerateLazy(ctx, win_len);
+      GenerateLazy(ctx, win_len, trace);
       break;
   }
   out.stats.CheckConsistent();
+  filter_span.AddStat("windows", out.stats.windows);
+  filter_span.AddStat("substrings", out.stats.substrings);
+  filter_span.AddStat("prefix_rebuilds", out.stats.prefix_rebuilds);
+  filter_span.AddStat("prefix_updates", out.stats.prefix_updates);
+  filter_span.AddStat("entries_accessed", out.stats.entries_accessed);
+  filter_span.AddStat("length_groups_skipped",
+                      out.stats.length_groups_skipped);
+  filter_span.AddStat("origin_groups_skipped",
+                      out.stats.origin_groups_skipped);
+  filter_span.AddStat("candidates", out.stats.candidates);
+  filter_span.AddStat("positional_pruned", out.stats.positional_pruned);
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/metrics.h"
 #include "src/core/document.h"
 #include "src/index/clustered_index.h"
 #include "src/index/filters.h"
@@ -61,12 +62,17 @@ struct CandidateGenOptions {
 /// strategies produce the same candidate *superset guarantees* (no false
 /// negatives); they differ only in filter cost. Candidates are deduped per
 /// (substring, origin).
+///
+/// With a non-null `trace`, the call records a "filter" span carrying the
+/// FilterStats counters; the Lazy strategy additionally records its two
+/// phases as child spans ("window_enumeration", "posting_scan").
 CandidateGenOutput GenerateCandidates(FilterStrategy strategy,
                                       const Document& doc,
                                       const DerivedDictionary& dd,
                                       const ClusteredIndex& index, double tau,
                                       Metric metric = Metric::kJaccard,
-                                      const CandidateGenOptions& options = {});
+                                      const CandidateGenOptions& options = {},
+                                      TraceRecorder* trace = nullptr);
 
 }  // namespace aeetes
 

@@ -30,6 +30,13 @@ struct Match {
 struct VerifyStats {
   uint64_t verified = 0;
   uint64_t matched = 0;
+
+  /// Aggregation across documents (mirrors FilterStats::operator+=).
+  VerifyStats& operator+=(const VerifyStats& o) {
+    verified += o.verified;
+    matched += o.matched;
+    return *this;
+  }
 };
 
 /// Comparison guard: scores are ratios of small integers while thresholds

@@ -72,4 +72,19 @@ size_t ClusteredIndex::MemoryBytes() const {
          entries_.capacity() * sizeof(PostingEntry);
 }
 
+void ClusteredIndex::PublishMetrics(MetricsRegistry& registry) const {
+  registry.RegisterGauge("index.entries", "postings across all tokens")
+      .Set(static_cast<int64_t>(entries_.size()));
+  registry
+      .RegisterGauge("index.length_groups",
+                     "outer cluster level L_l[t] groups")
+      .Set(static_cast<int64_t>(length_groups_.size()));
+  registry
+      .RegisterGauge("index.origin_groups",
+                     "inner cluster level L_e^l[t] groups")
+      .Set(static_cast<int64_t>(origin_groups_.size()));
+  registry.RegisterGauge("index.bytes", "approximate resident size")
+      .Set(static_cast<int64_t>(MemoryBytes()));
+}
+
 }  // namespace aeetes

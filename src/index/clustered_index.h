@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/metrics.h"
 #include "src/common/status.h"
 #include "src/synonym/derived_dictionary.h"
 #include "src/text/token.h"
@@ -68,6 +69,11 @@ class ClusteredIndex {
 
   /// Approximate resident size in bytes (Section 6.3 reports index sizes).
   size_t MemoryBytes() const;
+
+  /// Registers and sets the `index.*` size gauges (entries, group counts,
+  /// resident bytes) on `registry`. Call once per registry — metric names
+  /// are unique and re-registration CHECK-aborts.
+  void PublishMetrics(MetricsRegistry& registry) const;
 
  private:
   ClusteredIndex() = default;

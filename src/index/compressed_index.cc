@@ -114,4 +114,21 @@ size_t CompressedIndex::MemoryBytes() const {
          offsets_.capacity() * sizeof(uint64_t);
 }
 
+void CompressedIndex::PublishMetrics(MetricsRegistry& registry) const {
+  registry
+      .RegisterGauge("compressed_index.entries",
+                     "postings across all tokens")
+      .Set(static_cast<int64_t>(num_entries_));
+  registry
+      .RegisterGauge("compressed_index.tokens",
+                     "token streams in the directory")
+      .Set(offsets_.empty()
+               ? 0
+               : static_cast<int64_t>(offsets_.size() - 1));
+  registry
+      .RegisterGauge("compressed_index.bytes",
+                     "blob + directory resident size")
+      .Set(static_cast<int64_t>(MemoryBytes()));
+}
+
 }  // namespace aeetes

@@ -48,6 +48,10 @@ class CompressedIndex {
   /// Total resident bytes of the compressed streams + directory.
   size_t MemoryBytes() const;
 
+  /// Registers and sets the `compressed_index.*` size gauges on
+  /// `registry`. Call once per registry (duplicate registration aborts).
+  void PublishMetrics(MetricsRegistry& registry) const;
+
   size_t num_entries() const { return num_entries_; }
 
  private:

@@ -25,8 +25,10 @@ std::vector<RuleGroup> GroupBySpan(std::vector<ApplicableRule> applicable) {
 namespace {
 
 /// Greedy max-weight clique: heaviest vertex first, then heaviest
-/// compatible vertex, until none fits (Section 5 of the paper).
-std::vector<RuleGroup> GreedyClique(std::vector<RuleGroup> groups) {
+/// compatible vertex, until none fits (Section 5 of the paper). `steps`
+/// counts pairwise compatibility checks.
+std::vector<RuleGroup> GreedyClique(std::vector<RuleGroup> groups,
+                                    uint64_t* steps) {
   std::sort(groups.begin(), groups.end(),
             [](const RuleGroup& a, const RuleGroup& b) {
               if (a.weight() != b.weight()) return a.weight() > b.weight();
@@ -42,6 +44,7 @@ std::vector<RuleGroup> GreedyClique(std::vector<RuleGroup> groups) {
   for (auto& g : groups) {
     bool compatible = true;
     for (const auto& c : clique) {
+      if (steps != nullptr) ++*steps;
       if (g.Overlaps(c)) {
         compatible = false;
         break;
@@ -59,8 +62,9 @@ std::vector<RuleGroup> GreedyClique(std::vector<RuleGroup> groups) {
 /// Exact branch-and-bound over groups sorted by span start. Because
 /// conflicts are interval overlaps, this is a weighted interval scheduling
 /// problem solvable in O(n log n) by DP — we exploit that instead of
-/// general clique search.
-std::vector<RuleGroup> ExactClique(std::vector<RuleGroup> groups) {
+/// general clique search. `steps` counts predecessor-scan iterations.
+std::vector<RuleGroup> ExactClique(std::vector<RuleGroup> groups,
+                                   uint64_t* steps) {
   std::sort(groups.begin(), groups.end(),
             [](const RuleGroup& a, const RuleGroup& b) {
               if (a.end() != b.end()) return a.end() < b.end();
@@ -75,6 +79,7 @@ std::vector<RuleGroup> ExactClique(std::vector<RuleGroup> groups) {
     // Find the last group ending at or before groups[i].begin.
     int p = -1;
     for (int j = static_cast<int>(i) - 1; j >= 0; --j) {
+      if (steps != nullptr) ++*steps;
       if (groups[j].end() <= groups[i].begin) {
         p = j;
         break;
@@ -111,14 +116,15 @@ std::vector<RuleGroup> ExactClique(std::vector<RuleGroup> groups) {
 }  // namespace
 
 std::vector<RuleGroup> SelectNonConflictGroups(
-    std::vector<ApplicableRule> applicable, CliqueMode mode) {
+    std::vector<ApplicableRule> applicable, CliqueMode mode,
+    uint64_t* steps) {
   std::vector<RuleGroup> groups = GroupBySpan(std::move(applicable));
   if (groups.empty()) return groups;
   switch (mode) {
     case CliqueMode::kGreedy:
-      return GreedyClique(std::move(groups));
+      return GreedyClique(std::move(groups), steps);
     case CliqueMode::kExact:
-      return ExactClique(std::move(groups));
+      return ExactClique(std::move(groups), steps);
   }
   return {};
 }

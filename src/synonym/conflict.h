@@ -2,6 +2,7 @@
 #define AEETES_SYNONYM_CONFLICT_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "src/synonym/applicability.h"
@@ -38,10 +39,13 @@ std::vector<RuleGroup> GroupBySpan(std::vector<ApplicableRule> applicable);
 
 /// Selects a set of pairwise non-overlapping groups whose total rule count
 /// is (for kExact) or approximates (for kGreedy) the maximum — the
-/// non-conflict rule set A(e) of the paper.
+/// non-conflict rule set A(e) of the paper. When `steps` is non-null it is
+/// incremented by the solver's iteration count (pairwise compatibility
+/// checks for kGreedy, predecessor-scan steps for kExact) — the
+/// offline-build cost metric surfaced as `build.clique_steps`.
 std::vector<RuleGroup> SelectNonConflictGroups(
     std::vector<ApplicableRule> applicable,
-    CliqueMode mode = CliqueMode::kGreedy);
+    CliqueMode mode = CliqueMode::kGreedy, uint64_t* steps = nullptr);
 
 /// Total number of rules across groups (|A(e)|).
 size_t TotalRules(const std::vector<RuleGroup>& groups);

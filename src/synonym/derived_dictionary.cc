@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "src/common/metrics.h"
 #include "src/synonym/applicability.h"
 #include "src/synonym/conflict.h"
 #include "src/text/token_set.h"
@@ -35,19 +36,23 @@ Result<std::unique_ptr<DerivedDictionary>> DerivedDictionary::Build(
   }
 
   auto dd = std::unique_ptr<DerivedDictionary>(new DerivedDictionary());
+  ScopedTimer build_timer(nullptr, &dd->build_stats_.derive_ms);
   dd->origins_ = std::move(entities);
   dd->dict_ = std::move(dict);
   dd->origin_begin_.reserve(dd->origins_.size() + 1);
   dd->origin_begin_.push_back(0);
 
   size_t total_applicable = 0;
+  BuildStats& bs = dd->build_stats_;
   for (EntityId eid = 0; eid < dd->origins_.size(); ++eid) {
     const TokenSeq& entity = dd->origins_[eid];
     std::vector<RuleGroup> groups = SelectNonConflictGroups(
-        FindApplicableRules(entity, rules), options.expander.clique_mode);
+        FindApplicableRules(entity, rules), options.expander.clique_mode,
+        &bs.clique_steps);
     total_applicable += TotalRules(groups);
+    ExpandStats expand_stats;
     for (DerivedForm& form :
-         ExpandEntity(entity, groups, options.expander)) {
+         ExpandEntity(entity, groups, options.expander, &expand_stats)) {
       DerivedEntity de;
       de.origin = eid;
       de.tokens = std::move(form.tokens);
@@ -55,6 +60,9 @@ Result<std::unique_ptr<DerivedDictionary>> DerivedDictionary::Build(
       de.weight = form.weight;
       dd->derived_.push_back(std::move(de));
     }
+    bs.expand_forms += expand_stats.forms_emitted;
+    bs.expand_dedup_hits += expand_stats.dedup_hits;
+    if (expand_stats.capped) ++bs.capped_entities;
     dd->origin_begin_.push_back(static_cast<DerivedId>(dd->derived_.size()));
   }
   dd->avg_applicable_rules_ =

@@ -39,6 +39,23 @@ struct DerivedDictionaryOptions {
   ExpanderOptions expander;
 };
 
+/// Offline-stage cost accounting captured while Build runs; surfaced as
+/// `build.*` gauges on the owning Aeetes instance's metrics registry.
+/// Zero for dictionaries reassembled via FromParts (snapshots carry no
+/// build history).
+struct DerivedDictionaryBuildStats {
+  /// Clique solver iterations summed over all entities.
+  uint64_t clique_steps = 0;
+  /// Derived forms emitted by expansion (|E| before any later filtering).
+  uint64_t expand_forms = 0;
+  /// Duplicate derived token sequences dropped during expansion.
+  uint64_t expand_dedup_hits = 0;
+  /// Entities whose |D(e)| enumeration stopped at the cap.
+  uint64_t capped_entities = 0;
+  /// Wall time of DerivedDictionary::Build.
+  double derive_ms = 0.0;
+};
+
 /// The derived dictionary E = union over e in E0 of D(e) (Section 2.1),
 /// together with the global token order. Owns the TokenDictionary: entity
 /// and rule tokens must be interned through the same instance that is
@@ -87,6 +104,10 @@ class DerivedDictionary {
   /// statistic.
   double avg_applicable_rules() const { return avg_applicable_rules_; }
 
+  using BuildStats = DerivedDictionaryBuildStats;
+  /// Cost accounting of the Build call that produced this dictionary.
+  const BuildStats& build_stats() const { return build_stats_; }
+
  private:
   DerivedDictionary() = default;
 
@@ -97,6 +118,7 @@ class DerivedDictionary {
   size_t min_set_size_ = 0;
   size_t max_set_size_ = 0;
   double avg_applicable_rules_ = 0.0;
+  BuildStats build_stats_;
 };
 
 }  // namespace aeetes

@@ -65,13 +65,21 @@ bool NextPick(std::vector<size_t>& pick, const std::vector<RuleGroup>& groups,
 
 std::vector<DerivedForm> ExpandEntity(const TokenSeq& entity,
                                       const std::vector<RuleGroup>& groups,
-                                      const ExpanderOptions& options) {
+                                      const ExpanderOptions& options,
+                                      ExpandStats* stats) {
   std::vector<DerivedForm> out;
   std::unordered_set<TokenSeq, IntVectorHash<TokenId>> seen;
   auto emit = [&](DerivedForm form) {
     if (form.tokens.empty()) return;
-    if (!seen.insert(form.tokens).second) return;  // dedupe by token sequence
+    if (!seen.insert(form.tokens).second) {  // dedupe by token sequence
+      if (stats != nullptr) ++stats->dedup_hits;
+      return;
+    }
     out.push_back(std::move(form));
+  };
+  auto finish = [&]() -> std::vector<DerivedForm> {
+    if (stats != nullptr) stats->forms_emitted = out.size();
+    return std::move(out);
   };
 
   emit(DerivedForm{entity, {}, 1.0});
@@ -92,11 +100,14 @@ std::vector<DerivedForm> ExpandEntity(const TokenSeq& entity,
           choice[combo[i]] = static_cast<int>(pick[i]);
         }
         emit(ApplyChoices(entity, groups, choice));
-        if (out.size() >= options.max_derived) return out;
+        if (out.size() >= options.max_derived) {
+          if (stats != nullptr) stats->capped = true;
+          return finish();
+        }
       } while (NextPick(pick, groups, combo));
     } while (NextCombination(combo, num_groups));
   }
-  return out;
+  return finish();
 }
 
 }  // namespace aeetes

@@ -32,13 +32,27 @@ struct ExpanderOptions {
   CliqueMode clique_mode = CliqueMode::kGreedy;
 };
 
+/// Expansion cost accounting for one entity, accumulated into the
+/// offline-build metrics (`build.expand_*` gauges).
+struct ExpandStats {
+  /// Derived forms kept (equals the returned vector's size).
+  uint64_t forms_emitted = 0;
+  /// Enumerated variants dropped because an identical token sequence was
+  /// already emitted.
+  uint64_t dedup_hits = 0;
+  /// True when enumeration stopped at the |D(e)| cap.
+  bool capped = false;
+};
+
 /// Enumerates D(e) for `entity` given its non-conflicting rule groups.
 /// Deduplicates identical derived token sequences, keeping the variant with
 /// the highest weight (fewest applied rules on ties, since enumeration is
-/// breadth-first).
+/// breadth-first). `stats`, when non-null, receives this entity's
+/// expansion accounting.
 std::vector<DerivedForm> ExpandEntity(const TokenSeq& entity,
                                       const std::vector<RuleGroup>& groups,
-                                      const ExpanderOptions& options = {});
+                                      const ExpanderOptions& options = {},
+                                      ExpandStats* stats = nullptr);
 
 }  // namespace aeetes
 

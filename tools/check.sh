@@ -6,6 +6,8 @@
 #   tidy        clang-tidy over src/ with the checked-in .clang-tidy
 #   werror      full build with AEETES_WERROR=ON (hardened warning set)
 #   release     Release build + ctest
+#   smoke       Release aeetes_cli --stats=json over data/institutions,
+#               validating the metrics snapshot is well-formed JSON
 #   asan-ubsan  Debug + ASan/UBSan build + ctest
 #   tsan        Debug + TSan build + ctest
 #
@@ -102,6 +104,52 @@ step_release() {
   fi
 }
 
+step_smoke() {
+  note "CLI metrics smoke (aeetes_cli --stats=json)"
+  local bindir=build/release
+  local data=data/institutions
+  if [ ! -f "$data/entities.txt" ]; then
+    skip smoke "$data corpus not found"
+    return
+  fi
+  if ! cmake -S . -B "$bindir" -DCMAKE_BUILD_TYPE=Release \
+        >"$bindir.configure.log" 2>&1 \
+     || ! cmake --build "$bindir" -j "$JOBS" --target aeetes_cli \
+        >"$bindir.build.log" 2>&1; then
+    tail -n 60 "$bindir.build.log" 2>/dev/null || cat "$bindir.configure.log"
+    fail smoke "aeetes_cli build failed"
+    return
+  fi
+  # The JSON snapshot is the last stdout line (after the TSV match rows).
+  local blob
+  if ! blob=$("$bindir/examples/aeetes_cli" "$data/entities.txt" \
+        "$data/rules.txt" "$data/documents.txt" 0.8 lazy --stats=json \
+        2>/dev/null | tail -n 1); then
+    fail smoke "aeetes_cli --stats=json exited non-zero"
+    return
+  fi
+  if command -v python3 >/dev/null 2>&1; then
+    if ! printf '%s' "$blob" | python3 -c '
+import json, sys
+snap = json.load(sys.stdin)
+for key in ("counters", "gauges", "histograms"):
+    assert key in snap, f"missing top-level key: {key}"
+assert snap["counters"].get("extract.calls", 0) > 0, "no extract calls"
+assert "index.bytes" in snap["gauges"], "index gauges not published"
+'; then
+      fail smoke "metrics snapshot failed JSON validation"
+      return
+    fi
+  else
+    # Minimal structural check when python3 is unavailable.
+    case "$blob" in
+      '{"counters":{'*'"gauges":{'*'"histograms":{'*'}') : ;;
+      *) fail smoke "metrics snapshot missing expected sections"; return ;;
+    esac
+  fi
+  pass smoke
+}
+
 step_asan_ubsan() {
   note "ASan+UBSan build + ctest"
   if ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
@@ -129,16 +177,18 @@ run_step() {
     tidy)       step_tidy ;;
     werror)     step_werror ;;
     release)    step_release ;;
+    smoke)      step_smoke ;;
     asan-ubsan) step_asan_ubsan ;;
     tsan)       step_tsan ;;
     *) echo "unknown step: $1 (expected" \
-            "format|tidy|werror|release|asan-ubsan|tsan)" >&2; exit 2 ;;
+            "format|tidy|werror|release|smoke|asan-ubsan|tsan)" >&2
+       exit 2 ;;
   esac
 }
 
 STEPS=("$@")
 if [ ${#STEPS[@]} -eq 0 ]; then
-  STEPS=(format tidy werror release asan-ubsan tsan)
+  STEPS=(format tidy werror release smoke asan-ubsan tsan)
 fi
 
 mkdir -p build
