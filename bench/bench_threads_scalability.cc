@@ -1,0 +1,118 @@
+// Throughput scalability of the concurrent extraction runtime: documents
+// per second and speedup over one thread while the pool grows, on the
+// checked-in data/institutions corpus (replicated to a measurable size).
+// Per-document results are byte-identical for every thread count — the
+// benchmark CHECKs that while it measures.
+
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/runtime/parallel_extractor.h"
+
+#ifndef AEETES_DATA_DIR
+#define AEETES_DATA_DIR "data"
+#endif
+
+namespace {
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+}  // namespace
+
+int main() {
+  using namespace aeetes;
+  bench::BenchReporter reporter(
+      "threads_scalability",
+      "Runtime scalability: extraction throughput vs worker threads",
+      "runtime extension (DESIGN.md §9)");
+
+  const std::string dir = std::string(AEETES_DATA_DIR) + "/institutions";
+  std::vector<std::string> entities = ReadLines(dir + "/entities.txt");
+  std::vector<std::string> rules = ReadLines(dir + "/rules.txt");
+  std::vector<std::string> documents = ReadLines(dir + "/documents.txt");
+  if (entities.empty() || documents.empty()) {
+    std::cerr << "data/institutions not found at " << dir << "\n";
+    return 1;
+  }
+
+  auto built = Aeetes::BuildFromText(entities, rules);
+  AEETES_CHECK(built.ok());
+  auto& aeetes = *built;
+
+  // Serial phase: encode once, replicate the tiny corpus until one run is
+  // long enough to time meaningfully.
+  const size_t target_docs = static_cast<size_t>(
+      bench::EnvDouble("AEETES_BENCH_THREAD_DOCS", 4096));
+  std::vector<Document> base;
+  for (const std::string& text : documents) {
+    base.push_back(aeetes->EncodeDocument(text));
+  }
+  std::vector<Document> corpus;
+  while (corpus.size() < target_docs) {
+    corpus.insert(corpus.end(), base.begin(), base.end());
+  }
+
+  const double tau = 0.8;
+  std::cout << std::left << std::setw(10) << "threads" << std::right
+            << std::setw(12) << "ms" << std::setw(14) << "docs_per_s"
+            << std::setw(12) << "speedup" << std::setw(12) << "matches"
+            << "\n";
+
+  double baseline_ms = 0.0;
+  uint64_t baseline_matches = 0;
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    ParallelExtractorOptions opts;
+    opts.num_threads = threads;
+    auto extractor = ParallelExtractor::Create(*aeetes, opts);
+    AEETES_CHECK(extractor.ok());
+
+    // Warm-up run (first-touch page faults, pool spin-up), then the
+    // measured run.
+    auto warm = (*extractor)->ExtractAll(corpus, tau);
+    AEETES_CHECK(warm.ok());
+    uint64_t matches = 0;
+    const double ms = bench::TimedMillis([&] {
+      auto r = (*extractor)->ExtractAll(corpus, tau);
+      AEETES_CHECK(r.ok());
+      matches = r->total_matches;
+    });
+
+    if (threads == 1) {
+      baseline_ms = ms;
+      baseline_matches = matches;
+    }
+    AEETES_CHECK_EQ(matches, baseline_matches)
+        << "thread count changed the results";
+    const double docs_per_s =
+        static_cast<double>(corpus.size()) / (ms / 1000.0);
+    const double speedup = baseline_ms / ms;
+
+    std::cout << std::left << std::setw(10) << threads << std::right
+              << std::fixed << std::setprecision(1) << std::setw(12) << ms
+              << std::setw(14) << docs_per_s << std::setprecision(2)
+              << std::setw(12) << speedup << std::setw(12) << matches
+              << "\n";
+    reporter.AddRow()
+        .Set("threads", static_cast<uint64_t>(threads))
+        .Set("documents", static_cast<uint64_t>(corpus.size()))
+        .Set("ms", ms)
+        .Set("docs_per_s", docs_per_s)
+        .Set("speedup", speedup)
+        .Set("total_matches", matches);
+  }
+  std::cout << "expected shape: near-linear speedup until the worker count "
+               "reaches the physical core count.\n";
+  return 0;
+}

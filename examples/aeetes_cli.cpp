@@ -15,11 +15,15 @@
 //   --stats=json   print the metrics registry as one JSON line (stdout,
 //                  after the TSV rows — `tail -n 1` isolates it)
 //   --trace        print the per-stage span tree of every document's
-//                  Extract call (stderr)
+//                  Extract call (stderr; per worker when --threads != 1)
+//   --threads=N    extract documents on N pool workers (default 1 =
+//                  serial; 0 = one per hardware thread). The TSV rows and
+//                  the stats counters are identical for every N.
 //
 // Output columns: doc_id, token_begin, token_len, substring, entity_id,
 // entity, score.
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -27,6 +31,7 @@
 
 #include "src/common/metrics.h"
 #include "src/core/aeetes.h"
+#include "src/runtime/parallel_extractor.h"
 
 namespace {
 
@@ -55,6 +60,27 @@ bool ParseStrategy(const std::string& name, aeetes::FilterStrategy* out) {
   return true;
 }
 
+bool ParseThreads(const std::string& value, size_t* out) {
+  if (value.empty()) return false;
+  char* end = nullptr;
+  const unsigned long parsed = std::strtoul(value.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = static_cast<size_t>(parsed);
+  return true;
+}
+
+void PrintMatches(const aeetes::Aeetes& aeetes, size_t doc_id,
+                  const aeetes::Document& doc,
+                  const std::vector<aeetes::Match>& matches, size_t* total) {
+  for (const aeetes::Match& m : matches) {
+    std::cout << doc_id << "\t" << m.token_begin << "\t" << m.token_len
+              << "\t" << doc.SubstringText(m.token_begin, m.token_len) << "\t"
+              << m.entity << "\t" << aeetes.EntityText(m.entity) << "\t"
+              << m.score << "\n";
+    ++*total;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -62,6 +88,7 @@ int main(int argc, char** argv) {
   bool stats_text = false;
   bool stats_json = false;
   bool trace_stages = false;
+  size_t threads = 1;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -71,6 +98,11 @@ int main(int argc, char** argv) {
       stats_json = true;
     } else if (arg == "--trace") {
       trace_stages = true;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      if (!ParseThreads(arg.substr(10), &threads)) {
+        std::cerr << "bad thread count: " << arg << "\n";
+        return 2;
+      }
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown flag: " << arg << "\n";
       return 2;
@@ -81,7 +113,7 @@ int main(int argc, char** argv) {
   if (positional.size() < 3) {
     std::cerr << "usage: " << argv[0]
               << " ENTITIES RULES DOCUMENTS [tau=0.8] [strategy=lazy]"
-                 " [--stats[=json]] [--trace]\n";
+                 " [--stats[=json]] [--trace] [--threads=N]\n";
     return 2;
   }
   std::vector<std::string> entities, rules, documents;
@@ -108,30 +140,59 @@ int main(int argc, char** argv) {
             << " KB\n";
 
   size_t total = 0;
-  for (size_t d = 0; d < documents.size(); ++d) {
-    TraceRecorder recorder;
-    TraceRecorder* trace = trace_stages ? &recorder : nullptr;
-    Document doc;
-    {
-      TraceScope tokenize_span(trace, "tokenize");
-      doc = aeetes->EncodeDocument(documents[d]);
-      tokenize_span.AddStat("tokens", doc.size());
+  if (threads == 1) {
+    for (size_t d = 0; d < documents.size(); ++d) {
+      TraceRecorder recorder;
+      TraceRecorder* trace = trace_stages ? &recorder : nullptr;
+      Document doc;
+      {
+        TraceScope tokenize_span(trace, "tokenize");
+        doc = aeetes->EncodeDocument(documents[d]);
+        tokenize_span.AddStat("tokens", doc.size());
+      }
+      auto result = aeetes->Extract(doc, tau, trace);
+      if (!result.ok()) {
+        std::cerr << "doc " << d << ": " << result.status() << "\n";
+        return 1;
+      }
+      PrintMatches(*aeetes, d, doc, result->matches, &total);
+      if (trace_stages) {
+        std::cerr << "doc " << d << " trace:\n" << recorder.ToText();
+      }
     }
-    auto result = aeetes->Extract(doc, tau, trace);
-    if (!result.ok()) {
-      std::cerr << "doc " << d << ": " << result.status() << "\n";
+  } else {
+    // Encoding interns tokens and stays serial; extraction fans out over
+    // the runtime pool and merges back into document order.
+    std::vector<Document> encoded;
+    encoded.reserve(documents.size());
+    for (const std::string& text : documents) {
+      encoded.push_back(aeetes->EncodeDocument(text));
+    }
+    ParallelExtractorOptions popts;
+    popts.num_threads = threads;
+    popts.collect_traces = trace_stages;
+    auto extractor = ParallelExtractor::Create(*aeetes, popts);
+    if (!extractor.ok()) {
+      std::cerr << "runtime setup failed: " << extractor.status() << "\n";
       return 1;
     }
-    for (const Match& m : result->matches) {
-      std::cout << d << "\t" << m.token_begin << "\t" << m.token_len << "\t"
-                << doc.SubstringText(m.token_begin, m.token_len) << "\t"
-                << m.entity << "\t" << aeetes->EntityText(m.entity) << "\t"
-                << m.score << "\n";
-      ++total;
+    auto result = (*extractor)->ExtractAll(encoded, tau);
+    if (!result.ok()) {
+      std::cerr << "extraction failed: " << result.status() << "\n";
+      return 1;
+    }
+    for (size_t d = 0; d < documents.size(); ++d) {
+      PrintMatches(*aeetes, d, encoded[d], result->per_document[d].matches,
+                   &total);
     }
     if (trace_stages) {
-      std::cerr << "doc " << d << " trace:\n" << recorder.ToText();
+      for (size_t w = 0; w < result->worker_traces.size(); ++w) {
+        std::cerr << "worker " << w << " trace:\n"
+                  << result->worker_traces[w].ToText();
+      }
     }
+    std::cerr << "extracted on " << (*extractor)->num_threads()
+              << " threads\n";
   }
   std::cerr << total << " matches across " << documents.size()
             << " documents at tau=" << tau << "\n";

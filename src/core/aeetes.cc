@@ -1,6 +1,8 @@
 #include "src/core/aeetes.h"
 
 #include <algorithm>
+#include <optional>
+#include <string_view>
 
 #include "src/common/metrics.h"
 #include "src/text/token_set.h"
@@ -191,33 +193,84 @@ Result<Aeetes::ExtractionResult> Aeetes::ExtractWithStrategy(
 }
 
 Result<std::vector<Aeetes::Lookup>> Aeetes::LookupString(
-    std::string_view mention, double tau, size_t k) {
+    std::string_view mention, double tau, size_t k) const {
   if (!(tau > 0.0) || tau > 1.0) {
     return Status::InvalidArgument("threshold must be in (0, 1]");
   }
-  const Document doc = EncodeDocument(mention);
   std::vector<Lookup> hits;
-  if (doc.size() == 0) return hits;
+  const std::vector<std::string> words =
+      tokenizer_.TokenizeToStrings(mention);
+  if (words.empty()) return hits;
 
-  // The mention is exactly one window; reuse the indexed filter by
-  // probing with a single full-length substring, then verify.
-  CandidateGenOutput gen =
-      GenerateCandidates(FilterStrategy::kSimple, doc, *dd_, *index_, tau,
-                         options_.metric);
+  // Read-only encoding: tokens the dictionary has never seen are NOT
+  // interned (this method is const and safe to run concurrently with
+  // extractions). They cannot occur in any derived entity, so — like
+  // frequency-0 interned tokens — they only pad the mention's set size;
+  // `padding` carries that count into verification.
+  const TokenDictionary& dict = dd_->token_dict();
+  TokenSeq interned;
+  interned.reserve(words.size());
+  std::vector<std::string_view> unknown;
+  for (const std::string& w : words) {
+    if (const std::optional<TokenId> id = dict.Lookup(w)) {
+      interned.push_back(*id);
+    } else {
+      unknown.push_back(w);
+    }
+  }
+  std::sort(unknown.begin(), unknown.end());
+  const size_t padding = static_cast<size_t>(
+      std::unique(unknown.begin(), unknown.end()) - unknown.begin());
+
+  // The mention is exactly one window; it must be an admissible window
+  // length, the same gate document extraction applies.
+  const LengthRange win_len = SubstringLengthBounds(
+      options_.metric, dd_->min_set_size(), dd_->max_set_size(), tau);
+  if (!win_len.Contains(words.size())) return hits;
+
+  const TokenSeq ordered = BuildOrderedSet(interned, dict);
+  const size_t set_size = ordered.size() + padding;
+  if (set_size == 0) return hits;
+
+  // Reuse the indexed filter: probe every distinct mention token against
+  // the clustered index under the length and prefix filters. (The
+  // document path probes only the mention-side tau-prefix; probing the
+  // full set is equally sound — it can only admit extra candidates, and
+  // verification below is exact — and sidesteps needing ids for the
+  // unknown tokens that would sit in that prefix.)
+  const LengthRange partner =
+      PartnerLengthRange(options_.metric, set_size, tau);
+  std::vector<char> seen(dd_->num_origins(), 0);
+  std::vector<EntityId> origins;
+  for (const TokenId t : ordered) {
+    const ClusteredIndex::ListRange list = index_->list(t);
+    if (list.empty()) continue;
+    for (uint32_t g = list.begin; g < list.end; ++g) {
+      const LengthGroup& lg = index_->length_groups()[g];
+      if (!partner.Contains(lg.length)) continue;
+      const size_t prefix_len =
+          PrefixLength(options_.metric, lg.length, tau);
+      for (uint32_t og = lg.begin; og < lg.end; ++og) {
+        const OriginGroup& origin_group = index_->origin_groups()[og];
+        if (seen[origin_group.origin]) continue;
+        for (uint32_t i = origin_group.begin; i < origin_group.end; ++i) {
+          if (index_->entries()[i].pos >= prefix_len) continue;
+          seen[origin_group.origin] = 1;
+          origins.push_back(origin_group.origin);
+          break;
+        }
+      }
+    }
+  }
+
   JaccArOptions jopts;
   jopts.metric = options_.metric;
   jopts.weighted = options_.weighted;
   const JaccArVerifier verifier(*dd_, jopts);
-  TokenSeq ordered = BuildOrderedSet(doc.tokens(), dd_->token_dict());
-  std::vector<char> seen(dd_->num_origins(), 0);
-  for (const Candidate& c : gen.candidates) {
-    // Only candidates covering the whole mention count as lookups.
-    if (c.pos != 0 || c.len != doc.size()) continue;
-    if (seen[c.origin]) continue;
-    seen[c.origin] = 1;
-    const JaccArScore s = verifier.BestAbove(c.origin, ordered, tau);
+  for (const EntityId e : origins) {
+    const JaccArScore s = verifier.BestAbove(e, ordered, tau, padding);
     if (ScorePasses(s.score, tau)) {
-      hits.push_back(Lookup{c.origin, s.score, s.best_derived});
+      hits.push_back(Lookup{e, s.score, s.best_derived});
     }
   }
   std::sort(hits.begin(), hits.end(), [](const Lookup& a, const Lookup& b) {

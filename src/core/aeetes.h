@@ -42,6 +42,23 @@ struct AeetesOptions {
 ///
 /// Build once, then Extract any number of documents with any thresholds —
 /// the index is threshold-independent.
+///
+/// Thread-safety contract
+/// ----------------------
+/// After Build returns, every const method is safe to call concurrently
+/// from any number of threads against one shared instance: the online path
+/// (Extract / ExtractWithStrategy / LookupString / Explain) keeps all
+/// per-call state on the caller's stack and reads the derived dictionary
+/// and index, which are immutable after construction. The only mutable
+/// member, the metrics registry, is updated with relaxed atomics and may
+/// be read (metrics().ToJson()) while extractions run. Distinct
+/// TraceRecorders may be passed from distinct threads; one recorder must
+/// not be shared by concurrent calls.
+///
+/// EncodeDocument is the exception: it interns unseen document tokens into
+/// the shared dictionary and must not run concurrently with anything else
+/// on the same instance — encode documents serially (or up front), then
+/// extract in parallel. This is the split ParallelExtractor builds on.
 class Aeetes {
  public:
   /// Offline stage from pre-encoded entities. `dict` must hold all entity
@@ -62,6 +79,8 @@ class Aeetes {
       std::unique_ptr<DerivedDictionary> dd, AeetesOptions options = {});
 
   /// Tokenizes and interns a document against this instance's dictionary.
+  /// NOT thread-safe: serialize with all other calls (see the class
+  /// comment).
   Document EncodeDocument(std::string_view text);
 
   struct ExtractionResult {
@@ -94,9 +113,10 @@ class Aeetes {
   /// Matches a single mention string (not a document) against the
   /// dictionary: the whole string is one window. Returns up to `k` hits
   /// with JaccAR >= tau, best first — the "which entity is this?" lookup
-  /// used by autocomplete / record-linkage callers.
+  /// used by autocomplete / record-linkage callers. Const (mention tokens
+  /// are never interned), so safe to call concurrently with extractions.
   Result<std::vector<Lookup>> LookupString(std::string_view mention,
-                                           double tau, size_t k = 5);
+                                           double tau, size_t k = 5) const;
 
   const DerivedDictionary& derived_dictionary() const { return *dd_; }
   const ClusteredIndex& index() const { return *index_; }

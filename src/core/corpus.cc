@@ -1,8 +1,9 @@
 #include "src/core/corpus.h"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
+#include <utility>
+
+#include "src/runtime/parallel_extractor.h"
 
 namespace aeetes {
 
@@ -24,48 +25,24 @@ Result<CorpusExtraction> ExtractCorpus(
     encoded.push_back(aeetes.EncodeDocument(text));
   }
 
-  size_t threads = options.num_threads;
-  if (threads == 0) {
-    threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  // Parallel phase: extraction is const on the built structures; the
+  // runtime pool fans it out and merges deterministically.
+  ParallelExtractorOptions popts;
+  popts.num_threads = options.num_threads;
+  AEETES_ASSIGN_OR_RETURN(std::unique_ptr<ParallelExtractor> extractor,
+                          ParallelExtractor::Create(aeetes, popts));
+  AEETES_ASSIGN_OR_RETURN(ParallelExtraction result,
+                          extractor->ExtractAll(encoded, tau));
+
+  for (size_t i = 0; i < result.per_document.size(); ++i) {
+    DocumentMatches& dm = out.per_document[i];
+    DocumentExtraction& de = result.per_document[i];
+    dm.doc = de.doc;
+    dm.matches = std::move(de.matches);
+    dm.filter_stats = de.filter_stats;
   }
-  threads = std::min(threads, documents.size());
-
-  // Parallel phase: extraction is const on the built structures.
-  std::atomic<size_t> next{0};
-  std::atomic<bool> failed{false};
-  Status first_error;
-  std::mutex error_mu;
-
-  auto worker = [&]() {
-    while (true) {
-      const size_t i = next.fetch_add(1);
-      if (i >= encoded.size() || failed.load(std::memory_order_relaxed)) {
-        return;
-      }
-      auto result = aeetes.Extract(encoded[i], tau);
-      if (!result.ok()) {
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (!failed.exchange(true)) first_error = result.status();
-        return;
-      }
-      DocumentMatches& dm = out.per_document[i];
-      dm.doc = static_cast<uint32_t>(i);
-      dm.matches = std::move(result->matches);
-      dm.filter_stats = result->filter_stats;
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (auto& t : pool) t.join();
-
-  if (failed.load()) return first_error;
-
-  for (const DocumentMatches& dm : out.per_document) {
-    out.total_filter_stats += dm.filter_stats;
-    out.total_matches += dm.matches.size();
-  }
+  out.total_filter_stats = result.filter_stats;
+  out.total_matches = result.total_matches;
   return out;
 }
 

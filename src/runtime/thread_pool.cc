@@ -1,0 +1,260 @@
+#include "src/runtime/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace aeetes {
+
+namespace {
+
+/// Identifies the pool (and slot) owning the current thread; nullptr for
+/// threads that are not pool workers. Pointer comparison against `this`
+/// keeps the lookup correct when several pools coexist.
+thread_local const ThreadPool* tls_pool = nullptr;
+thread_local size_t tls_worker_index = ThreadPool::kNotAWorker;
+
+size_t RoundUpPow2(size_t v, size_t floor) {
+  size_t cap = floor;
+  while (cap < v) cap <<= 1;
+  return cap;
+}
+
+}  // namespace
+
+WorkStealingDeque::WorkStealingDeque(size_t capacity)
+    : buffer_(RoundUpPow2(capacity, 64)), mask_(buffer_.size() - 1) {}
+
+bool WorkStealingDeque::Push(Task* task) {
+  AEETES_DCHECK_NE(task, static_cast<Task*>(nullptr));
+  const int64_t b = bottom_.load(std::memory_order_relaxed);
+  const int64_t t = top_.load(std::memory_order_acquire);
+  // A stale `t` only undercounts free slots: Push turns conservative,
+  // never unsafe.
+  if (b - t >= static_cast<int64_t>(buffer_.size())) return false;
+  buffer_[static_cast<size_t>(b) & mask_].store(task,
+                                                std::memory_order_relaxed);
+  // seq_cst publish: pairs with the seq_cst loads in Steal (Dekker-style,
+  // no standalone fences — see the class comment).
+  bottom_.store(b + 1, std::memory_order_seq_cst);
+  return true;
+}
+
+WorkStealingDeque::Task* WorkStealingDeque::Pop() {
+  const int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+  bottom_.store(b, std::memory_order_seq_cst);
+  int64_t t = top_.load(std::memory_order_seq_cst);
+  if (t > b) {  // empty
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  Task* task =
+      buffer_[static_cast<size_t>(b) & mask_].load(std::memory_order_relaxed);
+  if (t == b) {
+    // Last element: decide the race against thieves on `top_`.
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_seq_cst)) {
+      task = nullptr;  // a thief won; it will run the task
+    }
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+  return task;
+}
+
+WorkStealingDeque::Task* WorkStealingDeque::Steal() {
+  int64_t t = top_.load(std::memory_order_seq_cst);
+  const int64_t b = bottom_.load(std::memory_order_seq_cst);
+  if (t >= b) return nullptr;
+  // Safe even against a concurrent wrap-around Push: the owner refuses to
+  // reuse slot (t & mask_) until top_ has moved past t, so the value read
+  // here is the one published for index t.
+  Task* task =
+      buffer_[static_cast<size_t>(t) & mask_].load(std::memory_order_relaxed);
+  if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                    std::memory_order_relaxed)) {
+    return nullptr;  // lost the race; the winner runs it
+  }
+  return task;
+}
+
+bool WorkStealingDeque::Empty() const {
+  const int64_t b = bottom_.load(std::memory_order_relaxed);
+  const int64_t t = top_.load(std::memory_order_relaxed);
+  return t >= b;
+}
+
+Result<std::unique_ptr<ThreadPool>> ThreadPool::Create(
+    const ThreadPoolOptions& options) {
+  if (options.queue_capacity == 0) {
+    return Status::InvalidArgument("ThreadPool queue_capacity must be >= 1");
+  }
+  if (options.num_threads > 4096) {
+    return Status::InvalidArgument("ThreadPool num_threads is implausible");
+  }
+  ThreadPoolOptions resolved = options;
+  if (resolved.num_threads == 0) {
+    resolved.num_threads =
+        std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  return std::unique_ptr<ThreadPool>(new ThreadPool(resolved));
+}
+
+ThreadPool::ThreadPool(const ThreadPoolOptions& options) : options_(options) {
+  const size_t n = options_.num_threads;
+  // Batch refills amortize the injection-queue lock without letting one
+  // worker hoard the queue; leftovers stay stealable on its deque.
+  refill_batch_ = std::clamp<size_t>(options_.queue_capacity / n, 1, 16);
+  deques_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    deques_.push_back(std::make_unique<WorkStealingDeque>(refill_batch_));
+  }
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  const Status st = Shutdown();
+  (void)st;  // already-shut-down is fine here
+}
+
+Status ThreadPool::Submit(Task task) {
+  if (!task) return Status::InvalidArgument("ThreadPool::Submit: null task");
+  auto* heap_task = new Task(std::move(task));
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_space_.wait(lk, [&] {
+    return stop_ || injection_.size() < options_.queue_capacity;
+  });
+  if (stop_) {
+    delete heap_task;
+    return Status::FailedPrecondition("ThreadPool is shut down");
+  }
+  injection_.push_back(heap_task);
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  ++signal_;
+  cv_work_.notify_one();
+  return Status::OK();
+}
+
+Status ThreadPool::TrySubmit(Task task) {
+  if (!task) {
+    return Status::InvalidArgument("ThreadPool::TrySubmit: null task");
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  if (stop_) return Status::FailedPrecondition("ThreadPool is shut down");
+  if (injection_.size() >= options_.queue_capacity) {
+    return Status::ResourceExhausted("ThreadPool queue is full");
+  }
+  injection_.push_back(new Task(std::move(task)));
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  ++signal_;
+  cv_work_.notify_one();
+  return Status::OK();
+}
+
+void ThreadPool::WaitIdle() {
+  AEETES_CHECK_EQ(CurrentWorkerIndex(), kNotAWorker)
+      << "ThreadPool::WaitIdle called from a pool worker would deadlock";
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_idle_.wait(lk, [&] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+Status ThreadPool::Shutdown() {
+  AEETES_CHECK_EQ(CurrentWorkerIndex(), kNotAWorker)
+      << "ThreadPool::Shutdown called from a pool worker would deadlock";
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stop_) {
+      return Status::FailedPrecondition("ThreadPool already shut down");
+    }
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  cv_space_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+  AEETES_CHECK(injection_.empty()) << "ThreadPool shut down with queued work";
+  AEETES_CHECK_EQ(pending_.load(), uint64_t{0})
+      << "ThreadPool shut down with unfinished work";
+  return Status::OK();
+}
+
+size_t ThreadPool::CurrentWorkerIndex() const {
+  return tls_pool == this ? tls_worker_index : kNotAWorker;
+}
+
+ThreadPool::Task* ThreadPool::PopOrSteal(size_t index) {
+  if (Task* t = deques_[index]->Pop()) return t;
+  const size_t n = deques_.size();
+  for (size_t i = 1; i < n; ++i) {
+    if (Task* t = deques_[(index + i) % n]->Steal()) return t;
+  }
+  return nullptr;
+}
+
+ThreadPool::Task* ThreadPool::RefillLocked(size_t index) {
+  Task* first = injection_.front();
+  injection_.pop_front();
+  size_t published = 0;
+  while (published + 1 < refill_batch_ && !injection_.empty()) {
+    if (!deques_[index]->Push(injection_.front())) break;
+    injection_.pop_front();
+    ++published;
+  }
+  if (published > 0) {
+    // Peers may be parked; the new deque entries are only reachable by
+    // stealing, so advertise them.
+    ++signal_;
+    cv_work_.notify_all();
+  }
+  cv_space_.notify_all();
+  return first;
+}
+
+void ThreadPool::FinishTask() {
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Hold the lock so a WaitIdle caller between predicate check and wait
+    // cannot miss the notification.
+    std::lock_guard<std::mutex> lk(mu_);
+    cv_idle_.notify_all();
+  }
+}
+
+void ThreadPool::WorkerLoop(size_t index) {
+  tls_pool = this;
+  tls_worker_index = index;
+  std::unique_lock<std::mutex> lk(mu_, std::defer_lock);
+  for (;;) {
+    Task* task = PopOrSteal(index);
+    if (task == nullptr) {
+      lk.lock();
+      if (!injection_.empty()) task = RefillLocked(index);
+      if (task == nullptr) {
+        // Own deque and injection queue are empty; steal sweep came up
+        // dry. Tasks living in a sibling's deque are that sibling's
+        // responsibility (a worker never parks or exits with a non-empty
+        // own deque), so parking here cannot strand work.
+        if (stop_) {
+          lk.unlock();
+          return;
+        }
+        const uint64_t seen = signal_;
+        cv_work_.wait(lk, [&] {
+          return stop_ || !injection_.empty() || signal_ != seen;
+        });
+        lk.unlock();
+        continue;
+      }
+      lk.unlock();
+    }
+    (*task)();
+    delete task;
+    FinishTask();
+  }
+}
+
+}  // namespace aeetes

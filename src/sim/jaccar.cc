@@ -31,11 +31,11 @@ JaccArScore JaccArVerifier::Score(EntityId e,
 
 JaccArScore JaccArVerifier::BestAbove(EntityId e,
                                       const TokenSeq& substring_ordered_set,
-                                      double tau) const {
+                                      double tau, size_t padding) const {
   JaccArScore best;
   const auto [begin, end] = dd_.DerivedRange(e);
   const TokenDictionary& dict = dd_.token_dict();
-  const size_t x = substring_ordered_set.size();
+  const size_t x = substring_ordered_set.size() + padding;
   const LengthRange partner = PartnerLengthRange(options_.metric, x, tau);
   for (DerivedId d = begin; d < end; ++d) {
     const DerivedEntity& de = dd_.derived()[d];

@@ -53,8 +53,14 @@ class JaccArVerifier {
   /// after a few token comparisons. The returned score is exact whenever
   /// it is >= tau; when JaccAR(e, s) < tau the returned score is 0 with no
   /// witness. This is what the verification phase uses.
+  ///
+  /// `padding` counts distinct substring tokens that are not materialized
+  /// in `substring_ordered_set` but are known to occur in no derived
+  /// entity (e.g. mention tokens absent from the dictionary, which a const
+  /// caller cannot intern): they enlarge the substring's set size without
+  /// ever contributing overlap, exactly as frequency-0 interned tokens do.
   JaccArScore BestAbove(EntityId e, const TokenSeq& substring_ordered_set,
-                        double tau) const;
+                        double tau, size_t padding = 0) const;
 
   const JaccArOptions& options() const { return options_; }
 

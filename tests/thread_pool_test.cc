@@ -1,0 +1,197 @@
+#include "src/runtime/thread_pool.h"
+
+#include <atomic>
+#include <future>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace aeetes {
+namespace {
+
+using Task = WorkStealingDeque::Task;
+
+Task* MakeTask(std::atomic<int>* counter) {
+  return new Task([counter] { counter->fetch_add(1); });
+}
+
+TEST(WorkStealingDequeTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(WorkStealingDeque(1).capacity(), 64u);
+  EXPECT_EQ(WorkStealingDeque(64).capacity(), 64u);
+  EXPECT_EQ(WorkStealingDeque(65).capacity(), 128u);
+  EXPECT_EQ(WorkStealingDeque(1000).capacity(), 1024u);
+}
+
+TEST(WorkStealingDequeTest, PopIsLifoStealIsFifo) {
+  WorkStealingDeque dq(64);
+  std::atomic<int> counter{0};
+  Task* a = MakeTask(&counter);
+  Task* b = MakeTask(&counter);
+  Task* c = MakeTask(&counter);
+  ASSERT_TRUE(dq.Push(a));
+  ASSERT_TRUE(dq.Push(b));
+  ASSERT_TRUE(dq.Push(c));
+  EXPECT_FALSE(dq.Empty());
+
+  EXPECT_EQ(dq.Steal(), a);  // oldest first
+  EXPECT_EQ(dq.Pop(), c);    // newest first
+  EXPECT_EQ(dq.Pop(), b);
+  EXPECT_EQ(dq.Pop(), nullptr);
+  EXPECT_EQ(dq.Steal(), nullptr);
+  EXPECT_TRUE(dq.Empty());
+  delete a;
+  delete b;
+  delete c;
+}
+
+TEST(WorkStealingDequeTest, PushFailsWhenFull) {
+  WorkStealingDeque dq(64);
+  std::atomic<int> counter{0};
+  std::vector<Task*> tasks;
+  for (size_t i = 0; i < dq.capacity(); ++i) {
+    tasks.push_back(MakeTask(&counter));
+    ASSERT_TRUE(dq.Push(tasks.back()));
+  }
+  Task* extra = MakeTask(&counter);
+  EXPECT_FALSE(dq.Push(extra));
+  // Freeing one slot from the top makes room again.
+  Task* stolen = dq.Steal();
+  ASSERT_NE(stolen, nullptr);
+  EXPECT_TRUE(dq.Push(extra));
+  while (Task* t = dq.Pop()) delete t;
+  delete stolen;
+}
+
+TEST(ThreadPoolTest, CreateValidatesOptions) {
+  ThreadPoolOptions opts;
+  opts.queue_capacity = 0;
+  EXPECT_FALSE(ThreadPool::Create(opts).ok());
+  opts.queue_capacity = 1;
+  opts.num_threads = 100000;
+  EXPECT_FALSE(ThreadPool::Create(opts).ok());
+}
+
+TEST(ThreadPoolTest, ZeroThreadsResolvesToHardware) {
+  auto pool = ThreadPool::Create({});
+  ASSERT_TRUE(pool.ok());
+  EXPECT_GE((*pool)->num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPoolOptions opts;
+  opts.num_threads = 4;
+  opts.queue_capacity = 16;  // smaller than the task count: backpressure
+  auto pool = ThreadPool::Create(opts);
+  ASSERT_TRUE(pool.ok());
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE((*pool)->Submit([&counter] { counter.fetch_add(1); }).ok());
+  }
+  (*pool)->WaitIdle();
+  EXPECT_EQ(counter.load(), 1000);
+  // The pool is reusable after WaitIdle.
+  ASSERT_TRUE((*pool)->Submit([&counter] { counter.fetch_add(1); }).ok());
+  (*pool)->WaitIdle();
+  EXPECT_EQ(counter.load(), 1001);
+}
+
+TEST(ThreadPoolTest, CurrentWorkerIndexIdentifiesWorkers) {
+  ThreadPoolOptions opts;
+  opts.num_threads = 3;
+  auto pool = ThreadPool::Create(opts);
+  ASSERT_TRUE(pool.ok());
+  EXPECT_EQ((*pool)->CurrentWorkerIndex(), ThreadPool::kNotAWorker);
+
+  std::vector<std::atomic<int>> seen(3);
+  for (auto& s : seen) s.store(0);
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE((*pool)
+                    ->Submit([&] {
+                      const size_t w = (*pool)->CurrentWorkerIndex();
+                      ASSERT_LT(w, size_t{3});
+                      seen[w].fetch_add(1);
+                    })
+                    .ok());
+  }
+  (*pool)->WaitIdle();
+  int total = 0;
+  for (auto& s : seen) total += s.load();
+  EXPECT_EQ(total, 300);
+}
+
+TEST(ThreadPoolTest, TrySubmitReportsFullQueue) {
+  ThreadPoolOptions opts;
+  opts.num_threads = 1;
+  opts.queue_capacity = 1;
+  auto pool = ThreadPool::Create(opts);
+  ASSERT_TRUE(pool.ok());
+
+  // Occupy the single worker so the injection queue stays ours.
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  ASSERT_TRUE((*pool)->Submit([gate] { gate.wait(); }).ok());
+
+  // Fill the queue, then observe the bound.
+  Status st = Status::OK();
+  bool filled = false;
+  for (int i = 0; i < 64; ++i) {
+    st = (*pool)->TrySubmit([] {});
+    if (!st.ok()) {
+      filled = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(filled);
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+
+  release.set_value();
+  (*pool)->WaitIdle();
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownFails) {
+  auto pool = ThreadPool::Create({});
+  ASSERT_TRUE(pool.ok());
+  ASSERT_TRUE((*pool)->Shutdown().ok());
+  EXPECT_EQ((*pool)->Submit([] {}).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ((*pool)->TrySubmit([] {}).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ((*pool)->Shutdown().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
+  ThreadPoolOptions opts;
+  opts.num_threads = 2;
+  opts.queue_capacity = 256;
+  auto pool = ThreadPool::Create(opts);
+  ASSERT_TRUE(pool.ok());
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE((*pool)->Submit([&counter] { counter.fetch_add(1); }).ok());
+  }
+  ASSERT_TRUE((*pool)->Shutdown().ok());
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, ConcurrentProducers) {
+  ThreadPoolOptions opts;
+  opts.num_threads = 4;
+  opts.queue_capacity = 32;
+  auto pool = ThreadPool::Create(opts);
+  ASSERT_TRUE(pool.ok());
+  std::atomic<int> counter{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < 500; ++i) {
+        ASSERT_TRUE(
+            (*pool)->Submit([&counter] { counter.fetch_add(1); }).ok());
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  (*pool)->WaitIdle();
+  EXPECT_EQ(counter.load(), 2000);
+}
+
+}  // namespace
+}  // namespace aeetes
