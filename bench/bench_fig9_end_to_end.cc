@@ -33,13 +33,20 @@ int main() {
           }) /
           static_cast<double>(w.documents.size());
 
+      // Steady-state configuration: one warm scratch across the corpus
+      // (the deployment shape — per-call allocation would be measured by
+      // the legacy Extract wrapper instead).
       size_t aeetes_matches = 0;
+      ExtractScratch scratch;
+      double filter_ms = 0, verify_ms = 0;
       const double aeetes_ms =
           bench::TimedMillis([&] {
             for (const Document& doc : w.documents) {
-              auto r = w.aeetes->Extract(doc, tau);
+              auto r = w.aeetes->ExtractInto(scratch, doc, tau);
               AEETES_CHECK(r.ok());
-              aeetes_matches += r->matches.size();
+              filter_ms += r->filter_ms;
+              verify_ms += r->verify_ms;
+              aeetes_matches += scratch.matches.size();
             }
           }) /
           static_cast<double>(w.documents.size());
@@ -53,6 +60,8 @@ int main() {
           .Set("tau", tau)
           .Set("faerie_ms_per_doc", faerie_ms)
           .Set("aeetes_ms_per_doc", aeetes_ms)
+          .Set("aeetes_filter_ms_total", filter_ms)
+          .Set("aeetes_verify_ms_total", verify_ms)
           .Set("matches", static_cast<uint64_t>(aeetes_matches));
 
       std::cout << std::left << std::setw(14) << profile.name << std::setw(6)

@@ -2,18 +2,87 @@
 // dominate the paper's cost model: prefix maintenance (Window Extend /
 // Migrate vs rebuild), set similarity, index probing and derived-entity
 // expansion.
+//
+// This binary also hosts the allocation-discipline gate: it replaces the
+// global allocator with a counting one, reports allocs/iter for the
+// candidate-generation benchmarks, and — under
+// `--assert-steady-state-allocs` — fails unless the second Extract call on
+// a warm ExtractScratch performs zero heap allocations, for every filter
+// strategy (DESIGN.md §10; wired into tools/check.sh as the `alloc` step).
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
 #include <random>
+#include <string_view>
 
+#include "src/core/aeetes.h"
 #include "src/core/candidate_generator.h"
+#include "src/core/scratch.h"
 #include "src/core/window.h"
 #include "src/index/clustered_index.h"
 #include "src/sim/similarity.h"
 #include "src/synonym/expander.h"
 #include "src/text/token_set.h"
 #include "tests/test_util.h"
+
+namespace {
+
+/// Every heap allocation in the process bumps this (test-only tooling —
+/// the library itself never depends on it).
+std::atomic<uint64_t> g_alloc_count{0};
+
+uint64_t AllocationCount() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+void* CountedAlloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) std::abort();
+  return p;
+}
+
+void* CountedAlignedAlloc(std::size_t size, std::size_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, align, size == 0 ? align : size) != 0) std::abort();
+  return p;
+}
+
+}  // namespace
+
+// Replace every form of the global allocator, so no allocation — from the
+// library, the STL, or the benchmark harness — escapes the counter.
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace aeetes {
 namespace {
@@ -91,17 +160,44 @@ void BM_JaccardOnOrderedSets(benchmark::State& state) {
 }
 BENCHMARK(BM_JaccardOnOrderedSets);
 
+/// The pre-scratch API: a fresh scratch per call, so every per-window /
+/// per-candidate buffer is reallocated. allocs/iter makes the churn
+/// visible next to the Scratch variant below.
 void BM_CandidateGeneration(benchmark::State& state) {
   auto& w = World();
   const auto strategy = static_cast<FilterStrategy>(state.range(0));
+  const uint64_t allocs_before = AllocationCount();
   for (auto _ : state) {
     auto out = GenerateCandidates(strategy, w.doc, *w.world.dd, *w.index,
                                   0.8);
     benchmark::DoNotOptimize(out.candidates.size());
   }
+  state.counters["allocs/iter"] = benchmark::Counter(
+      static_cast<double>(AllocationCount() - allocs_before),
+      benchmark::Counter::kAvgIterations);
   state.SetLabel(FilterStrategyName(strategy));
 }
 BENCHMARK(BM_CandidateGeneration)->DenseRange(0, 3);
+
+/// The scratch-backed hot path: after the first iteration warms the
+/// scratch, allocs/iter is ~0 for every strategy.
+void BM_CandidateGenerationScratch(benchmark::State& state) {
+  auto& w = World();
+  const auto strategy = static_cast<FilterStrategy>(state.range(0));
+  ExtractScratch scratch;
+  const uint64_t allocs_before = AllocationCount();
+  for (auto _ : state) {
+    FilterStats stats = GenerateCandidatesInto(
+        strategy, w.doc, *w.world.dd, *w.index, 0.8, Metric::kJaccard, {},
+        scratch);
+    benchmark::DoNotOptimize(stats.candidates);
+  }
+  state.counters["allocs/iter"] = benchmark::Counter(
+      static_cast<double>(AllocationCount() - allocs_before),
+      benchmark::Counter::kAvgIterations);
+  state.SetLabel(FilterStrategyName(strategy));
+}
+BENCHMARK(BM_CandidateGenerationScratch)->DenseRange(0, 3);
 
 void BM_ExpandEntity(benchmark::State& state) {
   RuleSet rules;
@@ -129,7 +225,59 @@ void BM_PrefixLength(benchmark::State& state) {
 }
 BENCHMARK(BM_PrefixLength);
 
+/// `--assert-steady-state-allocs`: builds a full extractor, runs one
+/// warm-up Extract per strategy on a shared scratch, then asserts the
+/// second (steady-state) call allocates nothing. Exit 0 iff all four
+/// strategies are allocation-free.
+int RunSteadyStateAssert() {
+  std::mt19937_64 rng(7);
+  auto world = testutil::MakeRandomWorld(rng, /*vocab=*/200,
+                                         /*num_entities=*/300,
+                                         /*num_rules=*/80, /*doc_len=*/1200);
+  const Document doc = Document::FromTokens(world.doc_tokens);
+  auto built = Aeetes::FromDerivedDictionary(std::move(world.dd));
+  AEETES_CHECK(built.ok());
+  const Aeetes& aeetes = **built;
+
+  int failures = 0;
+  ExtractScratch scratch;
+  for (const FilterStrategy strategy :
+       {FilterStrategy::kSimple, FilterStrategy::kSkip,
+        FilterStrategy::kDynamic, FilterStrategy::kLazy}) {
+    auto warm = aeetes.ExtractIntoWithStrategy(scratch, doc, 0.8, strategy);
+    AEETES_CHECK(warm.ok());
+    const uint64_t before = AllocationCount();
+    auto steady = aeetes.ExtractIntoWithStrategy(scratch, doc, 0.8, strategy);
+    const uint64_t allocs = AllocationCount() - before;
+    AEETES_CHECK(steady.ok());
+    AEETES_CHECK_EQ(warm->verify_stats.matched, steady->verify_stats.matched);
+    std::printf("steady-state %-7s matches=%llu heap allocations=%llu%s\n",
+                FilterStrategyName(strategy),
+                static_cast<unsigned long long>(steady->verify_stats.matched),
+                static_cast<unsigned long long>(allocs),
+                allocs == 0 ? "" : "  <-- FAIL");
+    if (allocs != 0) ++failures;
+  }
+  if (failures > 0) {
+    std::printf("FAIL: %d strategies allocate in steady state\n", failures);
+    return 1;
+  }
+  std::printf("OK: steady-state Extract is allocation-free\n");
+  return 0;
+}
+
 }  // namespace
 }  // namespace aeetes
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--assert-steady-state-allocs") {
+      return aeetes::RunSteadyStateAssert();
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -145,22 +145,43 @@ Result<Aeetes::ExtractionResult> Aeetes::Extract(const Document& doc,
 Result<Aeetes::ExtractionResult> Aeetes::ExtractWithStrategy(
     const Document& doc, double tau, FilterStrategy strategy,
     TraceRecorder* trace) const {
+  ExtractScratch scratch;
+  AEETES_ASSIGN_OR_RETURN(
+      const ExtractionSummary summary,
+      ExtractIntoWithStrategy(scratch, doc, tau, strategy, trace));
+  ExtractionResult result;
+  result.matches = std::move(scratch.matches);
+  result.filter_stats = summary.filter_stats;
+  result.verify_stats = summary.verify_stats;
+  result.filter_ms = summary.filter_ms;
+  result.verify_ms = summary.verify_ms;
+  return result;
+}
+
+Result<Aeetes::ExtractionSummary> Aeetes::ExtractInto(
+    ExtractScratch& scratch, const Document& doc, double tau,
+    TraceRecorder* trace) const {
+  return ExtractIntoWithStrategy(scratch, doc, tau, options_.strategy, trace);
+}
+
+Result<Aeetes::ExtractionSummary> Aeetes::ExtractIntoWithStrategy(
+    ExtractScratch& scratch, const Document& doc, double tau,
+    FilterStrategy strategy, TraceRecorder* trace) const {
   if (!(tau > 0.0) || tau > 1.0) {
     return Status::InvalidArgument("threshold must be in (0, 1]");
   }
-  ExtractionResult result;
+  ExtractionSummary result;
   ScopedTimer extract_timer(&pipeline_.extract_latency_us);
   TraceScope extract_span(trace, "extract");
 
-  CandidateGenOutput gen;
   {
     ScopedTimer timer(&pipeline_.filter_latency_us, &result.filter_ms);
     CandidateGenOptions gen_options;
     gen_options.positional_filter = options_.positional_filter;
-    gen = GenerateCandidates(strategy, doc, *dd_, *index_, tau,
-                             options_.metric, gen_options, trace);
+    result.filter_stats =
+        GenerateCandidatesInto(strategy, doc, *dd_, *index_, tau,
+                               options_.metric, gen_options, scratch, trace);
   }
-  result.filter_stats = gen.stats;
 
   {
     ScopedTimer timer(&pipeline_.verify_latency_us, &result.verify_ms);
@@ -168,8 +189,9 @@ Result<Aeetes::ExtractionResult> Aeetes::ExtractWithStrategy(
     JaccArOptions jopts;
     jopts.metric = options_.metric;
     jopts.weighted = options_.weighted;
-    result.matches = VerifyCandidates(std::move(gen.candidates), doc, *dd_,
-                                      tau, jopts, &result.verify_stats);
+    VerifyCandidatesInto(scratch.candidates, doc, *dd_, tau, jopts,
+                         scratch.matches, scratch.ordered_set,
+                         scratch.ordered_ranks, &result.verify_stats);
     verify_span.AddStat("verified", result.verify_stats.verified);
     verify_span.AddStat("matched", result.verify_stats.matched);
   }

@@ -11,6 +11,7 @@
 #include "src/common/status.h"
 #include "src/core/candidate_generator.h"
 #include "src/core/document.h"
+#include "src/core/scratch.h"
 #include "src/core/verifier.h"
 #include "src/index/clustered_index.h"
 #include "src/sim/jaccar.h"
@@ -47,8 +48,9 @@ struct AeetesOptions {
 /// ----------------------
 /// After Build returns, every const method is safe to call concurrently
 /// from any number of threads against one shared instance: the online path
-/// (Extract / ExtractWithStrategy / LookupString / Explain) keeps all
-/// per-call state on the caller's stack and reads the derived dictionary
+/// (Extract / ExtractWithStrategy / ExtractInto / LookupString / Explain)
+/// keeps all per-call state on the caller's stack or in the caller's
+/// ExtractScratch (one per thread) and reads the derived dictionary
 /// and index, which are immutable after construction. The only mutable
 /// member, the metrics registry, is updated with relaxed atomics and may
 /// be read (metrics().ToJson()) while extractions run. Distinct
@@ -102,6 +104,31 @@ class Aeetes {
   Result<ExtractionResult> ExtractWithStrategy(
       const Document& doc, double tau, FilterStrategy strategy,
       TraceRecorder* trace = nullptr) const;
+
+  /// Extraction outcome when the matches themselves live in the caller's
+  /// scratch (ExtractInto): everything ExtractionResult carries except the
+  /// match vector.
+  struct ExtractionSummary {
+    FilterStats filter_stats;
+    VerifyStats verify_stats;
+    double filter_ms = 0.0;
+    double verify_ms = 0.0;
+  };
+
+  /// Allocation-free online stage: identical results to Extract, but every
+  /// per-call buffer is drawn from `scratch` and the matches are left in
+  /// `scratch.matches` (valid until the next call on that scratch). After
+  /// one warm-up call, steady-state calls perform zero heap allocations
+  /// (DESIGN.md §10; enforced by bench_micro_ops --assert-steady-state).
+  /// One scratch per thread: see the ExtractScratch reuse contract.
+  Result<ExtractionSummary> ExtractInto(ExtractScratch& scratch,
+                                        const Document& doc, double tau,
+                                        TraceRecorder* trace = nullptr) const;
+
+  /// ExtractInto with an explicit strategy.
+  Result<ExtractionSummary> ExtractIntoWithStrategy(
+      ExtractScratch& scratch, const Document& doc, double tau,
+      FilterStrategy strategy, TraceRecorder* trace = nullptr) const;
 
   /// One scored dictionary hit for a free-standing mention string.
   struct Lookup {

@@ -1,11 +1,10 @@
 #include "src/core/candidate_generator.h"
 
 #include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "src/common/logging.h"
 #include "src/common/span.h"
+#include "src/core/scratch.h"
 #include "src/core/window.h"
 
 namespace aeetes {
@@ -26,29 +25,6 @@ const char* FilterStrategyName(FilterStrategy s) {
 
 namespace {
 
-/// Per-substring candidate-origin tracker. A timestamp array avoids
-/// clearing a hash set for every substring.
-class OriginTracker {
- public:
-  explicit OriginTracker(size_t num_origins)
-      : last_seen_(num_origins, 0), epoch_(0) {}
-
-  void NextSubstring() { ++epoch_; }
-
-  bool IsCandidate(EntityId e) const { return last_seen_[e] == epoch_; }
-
-  /// Returns true when newly marked.
-  bool Mark(EntityId e) {
-    if (last_seen_[e] == epoch_) return false;
-    last_seen_[e] = epoch_;
-    return true;
-  }
-
- private:
-  std::vector<uint64_t> last_seen_;
-  uint64_t epoch_;
-};
-
 struct ProbeContext {
   const Document& doc;
   const DerivedDictionary& dd;
@@ -56,7 +32,8 @@ struct ProbeContext {
   double tau;
   Metric metric;
   CandidateGenOptions opts;
-  CandidateGenOutput* out;
+  std::vector<Candidate>* candidates;
+  FilterStats* stats;
   OriginTracker* tracker;
 };
 
@@ -72,7 +49,7 @@ bool PositionalAdmit(const ProbeContext& ctx, size_t set_size, size_t k,
   const size_t upper =
       1 + std::min(set_size - k - 1, entity_len - j - 1);
   if (upper >= required) return true;
-  ++ctx.out->stats.positional_pruned;
+  ++ctx.stats->positional_pruned;
   return false;
 }
 
@@ -86,7 +63,7 @@ void ProbeFlat(const ProbeContext& ctx, TokenId t, size_t k, uint32_t pos,
   const Span<OriginGroup> ogs(ctx.index.origin_groups());
   const Span<PostingEntry> entries(ctx.index.entries());
   AEETES_DCHECK_LE(list.end, lgs.size());
-  FilterStats& st = ctx.out->stats;
+  FilterStats& st = *ctx.stats;
   for (uint32_t g = list.begin; g < list.end; ++g) {
     const LengthGroup& lg = lgs[g];
     const size_t prefix_len = PrefixLength(ctx.metric, lg.length, ctx.tau);
@@ -102,7 +79,7 @@ void ProbeFlat(const ProbeContext& ctx, TokenId t, size_t k, uint32_t pos,
           continue;
         }
         if (ctx.tracker->Mark(origin_group.origin)) {
-          ctx.out->candidates.push_back(
+          ctx.candidates->push_back(
               Candidate{pos, len, origin_group.origin});
           ++st.candidates;
         }
@@ -122,7 +99,7 @@ void ProbeSkip(const ProbeContext& ctx, TokenId t, size_t k, uint32_t pos,
   const Span<OriginGroup> ogs(ctx.index.origin_groups());
   const Span<PostingEntry> entries(ctx.index.entries());
   AEETES_DCHECK_LE(list.end, lgs.size());
-  FilterStats& st = ctx.out->stats;
+  FilterStats& st = *ctx.stats;
   for (uint32_t g = list.begin; g < list.end; ++g) {
     const LengthGroup& lg = lgs[g];
     if (!partner.Contains(lg.length)) {
@@ -143,7 +120,7 @@ void ProbeSkip(const ProbeContext& ctx, TokenId t, size_t k, uint32_t pos,
           continue;
         }
         ctx.tracker->Mark(origin_group.origin);
-        ctx.out->candidates.push_back(
+        ctx.candidates->push_back(
             Candidate{pos, len, origin_group.origin});
         ++st.candidates;
         break;  // rest of this origin group is redundant
@@ -155,7 +132,7 @@ void ProbeSkip(const ProbeContext& ctx, TokenId t, size_t k, uint32_t pos,
 /// Probes the index for the current window state.
 void ProbeWindow(const ProbeContext& ctx, const SlidingWindow& win,
                  bool batch_skip) {
-  FilterStats& st = ctx.out->stats;
+  FilterStats& st = *ctx.stats;
   ++st.substrings;
   ctx.tracker->NextSubstring();
   const size_t set_size = win.set_size();
@@ -177,12 +154,16 @@ void ProbeWindow(const ProbeContext& ctx, const SlidingWindow& win,
 }
 
 /// Simple and Skip: enumerate every substring, rebuild its prefix from
-/// scratch (Section 4's "straightforward solution").
+/// scratch (Section 4's "straightforward solution"). Uses states[0] as the
+/// one window state so its slot buffer is reused across documents.
 void GenerateEnumerated(const ProbeContext& ctx, const LengthRange& win_len,
-                        bool batch_skip) {
+                        bool batch_skip,
+                        std::vector<SlidingWindow>& states) {
   const size_t n = ctx.doc.size();
-  SlidingWindow win(ctx.doc, ctx.dd.token_dict());
-  FilterStats& st = ctx.out->stats;
+  if (states.empty()) states.emplace_back();
+  SlidingWindow& win = states[0];
+  win.Attach(ctx.doc, ctx.dd.token_dict());
+  FilterStats& st = *ctx.stats;
   for (size_t p = 0; p < n; ++p) {
     if (p + win_len.lo > n) break;
     ++st.windows;
@@ -195,49 +176,51 @@ void GenerateEnumerated(const ProbeContext& ctx, const LengthRange& win_len,
   }
 }
 
-/// Builds the per-length window states for position 0: the shortest window
-/// from scratch, each longer one by Window Extend from a copy.
-std::vector<SlidingWindow> InitialWindows(const ProbeContext& ctx,
-                                          const LengthRange& win_len) {
-  std::vector<SlidingWindow> states;
+/// Builds the per-length window states for position 0 into the first
+/// elements of `states`: the shortest window from scratch, each longer one
+/// by Window Extend from a copy. Returns the number of states in use;
+/// elements are reused across calls (copy-assignment preserves the slot
+/// buffers' capacity), never destroyed.
+size_t InitialWindows(const ProbeContext& ctx, const LengthRange& win_len,
+                      std::vector<SlidingWindow>& states) {
   const size_t n = ctx.doc.size();
-  FilterStats& st = ctx.out->stats;
-  SlidingWindow win(ctx.doc, ctx.dd.token_dict());
-  if (win_len.lo > n) return states;
-  win.Reset(0, win_len.lo);
+  FilterStats& st = *ctx.stats;
+  size_t used = 0;
+  // May reallocate `states`: take element references only after acquiring.
+  auto acquire = [&]() -> SlidingWindow& {
+    if (used == states.size()) states.emplace_back();
+    SlidingWindow& w = states[used++];
+    w.Attach(ctx.doc, ctx.dd.token_dict());
+    return w;
+  };
+  if (win_len.lo > n) return 0;
+  acquire().Reset(0, win_len.lo);
   ++st.prefix_rebuilds;
-  states.push_back(win);
   for (size_t l = win_len.lo + 1; l <= std::min<size_t>(win_len.hi, n); ++l) {
-    if (!win.Extend()) break;
+    SlidingWindow& next = acquire();
+    next = states[used - 2];
+    if (!next.Extend()) {
+      --used;
+      break;
+    }
     ++st.prefix_updates;
-    states.push_back(win);
   }
-  return states;
+  return used;
 }
 
-/// One cacheable hit of a token-list scan: an origin whose derived
-/// entities of ordered-set size `length` share the token within their
-/// tau-prefix; `j_min` is the smallest such prefix position (the best
-/// witness for the positional filter).
-struct ScanHit {
-  EntityId origin;
-  uint32_t length;
-  uint32_t j_min;
-};
-
-/// Scans L[t] once for a given substring set size, returning every origin
-/// whose postings pass the length and prefix filters. The result depends
-/// only on (t, set_size, tau), never on the substring position — which is
-/// what makes it cacheable across adjacent windows.
-std::vector<ScanHit> ScanTokenList(const ProbeContext& ctx, TokenId t,
-                                   size_t set_size) {
-  std::vector<ScanHit> hits;
+/// Scans L[t] once for a given substring set size, filling `hits` with
+/// every origin whose postings pass the length and prefix filters. The
+/// result depends only on (t, set_size, tau), never on the substring
+/// position — which is what makes it cacheable across adjacent windows.
+void ScanTokenListInto(const ProbeContext& ctx, TokenId t, size_t set_size,
+                       std::vector<ScanHit>& hits) {
+  hits.clear();
   const auto list = ctx.index.list(t);
   const Span<LengthGroup> lgs(ctx.index.length_groups());
   const Span<OriginGroup> ogs(ctx.index.origin_groups());
   const Span<PostingEntry> entries(ctx.index.entries());
   AEETES_DCHECK_LE(list.end, lgs.size());
-  FilterStats& st = ctx.out->stats;
+  FilterStats& st = *ctx.stats;
   const LengthRange partner =
       PartnerLengthRange(ctx.metric, set_size, ctx.tau);
   for (uint32_t g = list.begin; g < list.end; ++g) {
@@ -264,7 +247,6 @@ std::vector<ScanHit> ScanTokenList(const ProbeContext& ctx, TokenId t,
       }
     }
   }
-  return hits;
 }
 
 /// Dynamic: per-length window states maintained incrementally across
@@ -272,21 +254,24 @@ std::vector<ScanHit> ScanTokenList(const ProbeContext& ctx, TokenId t,
 /// their prefix, each state memoizes the per-token scan results: only
 /// tokens that newly enter the prefix (or a changed set size) cost an
 /// index scan — the savings the paper's MigCandGeneration realizes.
-void GenerateDynamic(const ProbeContext& ctx, const LengthRange& win_len) {
+void GenerateDynamic(const ProbeContext& ctx, const LengthRange& win_len,
+                     ExtractScratch& scratch) {
   const size_t n = ctx.doc.size();
-  FilterStats& st = ctx.out->stats;
-  std::vector<SlidingWindow> states = InitialWindows(ctx, win_len);
-  if (states.empty()) return;
+  FilterStats& st = *ctx.stats;
+  std::vector<SlidingWindow>& states = scratch.states;
+  const size_t num_states = InitialWindows(ctx, win_len, states);
+  if (num_states == 0) return;
 
-  struct CachedScan {
-    size_t set_size = 0;
-    std::vector<ScanHit> hits;
-  };
-  std::vector<std::unordered_map<TokenId, CachedScan>> caches(states.size());
+  if (scratch.dynamic_caches.size() < num_states) {
+    scratch.dynamic_caches.resize(num_states);
+  }
+  for (size_t si = 0; si < num_states; ++si) {
+    scratch.dynamic_caches[si].Clear();
+  }
 
   auto probe_cached = [&](size_t si) {
     SlidingWindow& win = states[si];
-    auto& cache = caches[si];
+    FlatMap<TokenId, CachedScan>& cache = scratch.dynamic_caches[si];
     ++st.substrings;
     ctx.tracker->NextSubstring();
     const size_t set_size = win.set_size();
@@ -295,18 +280,20 @@ void GenerateDynamic(const ProbeContext& ctx, const LengthRange& win_len) {
     for (size_t k = 0; k < prefix_len; ++k) {
       const TokenId t = win.DistinctToken(k);
       if (ctx.index.list(t).empty()) continue;
-      auto [it, inserted] = cache.try_emplace(t);
-      if (inserted || it->second.set_size != set_size) {
-        it->second.set_size = set_size;
-        it->second.hits = ScanTokenList(ctx, t, set_size);
+      auto [scan, inserted] = cache.TryEmplace(t);
+      // A newly inserted slot may carry a stale CachedScan (FlatMap reuse
+      // contract): refill unconditionally on insertion.
+      if (inserted || scan->set_size != set_size) {
+        scan->set_size = static_cast<uint32_t>(set_size);
+        ScanTokenListInto(ctx, t, set_size, scan->hits);
       }
-      for (const ScanHit& hit : it->second.hits) {
+      for (const ScanHit& hit : scan->hits) {
         if (ctx.tracker->IsCandidate(hit.origin)) continue;
         if (!PositionalAdmit(ctx, set_size, k, hit.length, hit.j_min)) {
           continue;
         }
         ctx.tracker->Mark(hit.origin);
-        ctx.out->candidates.push_back(
+        ctx.candidates->push_back(
             Candidate{static_cast<uint32_t>(win.pos()),
                       static_cast<uint32_t>(win.len()), hit.origin});
         ++st.candidates;
@@ -315,10 +302,10 @@ void GenerateDynamic(const ProbeContext& ctx, const LengthRange& win_len) {
   };
 
   ++st.windows;
-  for (size_t si = 0; si < states.size(); ++si) probe_cached(si);
+  for (size_t si = 0; si < num_states; ++si) probe_cached(si);
   for (size_t p = 1; p + win_len.lo <= n; ++p) {
     ++st.windows;
-    for (size_t si = 0; si < states.size(); ++si) {
+    for (size_t si = 0; si < num_states; ++si) {
       if (p + states[si].len() > n) continue;  // window no longer fits
       states[si].Migrate();
       ++st.prefix_updates;
@@ -327,107 +314,177 @@ void GenerateDynamic(const ProbeContext& ctx, const LengthRange& win_len) {
   }
 }
 
-/// Lazy phase 1 output: for each valid token, the substrings whose prefix
-/// contains it, keyed by substring set size (the substring inverted index
-/// I of Section 4.2). `k` is the token's index in the substring's prefix,
-/// needed by the positional filter.
-struct Registration {
-  uint32_t set_size;
-  uint32_t pos;
-  uint32_t len;
-  uint32_t k;
-};
+/// Within-run order: (set_size, pos, len). A token registers each window
+/// at most once, so this is a total order over a token's registrations.
+bool RunRegistrationBefore(const LazyRegistration& a,
+                           const LazyRegistration& b) {
+  if (a.set_size != b.set_size) return a.set_size < b.set_size;
+  if (a.pos != b.pos) return a.pos < b.pos;
+  return a.len < b.len;
+}
+
+bool CandidateBefore(const Candidate& a, const Candidate& b) {
+  if (a.pos != b.pos) return a.pos < b.pos;
+  if (a.len != b.len) return a.len < b.len;
+  return a.origin < b.origin;
+}
 
 void GenerateLazy(const ProbeContext& ctx, const LengthRange& win_len,
-                  TraceRecorder* trace) {
+                  ExtractScratch& scratch, TraceRecorder* trace) {
   const size_t n = ctx.doc.size();
-  FilterStats& st = ctx.out->stats;
+  FilterStats& st = *ctx.stats;
+  std::vector<Candidate>& candidates = *ctx.candidates;
 
   // Phase 1: slide windows exactly as Dynamic does, but only *register*
-  // the valid prefix tokens of each substring instead of probing. This
-  // materializes the substring inverted index I (the delta-valid-token
-  // bookkeeping of Section 4.2 is how the paper builds the same structure
-  // incrementally).
-  std::unordered_map<TokenId, std::vector<Registration>> inverted;
+  // the valid prefix tokens of each substring instead of probing. The flat
+  // arena, once sorted, materializes the substring inverted index I (the
+  // delta-valid-token bookkeeping of Section 4.2 is how the paper builds
+  // the same structure incrementally).
+  std::vector<LazyRegistration>& regs = scratch.registrations;
+  regs.clear();
+
+  // Per-call FP memos: phase 1 evaluates PrefixLength once per substring
+  // and phase 2 evaluates PartnerLengthRange/PrefixLength once per
+  // (token, length group); both repeat a handful of distinct arguments
+  // thousands of times, so the ceil/division math runs once per size here.
+  const size_t max_key =
+      std::max(std::min<size_t>(win_len.hi, n), ctx.dd.max_set_size());
+  std::vector<uint32_t>& prefix_tab = scratch.prefix_len_table;
+  prefix_tab.resize(max_key + 1);
+  for (size_t s = 0; s <= max_key; ++s) {
+    prefix_tab[s] = static_cast<uint32_t>(PrefixLength(ctx.metric, s, ctx.tau));
+  }
+  std::vector<LengthRange>& partner_tab = scratch.partner_table;
+  partner_tab.resize(ctx.dd.max_set_size() + 1);
+  for (size_t l = 0; l <= ctx.dd.max_set_size(); ++l) {
+    partner_tab[l] = PartnerLengthRange(ctx.metric, l, ctx.tau);
+  }
+
   auto register_window = [&](const SlidingWindow& win) {
     ++st.substrings;
     const size_t set_size = win.set_size();
     if (set_size == 0) return;
-    const size_t prefix_len = PrefixLength(ctx.metric, set_size, ctx.tau);
+    const size_t prefix_len = prefix_tab[set_size];
     for (size_t k = 0; k < prefix_len; ++k) {
       const TokenId t = win.DistinctToken(k);
       if (ctx.index.list(t).empty()) continue;
-      inverted[t].push_back(Registration{static_cast<uint32_t>(set_size),
-                                         static_cast<uint32_t>(win.pos()),
-                                         static_cast<uint32_t>(win.len()),
-                                         static_cast<uint32_t>(k)});
+      regs.push_back(LazyRegistration{t, static_cast<uint32_t>(set_size),
+                                      static_cast<uint32_t>(win.pos()),
+                                      static_cast<uint32_t>(win.len()),
+                                      static_cast<uint32_t>(k)});
     }
   };
 
   {
     TraceScope enumeration_span(trace, "window_enumeration");
-    std::vector<SlidingWindow> states = InitialWindows(ctx, win_len);
-    if (states.empty()) return;
+    std::vector<SlidingWindow>& states = scratch.states;
+    const size_t num_states = InitialWindows(ctx, win_len, states);
+    if (num_states == 0) return;
     ++st.windows;
-    for (auto& s : states) register_window(s);
+    for (size_t si = 0; si < num_states; ++si) register_window(states[si]);
     for (size_t p = 1; p + win_len.lo <= n; ++p) {
       ++st.windows;
-      for (auto& s : states) {
+      for (size_t si = 0; si < num_states; ++si) {
+        SlidingWindow& s = states[si];
         if (p + s.len() > n) continue;
         s.Migrate();
         ++st.prefix_updates;
         register_window(s);
       }
     }
-    enumeration_span.AddStat("valid_tokens",
-                             static_cast<uint64_t>(inverted.size()));
   }
 
-  // Phase 2: one scan of L[t] per valid token. Sort registrations by set
-  // size so each length group is matched against contiguous runs.
+  // Phase 2: one scan of L[t] per valid token. A counting scatter (two
+  // O(R) passes over the arena) groups registrations into contiguous
+  // per-token runs, and each run is sorted by set size so length groups
+  // match contiguous subranges — the same run contents a global sort would
+  // produce, at sum-per-token n_t*log(n_t) comparisons instead of
+  // R*log(R).
   TraceScope scan_span(trace, "posting_scan");
-  std::vector<TokenId> tokens;
-  tokens.reserve(inverted.size());
-  for (auto& [t, regs] : inverted) tokens.push_back(t);
-  std::sort(tokens.begin(), tokens.end());
+  std::vector<LazyRegistration>& by_token = scratch.registrations_by_token;
+  std::vector<uint32_t>& counts = scratch.token_counts;
+  std::vector<TokenId>& run_tokens = scratch.run_tokens;
+  std::vector<uint32_t>& run_offsets = scratch.run_offsets;
+  if (counts.size() < ctx.dd.token_dict().size()) {
+    counts.resize(ctx.dd.token_dict().size(), 0);
+  }
+  run_tokens.clear();
+  for (const LazyRegistration& r : regs) {
+    if (counts[r.token]++ == 0) run_tokens.push_back(r.token);
+  }
+  std::sort(run_tokens.begin(), run_tokens.end());
+  run_offsets.resize(run_tokens.size() + 1);
+  uint32_t run_total = 0;
+  for (size_t i = 0; i < run_tokens.size(); ++i) {
+    run_offsets[i] = run_total;
+    run_total += counts[run_tokens[i]];
+    counts[run_tokens[i]] = run_offsets[i];  // becomes the scatter cursor
+  }
+  run_offsets[run_tokens.size()] = run_total;
+  by_token.resize(regs.size());
+  for (const LazyRegistration& r : regs) by_token[counts[r.token]++] = r;
+  // Restore the all-zero invariant by touching only registered tokens.
+  for (TokenId t : run_tokens) counts[t] = 0;
+  for (size_t i = 0; i < run_tokens.size(); ++i) {
+    std::sort(by_token.begin() + static_cast<ptrdiff_t>(run_offsets[i]),
+              by_token.begin() + static_cast<ptrdiff_t>(run_offsets[i + 1]),
+              RunRegistrationBefore);
+  }
 
-  std::unordered_set<uint64_t> dedupe;
-  auto candidate_key = [](uint32_t pos, uint32_t len, EntityId origin) {
-    AEETES_DCHECK_LT(pos, 1u << 26);
-    AEETES_DCHECK_LT(len, 1u << 8);
-    return (static_cast<uint64_t>(pos) << 38) |
-           (static_cast<uint64_t>(len) << 30) | static_cast<uint64_t>(origin);
+  // Candidate dedupe. The fast path hashes an exact 64-bit key — window id
+  // (pos * num_lens + length offset) in the high word, origin in the low
+  // word — which is collision-free by construction *when every window id
+  // fits 32 bits*, checked below. (Its predecessor packed pos/len/origin
+  // into 26/8/30 bits unconditionally, so windows of 256+ tokens silently
+  // aliased neighboring positions in release builds and dropped real
+  // candidates.) When window ids could overflow, candidates are emitted
+  // with duplicates and deduped by sort+unique over the full-width
+  // (pos, len, origin) triples, which is exact at any scale.
+  const size_t max_len = std::min<size_t>(win_len.hi, n);
+  const uint64_t num_lens =
+      max_len >= win_len.lo ? static_cast<uint64_t>(max_len - win_len.lo) + 1
+                            : 0;
+  const bool hashed_dedupe =
+      n == 0 || num_lens == 0 ||
+      num_lens <= (uint64_t{1} << 32) / static_cast<uint64_t>(n);
+  FlatSet<uint64_t>& dedupe = scratch.lazy_dedupe;
+  dedupe.Clear();
+  auto window_key = [&](uint32_t pos, uint32_t len, EntityId origin) {
+    const uint64_t wid =
+        static_cast<uint64_t>(pos) * num_lens +
+        (static_cast<uint64_t>(len) - static_cast<uint64_t>(win_len.lo));
+    return (wid << 32) | static_cast<uint64_t>(origin);
   };
 
   const Span<LengthGroup> lgs(ctx.index.length_groups());
   const Span<OriginGroup> ogs(ctx.index.origin_groups());
   const Span<PostingEntry> entries(ctx.index.entries());
 
-  for (TokenId t : tokens) {
-    auto& regs = inverted[t];
-    std::sort(regs.begin(), regs.end(),
-              [](const Registration& a, const Registration& b) {
-                if (a.set_size != b.set_size) return a.set_size < b.set_size;
-                if (a.pos != b.pos) return a.pos < b.pos;
-                return a.len < b.len;
-              });
+  const uint64_t valid_tokens = run_tokens.size();
+  const size_t first_candidate = candidates.size();
+  for (size_t ri = 0; ri < run_tokens.size(); ++ri) {
+    const TokenId t = run_tokens[ri];
+    const auto run_lo =
+        by_token.begin() + static_cast<ptrdiff_t>(run_offsets[ri]);
+    const auto run_hi =
+        by_token.begin() + static_cast<ptrdiff_t>(run_offsets[ri + 1]);
+
     const auto list = ctx.index.list(t);
     for (uint32_t g = list.begin; g < list.end; ++g) {
       const LengthGroup& lg = lgs[g];
       // Substring set sizes compatible with entity length lg.length.
-      const LengthRange sizes =
-          PartnerLengthRange(ctx.metric, lg.length, ctx.tau);
+      const LengthRange sizes = partner_tab[lg.length];
       auto lo = std::lower_bound(
-          regs.begin(), regs.end(), sizes.lo,
-          [](const Registration& r, size_t v) { return r.set_size < v; });
+          run_lo, run_hi, sizes.lo,
+          [](const LazyRegistration& r, size_t v) { return r.set_size < v; });
       auto hi = std::upper_bound(
-          regs.begin(), regs.end(), sizes.hi,
-          [](size_t v, const Registration& r) { return v < r.set_size; });
+          run_lo, run_hi, sizes.hi,
+          [](size_t v, const LazyRegistration& r) { return v < r.set_size; });
       if (lo == hi) {
         ++st.length_groups_skipped;
         continue;
       }
-      const size_t prefix_len = PrefixLength(ctx.metric, lg.length, ctx.tau);
+      const size_t prefix_len = prefix_tab[lg.length];
       for (uint32_t og = lg.begin; og < lg.end; ++og) {
         const OriginGroup& origin_group = ogs[og];
         uint32_t j_min = static_cast<uint32_t>(-1);
@@ -443,20 +500,80 @@ void GenerateLazy(const ProbeContext& ctx, const LengthRange& win_len,
           if (!PositionalAdmit(ctx, it->set_size, it->k, lg.length, j_min)) {
             continue;
           }
-          const uint64_t key =
-              candidate_key(it->pos, it->len, origin_group.origin);
-          if (dedupe.insert(key).second) {
-            ctx.out->candidates.push_back(
+          if (hashed_dedupe) {
+            if (dedupe.Insert(
+                    window_key(it->pos, it->len, origin_group.origin))) {
+              candidates.push_back(
+                  Candidate{it->pos, it->len, origin_group.origin});
+              ++st.candidates;
+            }
+          } else {
+            candidates.push_back(
                 Candidate{it->pos, it->len, origin_group.origin});
-            ++st.candidates;
           }
         }
       }
     }
   }
+  scan_span.AddStat("valid_tokens", valid_tokens);
+
+  if (!hashed_dedupe) {
+    auto out_begin =
+        candidates.begin() + static_cast<ptrdiff_t>(first_candidate);
+    std::sort(out_begin, candidates.end(), CandidateBefore);
+    candidates.erase(std::unique(out_begin, candidates.end()),
+                     candidates.end());
+    st.candidates += candidates.size() - first_candidate;
+  }
 }
 
 }  // namespace
+
+FilterStats GenerateCandidatesInto(FilterStrategy strategy,
+                                   const Document& doc,
+                                   const DerivedDictionary& dd,
+                                   const ClusteredIndex& index, double tau,
+                                   Metric metric,
+                                   const CandidateGenOptions& options,
+                                   ExtractScratch& scratch,
+                                   TraceRecorder* trace) {
+  AEETES_CHECK_GT(tau, 0.0) << "threshold must be in (0, 1]";
+  AEETES_CHECK_LE(tau, 1.0) << "threshold must be in (0, 1]";
+  FilterStats stats;
+  scratch.candidates.clear();
+  scratch.tracker.Reserve(dd.num_origins());
+  TraceScope filter_span(trace, "filter");
+  const LengthRange win_len = SubstringLengthBounds(
+      metric, dd.min_set_size(), dd.max_set_size(), tau);
+  ProbeContext ctx{doc,     dd,    index,
+                   tau,     metric, options,
+                   &scratch.candidates, &stats, &scratch.tracker};
+  switch (strategy) {
+    case FilterStrategy::kSimple:
+      GenerateEnumerated(ctx, win_len, /*batch_skip=*/false, scratch.states);
+      break;
+    case FilterStrategy::kSkip:
+      GenerateEnumerated(ctx, win_len, /*batch_skip=*/true, scratch.states);
+      break;
+    case FilterStrategy::kDynamic:
+      GenerateDynamic(ctx, win_len, scratch);
+      break;
+    case FilterStrategy::kLazy:
+      GenerateLazy(ctx, win_len, scratch, trace);
+      break;
+  }
+  stats.CheckConsistent();
+  filter_span.AddStat("windows", stats.windows);
+  filter_span.AddStat("substrings", stats.substrings);
+  filter_span.AddStat("prefix_rebuilds", stats.prefix_rebuilds);
+  filter_span.AddStat("prefix_updates", stats.prefix_updates);
+  filter_span.AddStat("entries_accessed", stats.entries_accessed);
+  filter_span.AddStat("length_groups_skipped", stats.length_groups_skipped);
+  filter_span.AddStat("origin_groups_skipped", stats.origin_groups_skipped);
+  filter_span.AddStat("candidates", stats.candidates);
+  filter_span.AddStat("positional_pruned", stats.positional_pruned);
+  return stats;
+}
 
 CandidateGenOutput GenerateCandidates(FilterStrategy strategy,
                                       const Document& doc,
@@ -465,40 +582,11 @@ CandidateGenOutput GenerateCandidates(FilterStrategy strategy,
                                       Metric metric,
                                       const CandidateGenOptions& options,
                                       TraceRecorder* trace) {
+  ExtractScratch scratch;
   CandidateGenOutput out;
-  AEETES_CHECK_GT(tau, 0.0) << "threshold must be in (0, 1]";
-  AEETES_CHECK_LE(tau, 1.0) << "threshold must be in (0, 1]";
-  TraceScope filter_span(trace, "filter");
-  const LengthRange win_len = SubstringLengthBounds(
-      metric, dd.min_set_size(), dd.max_set_size(), tau);
-  OriginTracker tracker(dd.num_origins());
-  ProbeContext ctx{doc, dd, index, tau, metric, options, &out, &tracker};
-  switch (strategy) {
-    case FilterStrategy::kSimple:
-      GenerateEnumerated(ctx, win_len, /*batch_skip=*/false);
-      break;
-    case FilterStrategy::kSkip:
-      GenerateEnumerated(ctx, win_len, /*batch_skip=*/true);
-      break;
-    case FilterStrategy::kDynamic:
-      GenerateDynamic(ctx, win_len);
-      break;
-    case FilterStrategy::kLazy:
-      GenerateLazy(ctx, win_len, trace);
-      break;
-  }
-  out.stats.CheckConsistent();
-  filter_span.AddStat("windows", out.stats.windows);
-  filter_span.AddStat("substrings", out.stats.substrings);
-  filter_span.AddStat("prefix_rebuilds", out.stats.prefix_rebuilds);
-  filter_span.AddStat("prefix_updates", out.stats.prefix_updates);
-  filter_span.AddStat("entries_accessed", out.stats.entries_accessed);
-  filter_span.AddStat("length_groups_skipped",
-                      out.stats.length_groups_skipped);
-  filter_span.AddStat("origin_groups_skipped",
-                      out.stats.origin_groups_skipped);
-  filter_span.AddStat("candidates", out.stats.candidates);
-  filter_span.AddStat("positional_pruned", out.stats.positional_pruned);
+  out.stats = GenerateCandidatesInto(strategy, doc, dd, index, tau, metric,
+                                     options, scratch, trace);
+  out.candidates = std::move(scratch.candidates);
   return out;
 }
 

@@ -58,6 +58,8 @@ struct CandidateGenOptions {
   bool positional_filter = false;
 };
 
+struct ExtractScratch;
+
 /// Runs the filter phase of Algorithm 1 with the chosen strategy. All four
 /// strategies produce the same candidate *superset guarantees* (no false
 /// negatives); they differ only in filter cost. Candidates are deduped per
@@ -73,6 +75,21 @@ CandidateGenOutput GenerateCandidates(FilterStrategy strategy,
                                       Metric metric = Metric::kJaccard,
                                       const CandidateGenOptions& options = {},
                                       TraceRecorder* trace = nullptr);
+
+/// Scratch-backed variant: candidates land in `scratch.candidates`
+/// (cleared on entry, capacity preserved) and every intermediate buffer —
+/// window states, Dynamic scan caches, the Lazy registration arena, the
+/// origin tracker — is drawn from `scratch`, so a warm scratch makes the
+/// filter phase allocation-free. GenerateCandidates is a thin wrapper over
+/// this with a throwaway scratch.
+FilterStats GenerateCandidatesInto(FilterStrategy strategy,
+                                   const Document& doc,
+                                   const DerivedDictionary& dd,
+                                   const ClusteredIndex& index, double tau,
+                                   Metric metric,
+                                   const CandidateGenOptions& options,
+                                   ExtractScratch& scratch,
+                                   TraceRecorder* trace = nullptr);
 
 }  // namespace aeetes
 

@@ -58,6 +58,21 @@ std::vector<Match> VerifyCandidates(std::vector<Candidate> candidates,
                                     VerifyStats* stats = nullptr,
                                     bool early_termination = true);
 
+/// Scratch-backed variant: sorts `candidates` in place, writes matches
+/// into `matches` (cleared on entry, capacity preserved) and keeps the
+/// memoized per-substring set in `ordered_set` / `ordered_ranks`, so a
+/// warm caller verifies without heap allocation. The early-termination
+/// path scores against `ordered_ranks` (materialized ranks, pure integer
+/// merges); `ordered_set` backs the exhaustive Score path.
+/// VerifyCandidates is a thin wrapper over this.
+void VerifyCandidatesInto(std::vector<Candidate>& candidates,
+                          const Document& doc, const DerivedDictionary& dd,
+                          double tau, const JaccArOptions& options,
+                          std::vector<Match>& matches, TokenSeq& ordered_set,
+                          std::vector<TokenRank>& ordered_ranks,
+                          VerifyStats* stats = nullptr,
+                          bool early_termination = true);
+
 }  // namespace aeetes
 
 #endif  // AEETES_CORE_VERIFIER_H_

@@ -9,26 +9,27 @@
 namespace aeetes {
 
 void SlidingWindow::Reset(size_t pos, size_t len) {
-  AEETES_CHECK_LE(pos, doc_.size()) << "window start past document end";
-  AEETES_CHECK_LE(len, doc_.size() - pos) << "window overruns document";
+  AEETES_DCHECK(doc_ != nullptr);  // Reset on a detached window
+  AEETES_CHECK_LE(pos, doc_->size()) << "window start past document end";
+  AEETES_CHECK_LE(len, doc_->size() - pos) << "window overruns document";
   pos_ = pos;
   len_ = len;
   slots_.clear();
-  const Span<TokenId> tokens(doc_.tokens());
+  const Span<TokenId> tokens(doc_->tokens());
   for (size_t i = pos; i < pos + len; ++i) Insert(tokens[i]);
 }
 
 bool SlidingWindow::Extend() {
-  if (pos_ + len_ >= doc_.size()) return false;
-  const Span<TokenId> tokens(doc_.tokens());
+  if (pos_ + len_ >= doc_->size()) return false;
+  const Span<TokenId> tokens(doc_->tokens());
   Insert(tokens[pos_ + len_]);
   ++len_;
   return true;
 }
 
 bool SlidingWindow::Migrate() {
-  if (pos_ + len_ >= doc_.size()) return false;
-  const Span<TokenId> tokens(doc_.tokens());
+  if (pos_ + len_ >= doc_->size()) return false;
+  const Span<TokenId> tokens(doc_->tokens());
   Remove(tokens[pos_]);
   Insert(tokens[pos_ + len_]);
   ++pos_;
@@ -43,7 +44,7 @@ TokenSeq SlidingWindow::OrderedSet() const {
 }
 
 void SlidingWindow::Insert(TokenId t) {
-  const TokenRank rank = dict_.Rank(t);
+  const TokenRank rank = dict_->Rank(t);
   auto it = std::lower_bound(
       slots_.begin(), slots_.end(), rank,
       [](const Slot& s, TokenRank r) { return s.rank < r; });
@@ -55,7 +56,7 @@ void SlidingWindow::Insert(TokenId t) {
 }
 
 void SlidingWindow::Remove(TokenId t) {
-  const TokenRank rank = dict_.Rank(t);
+  const TokenRank rank = dict_->Rank(t);
   auto it = std::lower_bound(
       slots_.begin(), slots_.end(), rank,
       [](const Slot& s, TokenRank r) { return s.rank < r; });

@@ -20,8 +20,23 @@ namespace aeetes {
 /// when the window contains duplicate tokens).
 class SlidingWindow {
  public:
+  /// A default-constructed window is detached: it owns reusable slot
+  /// storage but no document. Attach() (or the binding constructor) must
+  /// run before any other member. Detached-but-warm windows are what
+  /// ExtractScratch pools across documents — rebinding never frees the
+  /// slot buffer.
+  SlidingWindow() = default;
+
   SlidingWindow(const Document& doc, const TokenDictionary& dict)
-      : doc_(doc), dict_(dict) {}
+      : doc_(&doc), dict_(&dict) {}
+
+  /// Rebinds the window to a document/dictionary without touching the slot
+  /// buffer's capacity. The previous binding may be dangling by now; it is
+  /// never dereferenced. Callers must Reset() before reading state.
+  void Attach(const Document& doc, const TokenDictionary& dict) {
+    doc_ = &doc;
+    dict_ = &dict;
+  }
 
   /// Rebuilds the state for tokens [pos, pos + len) from scratch. Counts as
   /// one "prefix rebuild" in the cost model; the incremental operators
@@ -60,8 +75,8 @@ class SlidingWindow {
   void Insert(TokenId t);
   void Remove(TokenId t);
 
-  const Document& doc_;
-  const TokenDictionary& dict_;
+  const Document* doc_ = nullptr;
+  const TokenDictionary* dict_ = nullptr;
   size_t pos_ = 0;
   size_t len_ = 0;
   std::vector<Slot> slots_;  // sorted by rank ascending

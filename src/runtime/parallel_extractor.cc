@@ -127,20 +127,22 @@ Result<ParallelExtraction> ParallelExtractor::ExtractAllWithStrategy(
       AEETES_CHECK_NE(w, ThreadPool::kNotAWorker);
       TraceRecorder* trace = traces.empty() ? nullptr : &traces[w];
       const Document& doc = documents[task.doc];
+      ExtractScratch& scratch = scratches_[w].scratch;
 
-      Result<Aeetes::ExtractionResult> result = [&] {
+      Result<Aeetes::ExtractionSummary> result = [&] {
         if (task.begin == 0 && task.len == doc.size()) {
-          return aeetes_.ExtractWithStrategy(doc, tau, strategy, trace);
+          return aeetes_.ExtractIntoWithStrategy(scratch, doc, tau, strategy,
+                                                 trace);
         }
         const TokenSeq& tokens = doc.tokens();
         const auto first =
             tokens.begin() + static_cast<ptrdiff_t>(task.begin);
         const Document chunk = Document::FromTokens(
             TokenSeq(first, first + static_cast<ptrdiff_t>(task.len)));
-        auto chunk_result =
-            aeetes_.ExtractWithStrategy(chunk, tau, strategy, trace);
+        auto chunk_result = aeetes_.ExtractIntoWithStrategy(
+            scratch, chunk, tau, strategy, trace);
         if (chunk_result.ok()) {
-          for (Match& m : chunk_result->matches) {
+          for (Match& m : scratch.matches) {
             m.token_begin =
                 static_cast<uint32_t>(m.token_begin + task.begin);
           }
@@ -152,7 +154,9 @@ Result<ParallelExtraction> ParallelExtractor::ExtractAllWithStrategy(
         slot.status = result.status();
         return;
       }
-      slot.matches = std::move(result->matches);
+      // The scratch is recycled by this worker's next task, so the slot
+      // takes a copy of the matches (the one per-task allocation left).
+      slot.matches.assign(scratch.matches.begin(), scratch.matches.end());
       slot.filter_stats = result->filter_stats;
       slot.verify_stats = result->verify_stats;
       worker_stats[w].filter += result->filter_stats;

@@ -100,15 +100,30 @@ class ParallelExtractor {
   ParallelExtractor(const Aeetes& aeetes,
                     const ParallelExtractorOptions& options,
                     std::unique_ptr<ThreadPool> pool)
-      : aeetes_(aeetes), options_(options), pool_(std::move(pool)) {}
+      : aeetes_(aeetes),
+        options_(options),
+        pool_(std::move(pool)),
+        scratches_(pool_->num_threads()) {}
 
   /// Longest window (in tokens) the threshold admits — the chunk-overlap
   /// quantum.
   size_t MaxWindowTokens(double tau) const;
 
+  /// One reusable ExtractScratch per pool worker, indexed by
+  /// CurrentWorkerIndex(). A worker runs one task at a time, so its slot is
+  /// never contended — even across concurrent ExtractAll calls — and after
+  /// the first few documents the extraction hot path stops allocating
+  /// (the allocator was the main cross-thread contention point).
+  /// Cache-line alignment keeps neighboring workers' scratch headers off
+  /// each other's lines.
+  struct alignas(64) WorkerScratch {
+    ExtractScratch scratch;
+  };
+
   const Aeetes& aeetes_;
   ParallelExtractorOptions options_;
   std::unique_ptr<ThreadPool> pool_;
+  std::vector<WorkerScratch> scratches_;
 };
 
 }  // namespace aeetes

@@ -62,6 +62,24 @@ class JaccArVerifier {
   JaccArScore BestAbove(EntityId e, const TokenSeq& substring_ordered_set,
                         double tau, size_t padding = 0) const;
 
+  /// BestAbove over the substring's pre-materialized rank array (see
+  /// BuildOrderedRanksInto). The overlap merges compare plain integers
+  /// against the dictionary's flat per-derived rank arena — this is the
+  /// verification hot path.
+  JaccArScore BestAboveRanks(EntityId e, const TokenRank* substring_ranks,
+                             size_t substring_size, double tau,
+                             size_t padding = 0) const;
+
+  /// Hot-path variant with the substring-dependent inputs precomputed by
+  /// the caller: `x` is the padded substring set size and `partner` its
+  /// partner length range — both constant per substring, so verification
+  /// computes them once per window instead of once per candidate.
+  JaccArScore BestAboveRanksPartner(EntityId e,
+                                    const TokenRank* substring_ranks,
+                                    size_t substring_size, size_t x,
+                                    double tau,
+                                    const LengthRange& partner) const;
+
   const JaccArOptions& options() const { return options_; }
 
  private:

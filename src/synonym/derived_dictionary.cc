@@ -87,6 +87,7 @@ Result<std::unique_ptr<DerivedDictionary>> DerivedDictionary::Build(
   }
   dd->min_set_size_ = mn;
   dd->max_set_size_ = mx;
+  dd->BuildSizeIndex();
   return dd;
 }
 
@@ -133,7 +134,46 @@ Result<std::unique_ptr<DerivedDictionary>> DerivedDictionary::FromParts(
   dd->min_set_size_ = mn;
   dd->max_set_size_ = mx;
   dd->avg_applicable_rules_ = avg_applicable_rules;
+  dd->BuildSizeIndex();
   return dd;
+}
+
+void DerivedDictionary::BuildSizeIndex() {
+  const size_t nd = derived_.size();
+  size_sorted_ids_.resize(nd);
+  for (size_t d = 0; d < nd; ++d) {
+    size_sorted_ids_[d] = static_cast<DerivedId>(d);
+  }
+  for (EntityId e = 0; e < origins_.size(); ++e) {
+    std::sort(size_sorted_ids_.begin() +
+                  static_cast<std::ptrdiff_t>(origin_begin_[e]),
+              size_sorted_ids_.begin() +
+                  static_cast<std::ptrdiff_t>(origin_begin_[e + 1]),
+              [this](DerivedId a, DerivedId b) {
+                const size_t sa = derived_[a].ordered_set.size();
+                const size_t sb = derived_[b].ordered_set.size();
+                if (sa != sb) return sa < sb;
+                return a < b;
+              });
+  }
+  size_sorted_sizes_.resize(nd);
+  for (size_t i = 0; i < nd; ++i) {
+    size_sorted_sizes_[i] =
+        static_cast<uint32_t>(derived_[size_sorted_ids_[i]].ordered_set.size());
+  }
+
+  size_t total_ranks = 0;
+  ranks_begin_.resize(nd + 1);
+  for (size_t d = 0; d < nd; ++d) {
+    ranks_begin_[d] = total_ranks;
+    total_ranks += derived_[d].ordered_set.size();
+  }
+  ranks_begin_[nd] = total_ranks;
+  ranks_arena_.resize(total_ranks);
+  for (size_t d = 0; d < nd; ++d) {
+    TokenRank* out = ranks_arena_.data() + ranks_begin_[d];
+    for (TokenId t : derived_[d].ordered_set) *out++ = dict_->Rank(t);
+  }
 }
 
 }  // namespace aeetes

@@ -93,6 +93,26 @@ class DerivedDictionary {
     return {origin_begin_[e], origin_begin_[e + 1]};
   }
 
+  /// Derived ids regrouped by origin (same offsets as DerivedRange) but
+  /// sorted within each origin by ascending ordered-set size, ties by
+  /// ascending id. `size_sorted_sizes()` is the parallel array of those
+  /// set sizes, so the verifier's length filter is a binary search over
+  /// 4-byte keys instead of a pointer chase through derived().
+  const std::vector<DerivedId>& size_sorted_ids() const {
+    return size_sorted_ids_;
+  }
+  const std::vector<uint32_t>& size_sorted_sizes() const {
+    return size_sorted_sizes_;
+  }
+
+  /// Materialized ordered-set ranks of derived entity `d` (ascending,
+  /// `derived()[d].ordered_set.size()` entries). Verification merges run
+  /// over these flat arrays instead of re-deriving each rank from the
+  /// frequency table per comparison.
+  const TokenRank* derived_ranks(DerivedId d) const {
+    return ranks_arena_.data() + ranks_begin_[d];
+  }
+
   /// Smallest / largest ordered-set size over all derived entities.
   size_t min_set_size() const { return min_set_size_; }
   size_t max_set_size() const { return max_set_size_; }
@@ -111,9 +131,15 @@ class DerivedDictionary {
  private:
   DerivedDictionary() = default;
 
+  void BuildSizeIndex();
+
   std::vector<TokenSeq> origins_;
   std::vector<DerivedEntity> derived_;
   std::vector<DerivedId> origin_begin_;  // size num_origins() + 1
+  std::vector<DerivedId> size_sorted_ids_;   // see size_sorted_ids()
+  std::vector<uint32_t> size_sorted_sizes_;  // parallel to size_sorted_ids_
+  std::vector<TokenRank> ranks_arena_;       // see derived_ranks()
+  std::vector<size_t> ranks_begin_;          // size num_derived() + 1
   std::unique_ptr<TokenDictionary> dict_;
   size_t min_set_size_ = 0;
   size_t max_set_size_ = 0;

@@ -5,12 +5,47 @@
 namespace aeetes {
 
 TokenSeq BuildOrderedSet(const TokenSeq& seq, const TokenDictionary& dict) {
-  TokenSeq out = seq;
+  TokenSeq out;
+  BuildOrderedSetInto(seq.data(), seq.data() + seq.size(), dict, out);
+  return out;
+}
+
+void BuildOrderedSetInto(const TokenId* begin, const TokenId* end,
+                         const TokenDictionary& dict, TokenSeq& out) {
+  out.assign(begin, end);
   std::sort(out.begin(), out.end(), [&dict](TokenId a, TokenId b) {
     return dict.Rank(a) < dict.Rank(b);
   });
   out.erase(std::unique(out.begin(), out.end()), out.end());
-  return out;
+}
+
+void BuildOrderedRanksInto(const TokenId* begin, const TokenId* end,
+                           const TokenDictionary& dict,
+                           std::vector<TokenRank>& out) {
+  out.clear();
+  for (const TokenId* p = begin; p != end; ++p) out.push_back(dict.Rank(*p));
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+size_t OverlapSizeAtLeastRanks(const TokenRank* a, size_t a_size,
+                               const TokenRank* b, size_t b_size,
+                               size_t required) {
+  size_t i = 0, j = 0, overlap = 0;
+  while (i < a_size && j < b_size) {
+    const size_t remaining = std::min(a_size - i, b_size - j);
+    if (overlap + remaining < required) return kOverlapBelow;
+    if (a[i] == b[j]) {
+      ++overlap;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return overlap >= required ? overlap : kOverlapBelow;
 }
 
 size_t OverlapSize(const TokenSeq& a, const TokenSeq& b,

@@ -13,6 +13,18 @@ namespace aeetes {
 /// (rare first). Every tau-prefix is a prefix of this representation.
 TokenSeq BuildOrderedSet(const TokenSeq& seq, const TokenDictionary& dict);
 
+/// In-place variant for hot paths: builds the ordered set of [begin, end)
+/// into `out`, reusing its capacity — no allocation once `out` is warm.
+void BuildOrderedSetInto(const TokenId* begin, const TokenId* end,
+                         const TokenDictionary& dict, TokenSeq& out);
+
+/// Builds the ordered set of [begin, end) as materialized ranks: each rank
+/// is looked up once here, so downstream merges compare plain integers
+/// with no frequency-table indirection. Reuses `out`'s capacity.
+void BuildOrderedRanksInto(const TokenId* begin, const TokenId* end,
+                           const TokenDictionary& dict,
+                           std::vector<TokenRank>& out);
+
 /// Number of common tokens of two ordered sets (merge by rank).
 size_t OverlapSize(const TokenSeq& a, const TokenSeq& b,
                    const TokenDictionary& dict);
@@ -27,6 +39,11 @@ inline constexpr size_t kOverlapBelow = static_cast<size_t>(-1);
 /// item (i) — most candidate pairs abort after a few comparisons).
 size_t OverlapSizeAtLeast(const TokenSeq& a, const TokenSeq& b,
                           const TokenDictionary& dict, size_t required);
+
+/// OverlapSizeAtLeast over pre-materialized rank arrays (both ascending).
+size_t OverlapSizeAtLeastRanks(const TokenRank* a, size_t a_size,
+                               const TokenRank* b, size_t b_size,
+                               size_t required);
 
 /// True iff the first `a_prefix` tokens of `a` and first `b_prefix` tokens
 /// of `b` share at least one token (the prefix-filter test).

@@ -138,6 +138,54 @@ TEST(CandidateGeneratorTest, CandidatesAreDeduped) {
   }
 }
 
+// Regression for the packed-candidate-key collision: the Lazy dedupe key
+// used to be (pos << 38 | len << 30 | origin), giving the window length 8
+// bits. Any window of 256+ tokens aliased a neighboring shorter window —
+// key(p, 259, e) == key(p + 1, 3, e) — and one of the two candidates was
+// silently dropped in release builds (debug builds tripped a DCHECK).
+//
+// This world makes both colliding windows real candidates of the same
+// origin: a tiny entity {a, b, c}, a document cycling "a b c" (so every
+// window of every length matches the entity's token set exactly), and a
+// 300-distinct-token "widener" entity — absent from the document — whose
+// only job is to stretch SubstringLengthBounds past 255.
+TEST(CandidateGeneratorTest, LongWindowsSurviveDedupeNoKeyCollision) {
+  auto dict = std::make_unique<TokenDictionary>();
+  const TokenId a = dict->GetOrAdd("a");
+  const TokenId b = dict->GetOrAdd("b");
+  const TokenId c = dict->GetOrAdd("c");
+  TokenSeq widener;
+  for (size_t i = 0; i < 300; ++i) {
+    widener.push_back(dict->GetOrAdd(testutil::NumberedName("wide", i)));
+  }
+  std::vector<TokenSeq> entities = {{a, b, c}, widener};
+  auto dd = DerivedDictionary::Build(std::move(entities), RuleSet{},
+                                     std::move(dict), {});
+  ASSERT_TRUE(dd.ok());
+
+  TokenSeq doc_tokens;
+  for (int i = 0; i < 90; ++i) doc_tokens.insert(doc_tokens.end(), {a, b, c});
+  const Document doc = Document::FromTokens(doc_tokens);
+  auto index = ClusteredIndex::Build(**dd);
+
+  const auto simple = GenerateCandidates(FilterStrategy::kSimple, doc, **dd,
+                                         *index, 0.85);
+  uint32_t max_len = 0;
+  for (const Candidate& cand : simple.candidates) {
+    max_len = std::max(max_len, cand.len);
+  }
+  ASSERT_GE(max_len, 256u) << "world failed to produce 256+-token windows";
+
+  for (FilterStrategy s :
+       {FilterStrategy::kSkip, FilterStrategy::kDynamic,
+        FilterStrategy::kLazy}) {
+    const auto got = GenerateCandidates(s, doc, **dd, *index, 0.85);
+    EXPECT_EQ(CandidateSet(got.candidates), CandidateSet(simple.candidates))
+        << FilterStrategyName(s)
+        << " lost candidates on 256+-token windows (key collision)";
+  }
+}
+
 TEST(CandidateGeneratorTest, EmptyDocumentYieldsNothing) {
   std::mt19937_64 rng(29);
   auto world = MakeRandomWorld(rng);

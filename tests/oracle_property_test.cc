@@ -1,0 +1,203 @@
+// Randomized end-to-end property tests in the regime the packed-key
+// collision bug lived in: documents past 10k tokens and window length
+// bounds past 255 (the old dedupe key gave the length 8 bits). Every
+// world plants a "widener" entity — hundreds of distinct tokens, absent
+// from the document — whose only effect is stretching
+// SubstringLengthBounds far beyond 255, so long windows are enumerated,
+// registered, and deduped for real. Seeds are logged with every failure
+// for reproduction.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/baseline/brute_force.h"
+#include "src/core/aeetes.h"
+#include "src/core/candidate_generator.h"
+#include "src/index/clustered_index.h"
+#include "tests/test_util.h"
+
+namespace aeetes {
+namespace {
+
+using testutil::NumberedName;
+using testutil::Sorted;
+
+constexpr FilterStrategy kAllStrategies[] = {
+    FilterStrategy::kSimple, FilterStrategy::kSkip, FilterStrategy::kDynamic,
+    FilterStrategy::kLazy};
+
+// Debug builds (the sanitizer matrix) run the same property at a fraction
+// of the document size — the >10k-token release-mode regime is exactly
+// where the packed-key collision lived, and `tools/check.sh release`
+// covers it at full size with DCHECKs compiled out.
+#ifdef NDEBUG
+constexpr size_t kLongDocLen = 9000;   // inflates past 10k with mentions
+constexpr size_t kOracleDocLen = 300;
+#else
+constexpr size_t kLongDocLen = 1500;
+constexpr size_t kOracleDocLen = 120;
+#endif
+
+struct LongWindowWorld {
+  std::unique_ptr<DerivedDictionary> dd;
+  TokenSeq doc_tokens;
+};
+
+/// MakeRandomWorld plus a widener entity of `widener_size` distinct
+/// dedicated tokens (never emitted into the document). With tau = 0.7 a
+/// 280-token widener pushes the window upper bound to exactly 400.
+LongWindowWorld MakeLongWindowWorld(std::mt19937_64& rng, size_t vocab,
+                                    size_t num_entities, size_t num_rules,
+                                    size_t doc_len, size_t widener_size) {
+  auto dict = std::make_unique<TokenDictionary>();
+  std::vector<TokenId> ids;
+  for (size_t i = 0; i < vocab; ++i) {
+    ids.push_back(dict->GetOrAdd(NumberedName("tok", i)));
+  }
+  auto rand_tok = [&]() { return ids[rng() % ids.size()]; };
+
+  std::vector<TokenSeq> entities;
+  for (size_t i = 0; i < num_entities; ++i) {
+    TokenSeq e;
+    const size_t len = 1 + rng() % 4;
+    for (size_t j = 0; j < len; ++j) e.push_back(rand_tok());
+    entities.push_back(std::move(e));
+  }
+  TokenSeq widener;
+  for (size_t i = 0; i < widener_size; ++i) {
+    widener.push_back(dict->GetOrAdd(NumberedName("wide", i)));
+  }
+  entities.push_back(std::move(widener));
+
+  RuleSet rules;
+  size_t added = 0, guard = 0;
+  while (added < num_rules && ++guard < num_rules * 20) {
+    TokenSeq lhs, rhs;
+    const size_t ll = 1 + rng() % 2;
+    const size_t rl = 1 + rng() % 3;
+    for (size_t j = 0; j < ll; ++j) lhs.push_back(rand_tok());
+    for (size_t j = 0; j < rl; ++j) rhs.push_back(rand_tok());
+    if (rules.Add(std::move(lhs), std::move(rhs)).ok()) ++added;
+  }
+
+  LongWindowWorld world;
+  for (size_t i = 0; i < doc_len; ++i) {
+    if (rng() % 5 == 0) {
+      const TokenSeq& e = entities[rng() % (entities.size() - 1)];
+      world.doc_tokens.insert(world.doc_tokens.end(), e.begin(), e.end());
+    } else {
+      world.doc_tokens.push_back(rand_tok());
+    }
+  }
+
+  DerivedDictionaryOptions opts;
+  opts.expander.max_derived = 16;
+  auto dd = DerivedDictionary::Build(std::move(entities), rules,
+                                     std::move(dict), opts);
+  world.dd = std::move(*dd);
+  return world;
+}
+
+std::set<std::tuple<uint32_t, uint32_t, EntityId>> CandidateSet(
+    const std::vector<Candidate>& cs) {
+  std::set<std::tuple<uint32_t, uint32_t, EntityId>> out;
+  for (const Candidate& c : cs) out.emplace(c.pos, c.len, c.origin);
+  return out;
+}
+
+void ExpectSameMatches(const std::vector<Match>& expect,
+                       const std::vector<Match>& got) {
+  ASSERT_EQ(got.size(), expect.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].token_begin, expect[i].token_begin);
+    EXPECT_EQ(got[i].token_len, expect[i].token_len);
+    EXPECT_EQ(got[i].entity, expect[i].entity);
+    EXPECT_DOUBLE_EQ(got[i].score, expect[i].score);
+  }
+}
+
+TEST(OraclePropertyTest, LongDocLongWindowsAllStrategiesIdentical) {
+  const uint64_t seed = 0xA5EE5u;
+  SCOPED_TRACE("seed=" + std::to_string(seed) + " (>10k-token document)");
+  std::mt19937_64 rng(seed);
+  auto world = MakeLongWindowWorld(rng, /*vocab=*/30, /*num_entities=*/12,
+                                   /*num_rules=*/8, kLongDocLen,
+                                   /*widener_size=*/200);
+  const Document doc = Document::FromTokens(world.doc_tokens);
+#ifdef NDEBUG
+  ASSERT_GT(doc.size(), 10000u);  // planted entities inflate past doc_len
+#endif
+
+  const double tau = 0.7;
+  const LengthRange win_len = SubstringLengthBounds(
+      Metric::kJaccard, world.dd->min_set_size(), world.dd->max_set_size(),
+      tau);
+  ASSERT_GT(win_len.hi, 255u) << "widener failed to stretch the bounds";
+
+  // Candidate-set equality across all four strategies — the layer the
+  // collision bug lived in. One strategy's candidates then flow through
+  // verification and must reproduce the wired-up pipeline's matches.
+  auto index = ClusteredIndex::Build(*world.dd);
+  auto simple = GenerateCandidates(FilterStrategy::kSimple, doc, *world.dd,
+                                   *index, tau);
+  const auto base = CandidateSet(simple.candidates);
+  EXPECT_FALSE(base.empty());
+  for (FilterStrategy s :
+       {FilterStrategy::kSkip, FilterStrategy::kDynamic,
+        FilterStrategy::kLazy}) {
+    const auto got = GenerateCandidates(s, doc, *world.dd, *index, tau);
+    EXPECT_EQ(CandidateSet(got.candidates), base)
+        << "strategy=" << FilterStrategyName(s);
+  }
+
+  const auto expect = Sorted(VerifyCandidates(std::move(simple.candidates),
+                                              doc, *world.dd, tau, {}));
+  EXPECT_FALSE(expect.empty());
+  auto built = Aeetes::FromDerivedDictionary(std::move(world.dd));
+  ASSERT_TRUE(built.ok());
+  ExtractScratch scratch;
+  auto r = (*built)->ExtractIntoWithStrategy(scratch, doc, tau,
+                                             FilterStrategy::kLazy);
+  ASSERT_TRUE(r.ok());
+  ExpectSameMatches(expect, Sorted(scratch.matches));
+}
+
+TEST(OraclePropertyTest, LongWindowsAgreeWithBruteForceOracle) {
+  const double taus[] = {0.7, 0.85};
+  for (int iter = 0; iter < 2; ++iter) {
+    const uint64_t seed =
+        0x0BACC1Eu + static_cast<uint64_t>(iter) * 0x9E3779B9u;
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    std::mt19937_64 rng(seed);
+    auto world = MakeLongWindowWorld(rng, /*vocab=*/20, /*num_entities=*/8,
+                                     /*num_rules=*/6, kOracleDocLen,
+                                     /*widener_size=*/280);
+    const Document doc = Document::FromTokens(world.doc_tokens);
+    const double tau = taus[iter];
+    const LengthRange win_len = SubstringLengthBounds(
+        Metric::kJaccard, world.dd->min_set_size(), world.dd->max_set_size(),
+        tau);
+    ASSERT_GT(win_len.hi, 255u);
+
+    const auto oracle = Sorted(BruteForceExtract(doc, *world.dd, tau));
+    auto built = Aeetes::FromDerivedDictionary(std::move(world.dd));
+    ASSERT_TRUE(built.ok());
+    ExtractScratch scratch;
+    for (FilterStrategy s : kAllStrategies) {
+      SCOPED_TRACE(std::string("strategy=") + FilterStrategyName(s) +
+                   " tau=" + std::to_string(tau));
+      auto r = (*built)->ExtractIntoWithStrategy(scratch, doc, tau, s);
+      ASSERT_TRUE(r.ok());
+      ExpectSameMatches(oracle, Sorted(scratch.matches));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aeetes

@@ -1,0 +1,120 @@
+#include "src/core/scratch.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "src/core/aeetes.h"
+#include "tests/test_util.h"
+
+namespace aeetes {
+namespace {
+
+using testutil::MakeRandomWorld;
+using testutil::Sorted;
+
+// Regression: the tracker used to start at epoch 0 with a zero-initialized
+// last_seen_ array, so every origin read as a candidate of the implicit
+// pre-first-NextSubstring "substring" before anything was ever marked.
+TEST(OriginTrackerTest, NothingIsCandidateBeforeFirstMark) {
+  OriginTracker t(8);
+  for (EntityId e = 0; e < 8; ++e) {
+    EXPECT_FALSE(t.IsCandidate(e)) << "origin " << e
+                                   << " spuriously marked at construction";
+  }
+  t.NextSubstring();
+  for (EntityId e = 0; e < 8; ++e) EXPECT_FALSE(t.IsCandidate(e));
+}
+
+TEST(OriginTrackerTest, MarkAndAdvance) {
+  OriginTracker t(4);
+  EXPECT_TRUE(t.Mark(2));
+  EXPECT_TRUE(t.IsCandidate(2));
+  EXPECT_FALSE(t.Mark(2)) << "second Mark of the same origin must dedupe";
+  EXPECT_FALSE(t.IsCandidate(1));
+
+  t.NextSubstring();
+  EXPECT_FALSE(t.IsCandidate(2)) << "mark leaked across substrings";
+  EXPECT_TRUE(t.Mark(2));
+}
+
+TEST(OriginTrackerTest, GrowingReserveDoesNotMark) {
+  OriginTracker t(2);
+  t.Mark(0);
+  t.Mark(1);
+  t.Reserve(6);  // new slots stamp 0, never a live epoch
+  for (EntityId e = 2; e < 6; ++e) EXPECT_FALSE(t.IsCandidate(e));
+  EXPECT_TRUE(t.IsCandidate(0));
+  EXPECT_TRUE(t.IsCandidate(1));
+}
+
+constexpr FilterStrategy kAllStrategies[] = {
+    FilterStrategy::kSimple, FilterStrategy::kSkip, FilterStrategy::kDynamic,
+    FilterStrategy::kLazy};
+
+// One warm scratch reused across documents, strategies, and thresholds
+// must return exactly what a fresh Extract call returns: stale buffer
+// contents (candidate arenas, memo tables, window states bound to a dead
+// document) must never leak into the next call's results.
+TEST(ExtractScratchTest, WarmReuseMatchesFreshExtract) {
+  std::mt19937_64 rng(2024);
+  ExtractScratch scratch;  // deliberately shared across everything below
+  for (int iter = 0; iter < 8; ++iter) {
+    auto world = MakeRandomWorld(rng, /*vocab=*/25, /*num_entities=*/10,
+                                 /*num_rules=*/6, /*doc_len=*/120);
+    auto built = Aeetes::FromDerivedDictionary(std::move(world.dd));
+    ASSERT_TRUE(built.ok());
+    const Document doc = Document::FromTokens(world.doc_tokens);
+    for (double tau : {0.7, 0.85}) {
+      for (FilterStrategy s : kAllStrategies) {
+        auto fresh = (*built)->ExtractWithStrategy(doc, tau, s);
+        ASSERT_TRUE(fresh.ok());
+        auto warm = (*built)->ExtractIntoWithStrategy(scratch, doc, tau, s);
+        ASSERT_TRUE(warm.ok());
+        const auto expect = Sorted(fresh->matches);
+        const auto got = Sorted(scratch.matches);
+        ASSERT_EQ(got.size(), expect.size())
+            << "iter=" << iter << " tau=" << tau
+            << " strategy=" << FilterStrategyName(s);
+        for (size_t i = 0; i < got.size(); ++i) {
+          EXPECT_EQ(got[i].token_begin, expect[i].token_begin);
+          EXPECT_EQ(got[i].token_len, expect[i].token_len);
+          EXPECT_EQ(got[i].entity, expect[i].entity);
+          EXPECT_DOUBLE_EQ(got[i].score, expect[i].score);
+          EXPECT_EQ(got[i].best_derived, expect[i].best_derived);
+        }
+      }
+    }
+  }
+}
+
+// Back-to-back identical calls on one scratch must be idempotent — the
+// second (fully warm, allocation-free) call sees every buffer in its
+// post-use state rather than fresh, which is exactly the state the §10
+// reset contract has to handle.
+TEST(ExtractScratchTest, RepeatedCallsAreIdempotent) {
+  std::mt19937_64 rng(7);
+  auto world = MakeRandomWorld(rng, 30, 12, 8, 200);
+  auto built = Aeetes::FromDerivedDictionary(std::move(world.dd));
+  ASSERT_TRUE(built.ok());
+  const Document doc = Document::FromTokens(world.doc_tokens);
+  for (FilterStrategy s : kAllStrategies) {
+    ExtractScratch scratch;
+    ASSERT_TRUE((*built)->ExtractIntoWithStrategy(scratch, doc, 0.75, s).ok());
+    const auto first = Sorted(scratch.matches);
+    ASSERT_TRUE((*built)->ExtractIntoWithStrategy(scratch, doc, 0.75, s).ok());
+    const auto second = Sorted(scratch.matches);
+    ASSERT_EQ(first.size(), second.size())
+        << "strategy=" << FilterStrategyName(s);
+    for (size_t i = 0; i < first.size(); ++i) {
+      EXPECT_EQ(first[i].token_begin, second[i].token_begin);
+      EXPECT_EQ(first[i].token_len, second[i].token_len);
+      EXPECT_EQ(first[i].entity, second[i].entity);
+      EXPECT_DOUBLE_EQ(first[i].score, second[i].score);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aeetes

@@ -104,6 +104,37 @@ TEST(VerifierTest, EarlyTerminationMatchesExactVerification) {
   }
 }
 
+// Regression for the window-memo sentinel: the memo key used to start at
+// (pos=0, len=0) with a side `have_set` flag, because a first candidate at
+// position 0 is a perfectly valid key and must not be mistaken for "no
+// window built yet". The sentinel is now kNoWindow (uint32 max), which no
+// candidate can carry. This test's FIRST candidate sits at pos=0 with a
+// nonzero length, in both verification modes.
+TEST(VerifierTest, FirstCandidateAtPositionZeroIsVerified) {
+  auto dict = std::make_unique<TokenDictionary>();
+  const TokenId a = dict->GetOrAdd("a");
+  const TokenId b = dict->GetOrAdd("b");
+  dict->GetOrAdd("c");
+  std::vector<TokenSeq> entities = {{a, b}};
+  auto dd = DerivedDictionary::Build(std::move(entities), RuleSet{},
+                                     std::move(dict), {});
+  ASSERT_TRUE(dd.ok());
+  const Document doc = Document::FromTokens({a, b, a});
+
+  for (bool early_termination : {true, false}) {
+    std::vector<Candidate> candidates = {Candidate{0, 2, 0}};
+    const auto matches =
+        VerifyCandidates(std::move(candidates), doc, **dd, 0.8, {}, nullptr,
+                         early_termination);
+    ASSERT_EQ(matches.size(), 1u)
+        << "early_termination=" << early_termination;
+    EXPECT_EQ(matches[0].token_begin, 0u);
+    EXPECT_EQ(matches[0].token_len, 2u);
+    EXPECT_EQ(matches[0].entity, 0u);
+    EXPECT_DOUBLE_EQ(matches[0].score, 1.0);
+  }
+}
+
 TEST(VerifierTest, EmptyCandidatesEmptyMatches) {
   std::mt19937_64 rng(53);
   auto world = MakeRandomWorld(rng);

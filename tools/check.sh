@@ -10,6 +10,10 @@
 #               validating the metrics snapshot is well-formed JSON and
 #               that --threads=4 output (TSV rows + stats counters) is
 #               identical to the --threads=1 run
+#   alloc       Release bench_micro_ops --assert-steady-state-allocs:
+#               fails if a steady-state Extract call (second call on a
+#               warm scratch) performs any heap allocation, for any
+#               filter strategy (DESIGN.md §10)
 #   asan-ubsan  Debug + ASan/UBSan build + ctest
 #   tsan        Debug + TSan build + ctest (includes the runtime hammer
 #               test) + the --threads CLI smoke under TSan
@@ -196,6 +200,26 @@ assert "index.bytes" in snap["gauges"], "index gauges not published"
   pass smoke
 }
 
+step_alloc() {
+  note "steady-state allocation check (bench_micro_ops)"
+  local bindir=build/release
+  if ! cmake -S . -B "$bindir" -DCMAKE_BUILD_TYPE=Release \
+        >"$bindir.configure.log" 2>&1 \
+     || ! cmake --build "$bindir" -j "$JOBS" --target bench_micro_ops \
+        >"$bindir.build.log" 2>&1; then
+    tail -n 60 "$bindir.build.log" 2>/dev/null || cat "$bindir.configure.log"
+    fail alloc "bench_micro_ops build failed"
+    return
+  fi
+  # Fails unless the second Extract call on a warm scratch performs zero
+  # heap allocations, for every filter strategy (DESIGN.md §10).
+  if "$bindir/bench/bench_micro_ops" --assert-steady-state-allocs; then
+    pass alloc
+  else
+    fail alloc "steady-state Extract allocated on the hot path"
+  fi
+}
+
 step_asan_ubsan() {
   note "ASan+UBSan build + ctest"
   if ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
@@ -239,17 +263,18 @@ run_step() {
     werror)     step_werror ;;
     release)    step_release ;;
     smoke)      step_smoke ;;
+    alloc)      step_alloc ;;
     asan-ubsan) step_asan_ubsan ;;
     tsan)       step_tsan ;;
     *) echo "unknown step: $1 (expected" \
-            "format|tidy|werror|release|smoke|asan-ubsan|tsan)" >&2
+            "format|tidy|werror|release|smoke|alloc|asan-ubsan|tsan)" >&2
        exit 2 ;;
   esac
 }
 
 STEPS=("$@")
 if [ ${#STEPS[@]} -eq 0 ]; then
-  STEPS=(format tidy werror release smoke asan-ubsan tsan)
+  STEPS=(format tidy werror release smoke alloc asan-ubsan tsan)
 fi
 
 mkdir -p build
