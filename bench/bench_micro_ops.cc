@@ -15,6 +15,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <new>
 #include <random>
 #include <string_view>
@@ -24,6 +25,7 @@
 #include "src/core/scratch.h"
 #include "src/core/window.h"
 #include "src/index/clustered_index.h"
+#include "src/io/snapshot.h"
 #include "src/sim/similarity.h"
 #include "src/synonym/expander.h"
 #include "src/text/token_set.h"
@@ -148,12 +150,14 @@ BENCHMARK(BM_WindowExtend);
 
 void BM_JaccardOnOrderedSets(benchmark::State& state) {
   auto& w = World();
-  const auto& derived = w.world.dd->derived();
-  const auto& dict = w.world.dd->token_dict();
+  const DerivedDictionary& dd = *w.world.dd;
+  const auto& dict = dd.token_dict();
+  const size_t nd = dd.num_derived();
   size_t i = 0;
   for (auto _ : state) {
-    const auto& a = derived[i % derived.size()].ordered_set;
-    const auto& b = derived[(i * 7 + 1) % derived.size()].ordered_set;
+    const Span<TokenId> a = dd.ordered_set(static_cast<DerivedId>(i % nd));
+    const Span<TokenId> b =
+        dd.ordered_set(static_cast<DerivedId>((i * 7 + 1) % nd));
     benchmark::DoNotOptimize(JaccardOnOrderedSets(a, b, dict));
     ++i;
   }
@@ -266,6 +270,49 @@ int RunSteadyStateAssert() {
   return 0;
 }
 
+/// `--assert-snapshot-load-allocs`: saves v2 snapshots of two worlds whose
+/// entity counts differ 2x, loads each, and asserts the heap-allocation
+/// count of the load is identical — i.e. loading allocates a fixed set of
+/// wrapper objects (engine, dictionaries, gauges) and nothing per entity.
+int RunSnapshotLoadAllocAssert() {
+  auto snapshot_allocs = [](size_t num_entities, uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    auto world = testutil::MakeRandomWorld(rng, /*vocab=*/200, num_entities,
+                                           /*num_rules=*/80, /*doc_len=*/10);
+    auto built = Aeetes::FromDerivedDictionary(std::move(world.dd));
+    AEETES_CHECK(built.ok());
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         ("aeetes_alloc_" + std::to_string(num_entities) + ".snap"))
+            .string();
+    AEETES_CHECK(SaveSnapshot(**built, path).ok());
+
+    const uint64_t before = AllocationCount();
+    auto loaded = LoadSnapshot(path);
+    const uint64_t allocs = AllocationCount() - before;
+    AEETES_CHECK(loaded.ok());
+    AEETES_CHECK_EQ((*loaded)->derived_dictionary().num_origins(),
+                    num_entities);
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    return allocs;
+  };
+
+  const uint64_t small = snapshot_allocs(300, 7);
+  const uint64_t large = snapshot_allocs(600, 7);
+  std::printf("snapshot load allocations: 300 entities=%llu, "
+              "600 entities=%llu\n",
+              static_cast<unsigned long long>(small),
+              static_cast<unsigned long long>(large));
+  if (small != large) {
+    std::printf("FAIL: v2 snapshot load allocates per entity\n");
+    return 1;
+  }
+  std::printf("OK: v2 snapshot load allocation count is "
+              "entity-count-independent\n");
+  return 0;
+}
+
 }  // namespace
 }  // namespace aeetes
 
@@ -273,6 +320,9 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::string_view(argv[i]) == "--assert-steady-state-allocs") {
       return aeetes::RunSteadyStateAssert();
+    }
+    if (std::string_view(argv[i]) == "--assert-snapshot-load-allocs") {
+      return aeetes::RunSnapshotLoadAllocAssert();
     }
   }
   benchmark::Initialize(&argc, argv);

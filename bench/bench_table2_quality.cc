@@ -109,7 +109,7 @@ void CaseStudy(const SyntheticDataset& ds, const Aeetes& aeetes,
                     doc.tokens().begin() + gt.token_begin + gt.token_len);
     const TokenSeq wset = BuildOrderedSet(window, dict);
     const TokenSeq eset = BuildOrderedSet(
-        aeetes.derived_dictionary().origin_entities()[gt.entity], dict);
+        aeetes.derived_dictionary().origin_entity(gt.entity), dict);
     const double jac = JaccardOnOrderedSets(wset, eset, dict);
     const double fj = FuzzyJaccard().Similarity(wset, eset, dict);
     const JaccArVerifier verifier(aeetes.derived_dictionary());

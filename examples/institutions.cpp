@@ -45,8 +45,13 @@ int main() {
 
   // --- exact matching finds only literal dictionary strings -------------
   AhoCorasick exact;
-  std::vector<TokenSeq> origin_tokens =
-      aeetes->derived_dictionary().origin_entities();
+  const DerivedDictionary& dd = aeetes->derived_dictionary();
+  std::vector<TokenSeq> origin_tokens;
+  origin_tokens.reserve(dd.num_origins());
+  for (EntityId e = 0; e < dd.num_origins(); ++e) {
+    const Span<TokenId> tokens = dd.origin_entity(e);
+    origin_tokens.emplace_back(tokens.begin(), tokens.end());
+  }
   for (const TokenSeq& e : origin_tokens) exact.AddPattern(e);
   exact.Build();
   std::cout << "[exact match / Aho-Corasick]\n";
@@ -80,8 +85,8 @@ int main() {
     return 1;
   }
   for (const Match& m : result->matches) {
-    const DerivedEntity& witness =
-        aeetes->derived_dictionary().derived()[m.best_derived];
+    const DerivedView witness =
+        aeetes->derived_dictionary().derived(m.best_derived);
     std::cout << "  \"" << doc.SubstringText(m.token_begin, m.token_len)
               << "\" -> \"" << aeetes->EntityText(m.entity)
               << "\" (JaccAR=" << m.score << ", via "

@@ -25,8 +25,9 @@ Result<std::unique_ptr<FaerieR>> FaerieR::Build(const DerivedDictionary& dd) {
   std::vector<TokenSeq> derived_sets;
   derived_sets.reserve(dd.num_derived());
   fr->origin_of_.reserve(dd.num_derived());
-  for (const DerivedEntity& de : dd.derived()) {
-    derived_sets.push_back(de.tokens);
+  for (DerivedId d = 0; d < dd.num_derived(); ++d) {
+    const DerivedView de = dd.derived(d);
+    derived_sets.emplace_back(de.tokens.begin(), de.tokens.end());
     fr->origin_of_.push_back(de.origin);
   }
   AEETES_ASSIGN_OR_RETURN(

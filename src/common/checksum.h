@@ -1,0 +1,22 @@
+#ifndef AEETES_COMMON_CHECKSUM_H_
+#define AEETES_COMMON_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace aeetes {
+
+/// CRC-32C (Castagnoli polynomial, the iSCSI/ext4 variant). Engine images
+/// store one checksum per section so a flipped bit anywhere in a snapshot
+/// is detected at load time instead of corrupting extraction results.
+/// Software slicing-by-8 implementation: no ISA dependency, ~1 B/cycle,
+/// and the load path checksums each section exactly once.
+uint32_t Crc32c(const void* data, size_t n);
+
+/// Incremental form: `Crc32cExtend(Crc32c(a), b)` equals the CRC of the
+/// concatenation a||b.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+}  // namespace aeetes
+
+#endif  // AEETES_COMMON_CHECKSUM_H_

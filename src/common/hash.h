@@ -33,6 +33,21 @@ size_t HashIntSpan(const std::vector<Int>& xs) {
   return HashIntSpan(MakeSpan(xs));
 }
 
+/// Stable 64-bit FNV-1a over raw bytes. Unlike std::hash<string_view>,
+/// the value is identical across standard libraries, builds and process
+/// runs, so it can key the open-addressing token table persisted inside
+/// engine images (arena.h) — the table written by one binary must resolve
+/// lookups in any other.
+inline uint64_t HashBytes(const void* data, size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
 /// std::hash adaptor for vector keys in unordered containers.
 template <typename Int>
 struct IntVectorHash {

@@ -2,6 +2,7 @@
 #define AEETES_COMMON_SPAN_H_
 
 #include <cstddef>
+#include <initializer_list>
 #include <vector>
 
 #include "src/common/logging.h"
@@ -24,6 +25,20 @@ class Span {
   constexpr Span(const T* data, size_t size) : data_(data), size_(size) {}
   // NOLINTNEXTLINE(google-explicit-constructor): mirrors std::span.
   Span(const std::vector<T>& v) : data_(v.data()), size_(v.size()) {}
+  /// Backed by a temporary: valid only for the full expression it appears
+  /// in (function-argument use, mirroring absl::Span). GCC warns that the
+  /// pointer does not extend the underlying array's lifetime — that is
+  /// exactly the documented contract, so the warning is suppressed here.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winit-list-lifetime"
+#endif
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  constexpr Span(std::initializer_list<T> il)
+      : data_(il.begin()), size_(il.size()) {}
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
   const T& operator[](size_t i) const {
     AEETES_DCHECK_LT(i, size_);

@@ -81,20 +81,13 @@ void Aeetes::PublishBuildMetrics(double index_build_ms) {
 Result<std::unique_ptr<Aeetes>> Aeetes::Build(
     std::vector<TokenSeq> entities, const RuleSet& rules,
     std::unique_ptr<TokenDictionary> dict, AeetesOptions options) {
-  DerivedDictionaryOptions dd_options = options.derivation;
   AEETES_ASSIGN_OR_RETURN(
-      auto dd, DerivedDictionary::Build(std::move(entities), rules,
-                                        std::move(dict), dd_options));
-  double index_ms = 0.0;
-  std::unique_ptr<ClusteredIndex> index;
-  {
-    ScopedTimer timer(nullptr, &index_ms);
-    index = ClusteredIndex::Build(*dd);
-  }
-  auto aeetes = std::unique_ptr<Aeetes>(
-      new Aeetes(options, std::move(dd), std::move(index)));
-  aeetes->PublishBuildMetrics(index_ms);
-  return aeetes;
+      DerivedDictParts parts,
+      DerivedDictionary::BuildParts(std::move(entities), rules,
+                                    std::move(dict), options.derivation));
+  AEETES_ASSIGN_OR_RETURN(std::unique_ptr<EngineImage> image,
+                          EngineImage::Pack(std::move(parts)));
+  return FromImage(std::move(image), options);
 }
 
 Result<std::unique_ptr<Aeetes>> Aeetes::BuildFromText(
@@ -120,16 +113,35 @@ Result<std::unique_ptr<Aeetes>> Aeetes::FromDerivedDictionary(
   if (dd == nullptr) {
     return Status::InvalidArgument("derived dictionary must be non-null");
   }
-  double index_ms = 0.0;
-  std::unique_ptr<ClusteredIndex> index;
-  {
-    ScopedTimer timer(nullptr, &index_ms);
-    index = ClusteredIndex::Build(*dd);
+  AEETES_ASSIGN_OR_RETURN(DerivedDictParts parts, dd->ToParts());
+  AEETES_ASSIGN_OR_RETURN(std::unique_ptr<EngineImage> image,
+                          EngineImage::Pack(std::move(parts)));
+  return FromImage(std::move(image), options);
+}
+
+Result<std::unique_ptr<Aeetes>> Aeetes::FromImage(
+    std::unique_ptr<EngineImage> image, AeetesOptions options) {
+  if (image == nullptr) {
+    return Status::InvalidArgument("engine image must be non-null");
   }
-  auto aeetes = std::unique_ptr<Aeetes>(
-      new Aeetes(options, std::move(dd), std::move(index)));
-  aeetes->PublishBuildMetrics(index_ms);
+  auto aeetes =
+      std::unique_ptr<Aeetes>(new Aeetes(options, std::move(image)));
+  aeetes->PublishBuildMetrics(aeetes->image_->stats().index_ms);
   return aeetes;
+}
+
+void Aeetes::PublishSnapshotMetrics(double load_us, uint64_t bytes,
+                                    bool mmap) const {
+  metrics_
+      .RegisterGauge("snapshot.load_us",
+                     "snapshot open + wire + validate time (us)")
+      .Set(static_cast<int64_t>(load_us));
+  metrics_.RegisterGauge("snapshot.bytes", "engine image size on disk")
+      .Set(static_cast<int64_t>(bytes));
+  metrics_
+      .RegisterGauge("snapshot.mmap",
+                     "1 when the arena is a read-only file mapping")
+      .Set(mmap ? 1 : 0);
 }
 
 Document Aeetes::EncodeDocument(std::string_view text) {
@@ -304,7 +316,7 @@ Result<std::vector<Aeetes::Lookup>> Aeetes::LookupString(
 }
 
 std::string Aeetes::EntityText(EntityId e) const {
-  const TokenSeq& tokens = dd_->origin_entities()[e];
+  const Span<TokenId> tokens = dd_->origin_entity(e);
   std::string out;
   for (size_t i = 0; i < tokens.size(); ++i) {
     if (i > 0) out += ' ';
@@ -321,12 +333,13 @@ Aeetes::MatchExplanation Aeetes::Explain(const Match& match,
   ex.entity_text = EntityText(match.entity);
   if (match.best_derived != JaccArScore::kNoDerived &&
       match.best_derived < dd_->num_derived()) {
-    const DerivedEntity& witness = dd_->derived()[match.best_derived];
+    const DerivedView witness = dd_->derived(match.best_derived);
     for (size_t i = 0; i < witness.tokens.size(); ++i) {
       if (i > 0) ex.witness_text += ' ';
       ex.witness_text += dd_->token_dict().Text(witness.tokens[i]);
     }
-    ex.applied_rules = witness.applied_rules;
+    ex.applied_rules.assign(witness.applied_rules.begin(),
+                            witness.applied_rules.end());
   }
   return ex;
 }

@@ -11,6 +11,7 @@
 #include "src/common/status.h"
 #include "src/core/candidate_generator.h"
 #include "src/core/document.h"
+#include "src/core/engine_image.h"
 #include "src/core/scratch.h"
 #include "src/core/verifier.h"
 #include "src/index/clustered_index.h"
@@ -75,10 +76,15 @@ class Aeetes {
       const std::vector<std::string>& entities,
       const std::vector<std::string>& rule_lines, AeetesOptions options = {});
 
-  /// Wraps an already-derived dictionary (the snapshot-loading path) and
-  /// builds the index over it.
+  /// Wraps an already-derived dictionary by repacking it into a fresh
+  /// engine image (deep copy; the v1-snapshot and hand-assembly path).
   static Result<std::unique_ptr<Aeetes>> FromDerivedDictionary(
       std::unique_ptr<DerivedDictionary> dd, AeetesOptions options = {});
+
+  /// Wraps a wired engine image — heap-packed or mmap-loaded; the zero-copy
+  /// snapshot-v2 path. No index rebuild, no per-entity allocation.
+  static Result<std::unique_ptr<Aeetes>> FromImage(
+      std::unique_ptr<EngineImage> image, AeetesOptions options = {});
 
   /// Tokenizes and interns a document against this instance's dictionary.
   /// NOT thread-safe: serialize with all other calls (see the class
@@ -147,6 +153,8 @@ class Aeetes {
 
   const DerivedDictionary& derived_dictionary() const { return *dd_; }
   const ClusteredIndex& index() const { return *index_; }
+  /// The arena all offline state lives in; SaveSnapshot writes its bytes.
+  const EngineImage& image() const { return *image_; }
   const Tokenizer& tokenizer() const { return tokenizer_; }
   const AeetesOptions& options() const { return options_; }
 
@@ -155,6 +163,12 @@ class Aeetes {
   /// §Observability). Counters are updated by Extract with relaxed
   /// atomics, so reading or exporting concurrently is race-free.
   const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Publishes `snapshot.{load_us,bytes,mmap}` gauges describing how this
+  /// instance's image was loaded. Called by LoadSnapshot / the CLI; const
+  /// because the registry is the designated-mutable member.
+  void PublishSnapshotMetrics(double load_us, uint64_t bytes,
+                              bool mmap) const;
 
   /// Original-entity text reconstruction (token texts joined by spaces).
   std::string EntityText(EntityId e) const;
@@ -195,12 +209,12 @@ class Aeetes {
     Histogram& verify_latency_us;
   };
 
-  Aeetes(AeetesOptions options, std::unique_ptr<DerivedDictionary> dd,
-         std::unique_ptr<ClusteredIndex> index)
+  Aeetes(AeetesOptions options, std::unique_ptr<EngineImage> image)
       : options_(options),
         tokenizer_(options.tokenizer),
-        dd_(std::move(dd)),
-        index_(std::move(index)),
+        image_(std::move(image)),
+        dd_(&image_->mutable_derived_dictionary()),
+        index_(&image_->index()),
         pipeline_(metrics_) {}
 
   /// Publishes offline-stage observations (derivation expansion counts,
@@ -209,8 +223,10 @@ class Aeetes {
 
   AeetesOptions options_;
   Tokenizer tokenizer_;
-  std::unique_ptr<DerivedDictionary> dd_;
-  std::unique_ptr<ClusteredIndex> index_;
+  /// Owns the arena plus the views wired over it; dd_/index_ alias it.
+  std::unique_ptr<EngineImage> image_;
+  DerivedDictionary* dd_;
+  const ClusteredIndex* index_;
   mutable MetricsRegistry metrics_;
   PipelineMetrics pipeline_;
 };

@@ -289,7 +289,8 @@ class Generator {
     for (size_t i = 0; i < num_original_; ++i) {
       for (const ApplicableRule& ar : selected_apps_[i]) {
         if (ar.len == enc_entities_[i].size() && ar.replacement.size() == 1) {
-          forbidden_background_.insert(mention_dict_.Text(ar.replacement[0]));
+          forbidden_background_.insert(
+              std::string(mention_dict_.Text(ar.replacement[0])));
         }
       }
     }
@@ -311,7 +312,7 @@ class Generator {
         const ApplicableRule& ar = apps[UniformInt(rng_, 0, apps.size() - 1)];
         Tokens rewritten(e.begin(), e.begin() + ar.begin);
         for (TokenId t : ar.replacement) {
-          rewritten.push_back(mention_dict_.Text(t));
+          rewritten.emplace_back(mention_dict_.Text(t));
         }
         rewritten.insert(rewritten.end(), e.begin() + ar.begin + ar.len,
                          e.end());

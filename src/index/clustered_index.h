@@ -5,7 +5,9 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/arena.h"
 #include "src/common/metrics.h"
+#include "src/common/span.h"
 #include "src/common/status.h"
 #include "src/synonym/derived_dictionary.h"
 #include "src/text/token.h"
@@ -39,30 +41,61 @@ struct LengthGroup {
 /// The clustered inverted index of Section 3: for each token, postings are
 /// grouped first by derived-entity set size (enabling batch skips under the
 /// length filter) and then by origin entity (enabling batch skips once an
-/// origin is already a candidate). Immutable after Build.
+/// origin is already a candidate). Immutable after Build; all four arrays
+/// are read through Span views over one arena — a private heap arena for
+/// the standalone Build path, or the enclosing engine image (heap-built or
+/// mmap-loaded, identical wiring).
 class ClusteredIndex {
  public:
-  static std::unique_ptr<ClusteredIndex> Build(const DerivedDictionary& dd);
-
-  /// Length groups of token `t`'s posting list (empty span for tokens
+  /// Length groups of token `t`'s posting list (empty range for tokens
   /// without postings, including tokens interned after Build).
   struct ListRange {
     uint32_t begin = 0;  // into length_groups()
     uint32_t end = 0;
     bool empty() const { return begin == end; }
   };
+
+  /// The four flattened arrays, before they land in an arena.
+  struct Parts {
+    std::vector<ListRange> lists;  // indexed by TokenId
+    std::vector<LengthGroup> length_groups;
+    std::vector<OriginGroup> origin_groups;
+    std::vector<PostingEntry> entries;
+  };
+
+  /// Builds the posting arrays from offline parts (the EngineImage::Pack
+  /// path — runs before any dictionary is wired).
+  static Parts BuildParts(const DerivedDictParts& parts);
+
+  /// Same construction, reading a wired dictionary (the standalone path).
+  static Parts BuildParts(const DerivedDictionary& dd);
+
+  /// Appends the four img::kIndex* sections.
+  static void AppendSections(const Parts& parts, ImageBuilder& builder);
+
+  /// Wires an index over `view`'s sections (zero-copy; the image must
+  /// outlive the result). Validates the full nesting chain — list ranges
+  /// into length groups into origin groups into entries — plus id ranges,
+  /// so release builds can serve hostile snapshots safely. `lists` may be
+  /// shorter than `token_count` (tokens interned after the index was built
+  /// have no postings).
+  static Result<std::unique_ptr<ClusteredIndex>> WireFromImage(
+      const ImageView& view, size_t num_origins, size_t num_derived,
+      size_t token_count);
+
+  /// Standalone convenience: BuildParts + a private arena. `dd` must
+  /// outlive the index only for the duration of this call; the index holds
+  /// its own backing.
+  static std::unique_ptr<ClusteredIndex> Build(const DerivedDictionary& dd);
+
   ListRange list(TokenId t) const {
     if (t >= lists_.size()) return {};
     return lists_[t];
   }
 
-  const std::vector<PostingEntry>& entries() const { return entries_; }
-  const std::vector<OriginGroup>& origin_groups() const {
-    return origin_groups_;
-  }
-  const std::vector<LengthGroup>& length_groups() const {
-    return length_groups_;
-  }
+  Span<PostingEntry> entries() const { return entries_; }
+  Span<OriginGroup> origin_groups() const { return origin_groups_; }
+  Span<LengthGroup> length_groups() const { return length_groups_; }
 
   /// Total postings across all tokens.
   size_t num_entries() const { return entries_.size(); }
@@ -78,10 +111,12 @@ class ClusteredIndex {
  private:
   ClusteredIndex() = default;
 
-  std::vector<ListRange> lists_;  // indexed by TokenId
-  std::vector<LengthGroup> length_groups_;
-  std::vector<OriginGroup> origin_groups_;
-  std::vector<PostingEntry> entries_;
+  AlignedBuffer backing_;  // private arena; empty when EngineImage owns it
+
+  Span<ListRange> lists_;  // indexed by TokenId
+  Span<LengthGroup> length_groups_;
+  Span<OriginGroup> origin_groups_;
+  Span<PostingEntry> entries_;
 };
 
 }  // namespace aeetes

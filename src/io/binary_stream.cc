@@ -17,12 +17,12 @@ void BinaryWriter::WriteU32(uint32_t v) { WriteRaw(&v, sizeof(v)); }
 void BinaryWriter::WriteU64(uint64_t v) { WriteRaw(&v, sizeof(v)); }
 void BinaryWriter::WriteDouble(double v) { WriteRaw(&v, sizeof(v)); }
 
-void BinaryWriter::WriteString(const std::string& s) {
+void BinaryWriter::WriteString(std::string_view s) {
   WriteU64(s.size());
   WriteRaw(s.data(), s.size());
 }
 
-void BinaryWriter::WriteU32Vector(const std::vector<uint32_t>& v) {
+void BinaryWriter::WriteU32Span(Span<uint32_t> v) {
   WriteU64(v.size());
   WriteRaw(v.data(), v.size() * sizeof(uint32_t));
 }
@@ -37,17 +37,41 @@ Status BinaryWriter::Finish() {
 
 BinaryReader::BinaryReader(const std::string& path)
     : in_(path, std::ios::binary) {
-  if (!in_) status_ = Status::IOError("cannot open " + path + " for read");
+  if (!in_) {
+    status_ = Status::IOError("cannot open " + path + " for read");
+    return;
+  }
+  in_.seekg(0, std::ios::end);
+  const std::streamoff size = in_.tellg();
+  in_.seekg(0, std::ios::beg);
+  if (size < 0 || !in_) {
+    status_ = Status::IOError("cannot determine size of " + path);
+    return;
+  }
+  remaining_ = static_cast<uint64_t>(size);
 }
 
 void BinaryReader::Fail(const std::string& msg) {
   if (status_.ok()) status_ = Status::IOError(msg);
 }
 
+bool BinaryReader::CheckAvailable(uint64_t bytes) {
+  if (!status_.ok()) return false;
+  if (bytes > remaining_) {
+    Fail("unexpected end of file");
+    return false;
+  }
+  return true;
+}
+
 void BinaryReader::ReadRaw(void* data, size_t n) {
-  if (!status_.ok()) return;
+  if (!CheckAvailable(n)) return;
   in_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
-  if (static_cast<size_t>(in_.gcount()) != n) Fail("unexpected end of file");
+  if (static_cast<size_t>(in_.gcount()) != n) {
+    Fail("unexpected end of file");
+    return;
+  }
+  remaining_ -= n;
 }
 
 uint32_t BinaryReader::ReadU32() {
@@ -70,7 +94,7 @@ double BinaryReader::ReadDouble() {
 
 std::string BinaryReader::ReadString() {
   const uint64_t n = ReadU64();
-  if (n > kMaxElements) {
+  if (n > kMaxElements || !CheckAvailable(n)) {
     Fail("string length out of bounds");
     return "";
   }
@@ -81,7 +105,7 @@ std::string BinaryReader::ReadString() {
 
 std::vector<uint32_t> BinaryReader::ReadU32Vector() {
   const uint64_t n = ReadU64();
-  if (n > kMaxElements) {
+  if (n > kMaxElements || !CheckAvailable(n * sizeof(uint32_t))) {
     Fail("vector length out of bounds");
     return {};
   }

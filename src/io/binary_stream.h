@@ -4,8 +4,10 @@
 #include <cstdint>
 #include <fstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "src/common/span.h"
 #include "src/common/status.h"
 
 namespace aeetes {
@@ -20,8 +22,11 @@ class BinaryWriter {
   void WriteU32(uint32_t v);
   void WriteU64(uint64_t v);
   void WriteDouble(double v);
-  void WriteString(const std::string& s);
-  void WriteU32Vector(const std::vector<uint32_t>& v);
+  void WriteString(std::string_view s);
+  void WriteU32Vector(const std::vector<uint32_t>& v) {
+    WriteU32Span(Span<uint32_t>(v));
+  }
+  void WriteU32Span(Span<uint32_t> v);
 
   /// Flushes and returns the accumulated status.
   Status Finish();
@@ -54,9 +59,14 @@ class BinaryReader {
  private:
   void ReadRaw(void* data, size_t n);
   void Fail(const std::string& msg);
+  /// True when `bytes` more can still be read; fails the stream otherwise.
+  /// Length-prefixed reads check this BEFORE allocating, so a corrupt
+  /// length cannot trigger a huge allocation.
+  bool CheckAvailable(uint64_t bytes);
 
   std::ifstream in_;
   Status status_;
+  uint64_t remaining_ = 0;  // bytes left in the file
 };
 
 }  // namespace aeetes

@@ -1,0 +1,61 @@
+#include "src/io/mapped_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace aeetes {
+
+namespace {
+
+std::string ErrnoMessage(const char* what, const std::string& path) {
+  return std::string(what) + " '" + path + "': " + std::strerror(errno);
+}
+
+}  // namespace
+
+Result<MappedFile> MappedFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError(ErrnoMessage("cannot open", path));
+  }
+  struct stat st = {};
+  if (::fstat(fd, &st) != 0) {
+    const Status status = Status::IOError(ErrnoMessage("cannot stat", path));
+    ::close(fd);
+    return status;
+  }
+  if (!S_ISREG(st.st_mode) || st.st_size <= 0) {
+    ::close(fd);
+    return Status::IOError("cannot map '" + path +
+                           "': not a non-empty regular file");
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  void* data = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference to the file
+  if (data == MAP_FAILED) {
+    return Status::IOError(ErrnoMessage("cannot mmap", path));
+  }
+  // The loader checksums every section right away, touching each page
+  // once; asking the kernel to read ahead turns that first pass from one
+  // minor fault per page into a few batched reads.
+  ::madvise(data, size, MADV_WILLNEED);
+  MappedFile file;
+  file.data_ = data;
+  file.size_ = size;
+  return file;
+}
+
+void MappedFile::Unmap() {
+  if (data_ != nullptr) {
+    ::munmap(data_, size_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+}  // namespace aeetes

@@ -1,0 +1,61 @@
+#ifndef AEETES_IO_MAPPED_FILE_H_
+#define AEETES_IO_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "src/common/span.h"
+#include "src/common/status.h"
+
+namespace aeetes {
+
+/// Read-only RAII memory mapping of a whole file. The backing of an
+/// mmap-ed engine image: pages are faulted in lazily and shared with every
+/// other process mapping the same snapshot, so N serving processes pay for
+/// one copy of the offline state.
+///
+/// Lifetime contract: every Span handed out over bytes() aliases the
+/// mapping and dies with it. EngineImage keeps its MappedFile alive for as
+/// long as any component view exists (DESIGN.md §11).
+class MappedFile {
+ public:
+  /// Maps `path` read-only (MAP_PRIVATE). Fails with a Status on open,
+  /// stat or mmap errors and on empty files (an empty file cannot be a
+  /// valid image and cannot be mapped).
+  static Result<MappedFile> Open(const std::string& path);
+
+  MappedFile() = default;
+  ~MappedFile() { Unmap(); }
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  MappedFile(MappedFile&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+  MappedFile& operator=(MappedFile&& other) noexcept {
+    if (this != &other) {
+      Unmap();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  bool valid() const { return data_ != nullptr; }
+  size_t size() const { return size_; }
+  Span<uint8_t> bytes() const {
+    return Span<uint8_t>(static_cast<const uint8_t*>(data_), size_);
+  }
+
+ private:
+  void Unmap();
+
+  void* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace aeetes
+
+#endif  // AEETES_IO_MAPPED_FILE_H_

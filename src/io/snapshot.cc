@@ -1,67 +1,42 @@
 #include "src/io/snapshot.h"
 
+#include <fstream>
+#include <utility>
+
+#include "src/common/arena.h"
+#include "src/common/metrics.h"
+#include "src/core/engine_image.h"
 #include "src/io/binary_stream.h"
 
 namespace aeetes {
 
 namespace {
-constexpr uint32_t kMagic = 0x54454541;  // "AEET"
-constexpr uint32_t kVersion = 1;
-}  // namespace
 
-Status SaveSnapshot(const Aeetes& aeetes, const std::string& path) {
-  const DerivedDictionary& dd = aeetes.derived_dictionary();
-  const TokenDictionary& dict = dd.token_dict();
+constexpr uint32_t kMagic = 0x54454541;  // "AEET" — shared by v1 and v2
+constexpr uint32_t kV1Version = 1;
 
-  BinaryWriter w(path);
-  w.WriteU32(kMagic);
-  w.WriteU32(kVersion);
-
-  // Token dictionary: texts in id order + frequencies.
-  w.WriteU64(dict.size());
-  for (TokenId t = 0; t < dict.size(); ++t) {
-    w.WriteString(dict.Text(t));
-    w.WriteU64(dict.frequency(t));
+/// Reads the 8-byte (magic, version) prologue both formats share.
+Status SniffHeader(const std::string& path, uint32_t* magic,
+                   uint32_t* version) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open " + path + " for read");
   }
-
-  // Origin entities.
-  w.WriteU64(dd.num_origins());
-  for (const TokenSeq& e : dd.origin_entities()) {
-    w.WriteU32Vector(e);
+  uint32_t header[2] = {0, 0};
+  in.read(reinterpret_cast<char*>(header), sizeof(header));
+  if (static_cast<size_t>(in.gcount()) != sizeof(header)) {
+    return Status::IOError("not an Aeetes snapshot (too short): " + path);
   }
-
-  // Derived entities.
-  w.WriteU64(dd.num_derived());
-  for (const DerivedEntity& de : dd.derived()) {
-    w.WriteU32(de.origin);
-    w.WriteU32Vector(de.tokens);
-    w.WriteU32Vector(de.ordered_set);
-    w.WriteU32Vector(de.applied_rules);
-    w.WriteDouble(de.weight);
-  }
-
-  // Offset table + statistics.
-  std::vector<uint32_t> begins;
-  begins.reserve(dd.num_origins() + 1);
-  begins.push_back(0);
-  for (EntityId e = 0; e < dd.num_origins(); ++e) {
-    begins.push_back(dd.DerivedRange(e).second);
-  }
-  w.WriteU32Vector(begins);
-  w.WriteDouble(dd.avg_applicable_rules());
-  return w.Finish();
+  *magic = header[0];
+  *version = header[1];
+  return Status::OK();
 }
 
-Result<std::unique_ptr<Aeetes>> LoadSnapshot(const std::string& path,
-                                             AeetesOptions options) {
+Result<std::unique_ptr<Aeetes>> LoadSnapshotV1(const std::string& path,
+                                               AeetesOptions options) {
   BinaryReader r(path);
-  if (r.ReadU32() != kMagic) {
-    return Status::InvalidArgument("not an Aeetes snapshot: " + path);
-  }
-  const uint32_t version = r.ReadU32();
-  if (version != kVersion) {
-    return Status::InvalidArgument("unsupported snapshot version " +
-                                   std::to_string(version));
+  if (r.ReadU32() != kMagic || r.ReadU32() != kV1Version) {
+    return Status::InvalidArgument("not a v1 Aeetes snapshot: " + path);
   }
 
   auto dict = std::make_unique<TokenDictionary>();
@@ -118,6 +93,104 @@ Result<std::unique_ptr<Aeetes>> LoadSnapshot(const std::string& path,
                    std::vector<DerivedId>(begins.begin(), begins.end()),
                    std::move(dict), avg_applicable));
   return Aeetes::FromDerivedDictionary(std::move(dd), options);
+}
+
+uint64_t FileSizeOf(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  const std::streamoff size = in.tellg();
+  return (in && size > 0) ? static_cast<uint64_t>(size) : 0;
+}
+
+}  // namespace
+
+Status SaveSnapshot(const Aeetes& aeetes, const std::string& path) {
+  const Span<uint8_t> bytes = aeetes.image().bytes();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IOError("cannot open " + path + " for write");
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) {
+    return Status::IOError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+Status SaveSnapshotV1(const Aeetes& aeetes, const std::string& path) {
+  const DerivedDictionary& dd = aeetes.derived_dictionary();
+  const TokenDictionary& dict = dd.token_dict();
+
+  BinaryWriter w(path);
+  w.WriteU32(kMagic);
+  w.WriteU32(kV1Version);
+
+  // Token dictionary: texts in id order + frequencies.
+  w.WriteU64(dict.size());
+  for (TokenId t = 0; t < dict.size(); ++t) {
+    w.WriteString(dict.Text(t));
+    w.WriteU64(dict.frequency(t));
+  }
+
+  // Origin entities.
+  w.WriteU64(dd.num_origins());
+  for (EntityId e = 0; e < dd.num_origins(); ++e) {
+    w.WriteU32Span(dd.origin_entity(e));
+  }
+
+  // Derived entities.
+  w.WriteU64(dd.num_derived());
+  for (DerivedId d = 0; d < dd.num_derived(); ++d) {
+    const DerivedView de = dd.derived(d);
+    w.WriteU32(de.origin);
+    w.WriteU32Span(de.tokens);
+    w.WriteU32Span(de.ordered_set);
+    w.WriteU32Span(de.applied_rules);
+    w.WriteDouble(de.weight);
+  }
+
+  // Offset table + statistics.
+  std::vector<uint32_t> begins;
+  begins.reserve(dd.num_origins() + 1);
+  begins.push_back(0);
+  for (EntityId e = 0; e < dd.num_origins(); ++e) {
+    begins.push_back(dd.DerivedRange(e).second);
+  }
+  w.WriteU32Vector(begins);
+  w.WriteDouble(dd.avg_applicable_rules());
+  return w.Finish();
+}
+
+Result<std::unique_ptr<Aeetes>> LoadSnapshot(const std::string& path,
+                                             AeetesOptions options) {
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  AEETES_RETURN_IF_ERROR(SniffHeader(path, &magic, &version));
+  if (magic != kMagic) {
+    return Status::InvalidArgument("not an Aeetes snapshot: " + path);
+  }
+
+  double load_ms = 0.0;
+  std::unique_ptr<Aeetes> engine;
+  bool mmap_backed = false;
+  if (version == kV1Version) {
+    ScopedTimer timer(nullptr, &load_ms);
+    AEETES_ASSIGN_OR_RETURN(engine, LoadSnapshotV1(path, options));
+  } else if (version == kImageVersion) {
+    ScopedTimer timer(nullptr, &load_ms);
+    AEETES_ASSIGN_OR_RETURN(std::unique_ptr<EngineImage> image,
+                            EngineImage::FromFile(path));
+    AEETES_ASSIGN_OR_RETURN(engine,
+                            Aeetes::FromImage(std::move(image), options));
+    mmap_backed = true;
+  } else {
+    return Status::InvalidArgument("unsupported snapshot version " +
+                                   std::to_string(version));
+  }
+  engine->PublishSnapshotMetrics(load_ms * 1e3, FileSizeOf(path),
+                                 mmap_backed);
+  return engine;
 }
 
 }  // namespace aeetes

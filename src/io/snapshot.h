@@ -8,22 +8,28 @@
 
 namespace aeetes {
 
-/// Persists a built extractor's offline state (token dictionary + derived
-/// dictionary) to a single binary snapshot file. The clustered index is
-/// rebuilt at load time — it is a deterministic function of the derived
-/// dictionary and rebuilding keeps the format small and stable.
-///
-/// Format: magic "AEET", version, then the token dictionary (texts in id
-/// order + frequencies), origin entities, derived entities and the
-/// origin offset table. Little-endian, not portable across endianness.
+/// Persists a built extractor's offline state to a single snapshot file in
+/// the v2 "engine image" format (DESIGN.md §11): the arena bytes — token
+/// dictionary, origin/derived entities, size-sorted index, rank arena and
+/// clustered inverted index — written verbatim, with a section table and
+/// per-section CRC32c. Loading mmaps the file and wires views over it:
+/// no index rebuild, no per-entity allocation.
 Status SaveSnapshot(const Aeetes& aeetes, const std::string& path);
 
-/// Loads a snapshot written by SaveSnapshot. `options` supplies the
-/// runtime configuration (strategy, metric, weighted, ...); it must match
-/// the metric family the snapshot was built for in the sense that the
-/// index supports any threshold/metric at query time, so no compatibility
-/// constraint actually applies — the derived dictionary is
-/// metric-independent.
+/// Writes the legacy v1 record format (dictionary + derived entities; the
+/// index is rebuilt at load). Kept so older deployments can still consume
+/// snapshots produced here, and as the fixture for the v1 load path.
+Status SaveSnapshotV1(const Aeetes& aeetes, const std::string& path);
+
+/// Loads a snapshot written by either SaveSnapshot variant, dispatching on
+/// the version stamped in the first 8 bytes: v2 files are mmapped
+/// zero-copy, v1 files are parsed and repacked (index rebuild, as always
+/// for v1). `options` supplies the runtime configuration (strategy,
+/// metric, weighted, ...) — the stored state is metric-independent, so
+/// any options work with any snapshot. Publishes
+/// `snapshot.{load_us,bytes,mmap}` gauges on the returned instance.
+/// Corrupt, truncated or bit-flipped input yields a Status, never a
+/// crash.
 Result<std::unique_ptr<Aeetes>> LoadSnapshot(const std::string& path,
                                              AeetesOptions options = {});
 

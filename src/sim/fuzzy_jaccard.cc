@@ -18,13 +18,13 @@ std::vector<std::string> Distinct(const std::vector<std::string>& xs) {
 
 }  // namespace
 
-double FuzzyJaccard::Similarity(const TokenSeq& a, const TokenSeq& b,
+double FuzzyJaccard::Similarity(Span<TokenId> a, Span<TokenId> b,
                                 const TokenDictionary& dict) const {
   std::vector<std::string> sa, sb;
   sa.reserve(a.size());
   sb.reserve(b.size());
-  for (TokenId t : a) sa.push_back(dict.Text(t));
-  for (TokenId t : b) sb.push_back(dict.Text(t));
+  for (TokenId t : a) sa.emplace_back(dict.Text(t));
+  for (TokenId t : b) sb.emplace_back(dict.Text(t));
   return Similarity(sa, sb);
 }
 

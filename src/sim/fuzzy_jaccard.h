@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/span.h"
 #include "src/text/token.h"
 #include "src/text/token_dictionary.h"
 
@@ -27,7 +28,7 @@ class FuzzyJaccard {
 
   /// Similarity of two token-id sequences (distinct tokens are compared by
   /// their dictionary text).
-  double Similarity(const TokenSeq& a, const TokenSeq& b,
+  double Similarity(Span<TokenId> a, Span<TokenId> b,
                     const TokenDictionary& dict) const;
 
   /// Similarity of two plain string token lists.

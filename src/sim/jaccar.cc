@@ -18,11 +18,11 @@ JaccArScore JaccArVerifier::Score(EntityId e,
                                tau)
           : LengthRange{};
   for (DerivedId d = begin; d < end; ++d) {
-    const DerivedEntity& de = dd_.derived()[d];
-    if (tau > 0.0 && !partner.Contains(de.ordered_set.size())) continue;
-    double s = SimilarityOnOrderedSets(options_.metric, de.ordered_set,
+    const Span<TokenId> set = dd_.ordered_set(d);
+    if (tau > 0.0 && !partner.Contains(set.size())) continue;
+    double s = SimilarityOnOrderedSets(options_.metric, set,
                                        substring_ordered_set, dict);
-    if (options_.weighted) s *= de.weight;
+    if (options_.weighted) s *= dd_.weight(d);
     if (s > best.score) {
       best.score = s;
       best.best_derived = d;
@@ -44,8 +44,8 @@ JaccArScore JaccArVerifier::BestAbove(EntityId e,
   // keys, contiguous) instead of a scan that pulls in every DerivedEntity.
   // Iteration order differs from ascending id, so ties on score keep the
   // smallest id explicitly — the result the ascending scan would produce.
-  const std::vector<uint32_t>& sizes = dd_.size_sorted_sizes();
-  const std::vector<DerivedId>& ids = dd_.size_sorted_ids();
+  const Span<uint32_t> sizes = dd_.size_sorted_sizes();
+  const Span<DerivedId> ids = dd_.size_sorted_ids();
   const auto sizes_begin = sizes.begin() + static_cast<std::ptrdiff_t>(begin);
   const auto sizes_end = sizes.begin() + static_cast<std::ptrdiff_t>(end);
   const auto lo = std::lower_bound(
@@ -56,22 +56,22 @@ JaccArScore JaccArVerifier::BestAbove(EntityId e,
       [](size_t bound, uint32_t y) { return bound < y; });
   for (auto it = lo; it != hi; ++it) {
     const DerivedId d = ids[static_cast<size_t>(it - sizes.begin())];
-    const DerivedEntity& de = dd_.derived()[d];
+    const double weight = options_.weighted ? dd_.weight(d) : 1.0;
     const size_t y = *it;
     double effective_tau = tau;
     if (options_.weighted) {
-      if (de.weight <= 0.0) continue;
-      effective_tau = tau / de.weight;
+      if (weight <= 0.0) continue;
+      effective_tau = tau / weight;
       if (effective_tau > 1.0) continue;  // even sim = 1 cannot pass
     }
     const size_t required =
         RequiredOverlap(options_.metric, x, y, effective_tau);
     const size_t o =
-        OverlapSizeAtLeast(de.ordered_set, substring_ordered_set, dict,
+        OverlapSizeAtLeast(dd_.ordered_set(d), substring_ordered_set, dict,
                            required);
     if (o == kOverlapBelow) continue;
     double s = SetSimilarity(options_.metric, o, y, x);
-    if (options_.weighted) s *= de.weight;
+    if (options_.weighted) s *= weight;
     if (s > best.score ||
         (s == best.score && best.best_derived != JaccArScore::kNoDerived &&
          d < best.best_derived)) {
@@ -96,8 +96,8 @@ JaccArScore JaccArVerifier::BestAboveRanksPartner(
     size_t x, double tau, const LengthRange& partner) const {
   JaccArScore best;
   const auto [begin, end] = dd_.DerivedRange(e);
-  const std::vector<uint32_t>& sizes = dd_.size_sorted_sizes();
-  const std::vector<DerivedId>& ids = dd_.size_sorted_ids();
+  const Span<uint32_t> sizes = dd_.size_sorted_sizes();
+  const Span<DerivedId> ids = dd_.size_sorted_ids();
   const auto sizes_begin = sizes.begin() + static_cast<std::ptrdiff_t>(begin);
   const auto sizes_end = sizes.begin() + static_cast<std::ptrdiff_t>(end);
   // Binary-search the size-sorted index only when the range is big enough
@@ -125,7 +125,7 @@ JaccArScore JaccArVerifier::BestAboveRanksPartner(
     const size_t y = *it;
     double effective_tau = tau;
     if (options_.weighted) {
-      const double weight = dd_.derived()[d].weight;
+      const double weight = dd_.weight(d);
       if (weight <= 0.0) continue;
       effective_tau = tau / weight;
       if (effective_tau > 1.0) continue;  // even sim = 1 cannot pass
@@ -139,7 +139,7 @@ JaccArScore JaccArVerifier::BestAboveRanksPartner(
         dd_.derived_ranks(d), y, substring_ranks, substring_size, required);
     if (o == kOverlapBelow) continue;
     double s = SetSimilarity(options_.metric, o, y, x);
-    if (options_.weighted) s *= dd_.derived()[d].weight;
+    if (options_.weighted) s *= dd_.weight(d);
     if (s > best.score ||
         (s == best.score && best.best_derived != JaccArScore::kNoDerived &&
          d < best.best_derived)) {
@@ -156,9 +156,8 @@ JaccArScore FuzzyJaccArVerifier::Score(
   const auto [begin, end] = dd_.DerivedRange(e);
   const TokenDictionary& dict = dd_.token_dict();
   for (DerivedId d = begin; d < end; ++d) {
-    const DerivedEntity& de = dd_.derived()[d];
-    double s = fj_.Similarity(de.ordered_set, substring_ordered_set, dict);
-    if (weighted_) s *= de.weight;
+    double s = fj_.Similarity(dd_.ordered_set(d), substring_ordered_set, dict);
+    if (weighted_) s *= dd_.weight(d);
     if (s > best.score) {
       best.score = s;
       best.best_derived = d;
@@ -174,11 +173,11 @@ bool JaccArVerifier::AtLeast(EntityId e, const TokenSeq& substring_ordered_set,
   const LengthRange partner =
       PartnerLengthRange(options_.metric, substring_ordered_set.size(), tau);
   for (DerivedId d = begin; d < end; ++d) {
-    const DerivedEntity& de = dd_.derived()[d];
-    if (!partner.Contains(de.ordered_set.size())) continue;
-    double s = SimilarityOnOrderedSets(options_.metric, de.ordered_set,
+    const Span<TokenId> set = dd_.ordered_set(d);
+    if (!partner.Contains(set.size())) continue;
+    double s = SimilarityOnOrderedSets(options_.metric, set,
                                        substring_ordered_set, dict);
-    if (options_.weighted) s *= de.weight;
+    if (options_.weighted) s *= dd_.weight(d);
     if (s >= tau) return true;
   }
   return false;

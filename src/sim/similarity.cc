@@ -148,13 +148,13 @@ LengthRange SubstringLengthBounds(Metric metric, size_t e_min, size_t e_max,
   return r;
 }
 
-double JaccardOnOrderedSets(const TokenSeq& a, const TokenSeq& b,
+double JaccardOnOrderedSets(Span<TokenId> a, Span<TokenId> b,
                             const TokenDictionary& dict) {
   return SimilarityOnOrderedSets(Metric::kJaccard, a, b, dict);
 }
 
-double SimilarityOnOrderedSets(Metric metric, const TokenSeq& a,
-                               const TokenSeq& b,
+double SimilarityOnOrderedSets(Metric metric, Span<TokenId> a,
+                               Span<TokenId> b,
                                const TokenDictionary& dict) {
   const size_t o = OverlapSize(a, b, dict);
   return SetSimilarity(metric, o, a.size(), b.size());

@@ -6,6 +6,7 @@
 #include <limits>
 #include <string>
 
+#include "src/common/span.h"
 #include "src/text/token.h"
 #include "src/text/token_dictionary.h"
 
@@ -60,12 +61,12 @@ LengthRange SubstringLengthBounds(Metric metric, size_t e_min, size_t e_max,
                                   double tau);
 
 /// Jaccard similarity of two ordered sets (distinct tokens sorted by rank).
-double JaccardOnOrderedSets(const TokenSeq& a, const TokenSeq& b,
+double JaccardOnOrderedSets(Span<TokenId> a, Span<TokenId> b,
                             const TokenDictionary& dict);
 
 /// Generic metric over ordered sets.
-double SimilarityOnOrderedSets(Metric metric, const TokenSeq& a,
-                               const TokenSeq& b, const TokenDictionary& dict);
+double SimilarityOnOrderedSets(Metric metric, Span<TokenId> a,
+                               Span<TokenId> b, const TokenDictionary& dict);
 
 }  // namespace aeetes
 

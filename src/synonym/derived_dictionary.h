@@ -4,8 +4,11 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "src/common/arena.h"
+#include "src/common/span.h"
 #include "src/common/status.h"
 #include "src/synonym/expander.h"
 #include "src/synonym/rule.h"
@@ -19,7 +22,9 @@ using EntityId = uint32_t;
 /// Index of a derived entity in the derived dictionary E.
 using DerivedId = uint32_t;
 
-/// One derived entity stored in the derived dictionary.
+/// One derived entity as produced by the offline builders (and the v1
+/// snapshot reader): the owning, vector-backed record. The serving path
+/// never touches this type — it reads DerivedView spans instead.
 struct DerivedEntity {
   /// Origin entity this was derived from.
   EntityId origin = 0;
@@ -35,13 +40,23 @@ struct DerivedEntity {
   double weight = 1.0;
 };
 
+/// Read-only view of one derived entity: spans alias the engine image and
+/// stay valid for the image's lifetime.
+struct DerivedView {
+  EntityId origin = 0;
+  double weight = 1.0;
+  Span<TokenId> tokens;
+  Span<TokenId> ordered_set;
+  Span<RuleId> applied_rules;
+};
+
 struct DerivedDictionaryOptions {
   ExpanderOptions expander;
 };
 
 /// Offline-stage cost accounting captured while Build runs; surfaced as
 /// `build.*` gauges on the owning Aeetes instance's metrics registry.
-/// Zero for dictionaries reassembled via FromParts (snapshots carry no
+/// Zero for dictionaries wired from a loaded snapshot (snapshots carry no
 /// build history).
 struct DerivedDictionaryBuildStats {
   /// Clique solver iterations summed over all entities.
@@ -52,39 +67,112 @@ struct DerivedDictionaryBuildStats {
   uint64_t expand_dedup_hits = 0;
   /// Entities whose |D(e)| enumeration stopped at the cap.
   uint64_t capped_entities = 0;
-  /// Wall time of DerivedDictionary::Build.
+  /// Wall time of DerivedDictionary::BuildParts.
   double derive_ms = 0.0;
 };
 
+/// Everything the offline stage produces, before it is flattened into an
+/// arena: the input to EngineImage::Pack, the output of BuildParts /
+/// AssembleParts / ToParts.
+struct DerivedDictParts {
+  std::vector<TokenSeq> origins;
+  std::vector<DerivedEntity> derived;   // ordered_set populated
+  std::vector<DerivedId> origin_begin;  // origins.size() + 1
+  std::unique_ptr<TokenDictionary> dict;  // frozen
+  double avg_applicable_rules = 0.0;
+  DerivedDictionaryBuildStats stats;
+};
+
 /// The derived dictionary E = union over e in E0 of D(e) (Section 2.1),
-/// together with the global token order. Owns the TokenDictionary: entity
-/// and rule tokens must be interned through the same instance that is
-/// passed to Build.
+/// together with the global token order. All entity data is read through
+/// `Span` views over one contiguous arena: either a private heap arena
+/// (standalone Build/FromParts, used by tests and baselines) or the
+/// engine image owned by the enclosing EngineImage (the Aeetes path —
+/// heap-built or mmap-loaded, same wiring either way). Owns the
+/// TokenDictionary wired over the same arena.
 class DerivedDictionary {
  public:
-  /// Builds the derived dictionary. `dict` must contain all tokens of
-  /// `entities` and `rules` and must not be frozen yet; Build counts
-  /// frequencies over the derived entities, freezes the dictionary and
-  /// computes ordered sets. `entities` must be non-empty, with non-empty
-  /// token sequences.
+  /// Offline derivation: expands entities under the rule set, counts
+  /// frequencies, freezes the dictionary and computes ordered sets.
+  /// `dict` must contain all tokens of `entities` and `rules` and must not
+  /// be frozen yet; `entities` must be non-empty with non-empty token
+  /// sequences. Returns builder parts ready for EngineImage::Pack.
+  static Result<DerivedDictParts> BuildParts(
+      std::vector<TokenSeq> entities, const RuleSet& rules,
+      std::unique_ptr<TokenDictionary> dict,
+      const DerivedDictionaryOptions& options = {});
+
+  /// Validates externally supplied parts (the v1 snapshot path): `dict`
+  /// frozen and covering every token, `origin_begin` a monotonic prefix
+  /// table of size origins+1, every derived entity non-empty and in
+  /// range. `avg_applicable_rules` is taken as given.
+  static Result<DerivedDictParts> AssembleParts(
+      std::vector<TokenSeq> origins, std::vector<DerivedEntity> derived,
+      std::vector<DerivedId> origin_begin,
+      std::unique_ptr<TokenDictionary> dict, double avg_applicable_rules);
+
+  /// Standalone convenience: BuildParts + a private arena. Tests, benches
+  /// and baselines that need a dictionary without an Aeetes instance use
+  /// this; the result is bit-identical in behavior to the wired engine.
   static Result<std::unique_ptr<DerivedDictionary>> Build(
       std::vector<TokenSeq> entities, const RuleSet& rules,
       std::unique_ptr<TokenDictionary> dict,
       const DerivedDictionaryOptions& options = {});
 
-  /// Reassembles a derived dictionary from previously built parts (the
-  /// snapshot-loading path). `dict` must be frozen and hold every token;
-  /// `derived` entries must carry their ordered sets; `origin_begin` must
-  /// be a valid prefix-offset table of size origins+1. Statistics
-  /// (min/max set size) are recomputed; `avg_applicable_rules` is taken as
-  /// given.
+  /// Standalone convenience: AssembleParts + a private arena.
   static Result<std::unique_ptr<DerivedDictionary>> FromParts(
       std::vector<TokenSeq> origins, std::vector<DerivedEntity> derived,
       std::vector<DerivedId> origin_begin,
       std::unique_ptr<TokenDictionary> dict, double avg_applicable_rules);
 
-  const std::vector<TokenSeq>& origin_entities() const { return origins_; }
-  const std::vector<DerivedEntity>& derived() const { return derived_; }
+  /// Flattens `parts` into image sections: the dictionary sections, every
+  /// derived-dictionary section (including the size-sorted index and the
+  /// rank arena, recomputed deterministically) and the img::kMeta record.
+  static Status AppendSections(const DerivedDictParts& parts,
+                               ImageBuilder& builder);
+
+  /// Wires a dictionary over `view`'s sections (zero-copy; the image must
+  /// outlive the result). Validates every cross-section invariant the
+  /// serving path relies on — offset-table shapes, id ranges, ordered-set
+  /// ordering, rank-arena agreement, size-index permutation — so release
+  /// builds can serve hostile snapshots without risking out-of-bounds
+  /// reads. `dict` must be the TokenDictionary wired over the same view.
+  static Result<std::unique_ptr<DerivedDictionary>> WireFromImage(
+      const ImageView& view, std::unique_ptr<TokenDictionary> dict);
+
+  /// Deep-copies the wired state back into builder parts (including a
+  /// fresh TokenDictionary clone). The cold path behind
+  /// Aeetes::FromDerivedDictionary's repack.
+  Result<DerivedDictParts> ToParts() const;
+
+  /// Origin entity `e`'s raw token sequence.
+  Span<TokenId> origin_entity(EntityId e) const {
+    const size_t begin = static_cast<size_t>(origin_token_begin_[e]);
+    const size_t end = static_cast<size_t>(origin_token_begin_[e + 1]);
+    return origin_tokens_.subspan(begin, end - begin);
+  }
+
+  /// Full view of derived entity `d`.
+  DerivedView derived(DerivedId d) const {
+    DerivedView view;
+    view.origin = derived_origin_[d];
+    view.weight = derived_weight_[d];
+    view.tokens = SliceU64(derived_tokens_, derived_token_begin_, d);
+    view.ordered_set = ordered_set(d);
+    view.applied_rules = SliceU64(derived_rules_, derived_rule_begin_, d);
+    return view;
+  }
+
+  EntityId origin_of(DerivedId d) const { return derived_origin_[d]; }
+  double weight(DerivedId d) const { return derived_weight_[d]; }
+  Span<TokenId> ordered_set(DerivedId d) const {
+    return SliceU64(derived_set_tokens_, derived_set_begin_, d);
+  }
+  uint32_t ordered_set_size(DerivedId d) const {
+    return static_cast<uint32_t>(derived_set_begin_[d + 1] -
+                                 derived_set_begin_[d]);
+  }
+
   const TokenDictionary& token_dict() const { return *dict_; }
   TokenDictionary& mutable_token_dict() { return *dict_; }
 
@@ -97,18 +185,14 @@ class DerivedDictionary {
   /// sorted within each origin by ascending ordered-set size, ties by
   /// ascending id. `size_sorted_sizes()` is the parallel array of those
   /// set sizes, so the verifier's length filter is a binary search over
-  /// 4-byte keys instead of a pointer chase through derived().
-  const std::vector<DerivedId>& size_sorted_ids() const {
-    return size_sorted_ids_;
-  }
-  const std::vector<uint32_t>& size_sorted_sizes() const {
-    return size_sorted_sizes_;
-  }
+  /// 4-byte keys instead of a pointer chase through derived entities.
+  Span<DerivedId> size_sorted_ids() const { return size_sorted_ids_; }
+  Span<uint32_t> size_sorted_sizes() const { return size_sorted_sizes_; }
 
   /// Materialized ordered-set ranks of derived entity `d` (ascending,
-  /// `derived()[d].ordered_set.size()` entries). Verification merges run
-  /// over these flat arrays instead of re-deriving each rank from the
-  /// frequency table per comparison.
+  /// `ordered_set_size(d)` entries). Verification merges run over these
+  /// flat arrays instead of re-deriving each rank from the frequency
+  /// table per comparison.
   const TokenRank* derived_ranks(DerivedId d) const {
     return ranks_arena_.data() + ranks_begin_[d];
   }
@@ -117,30 +201,57 @@ class DerivedDictionary {
   size_t min_set_size() const { return min_set_size_; }
   size_t max_set_size() const { return max_set_size_; }
 
-  size_t num_origins() const { return origins_.size(); }
-  size_t num_derived() const { return derived_.size(); }
+  size_t num_origins() const { return num_origins_; }
+  size_t num_derived() const { return num_derived_; }
 
   /// Average |A(e)| (rules in the selected non-conflict groups), a Table 1
   /// statistic.
   double avg_applicable_rules() const { return avg_applicable_rules_; }
 
   using BuildStats = DerivedDictionaryBuildStats;
-  /// Cost accounting of the Build call that produced this dictionary.
+  /// Cost accounting of the BuildParts call that produced this dictionary
+  /// (zero when wired from a loaded snapshot).
   const BuildStats& build_stats() const { return build_stats_; }
+  /// Pack-path plumbing: carries the builder's stats onto the wired
+  /// instance (EngineImage::Pack and the standalone Build call this).
+  void set_build_stats(const BuildStats& stats) { build_stats_ = stats; }
 
  private:
   DerivedDictionary() = default;
 
-  void BuildSizeIndex();
+  template <typename T>
+  Span<T> SliceU64(Span<T> arena, Span<uint64_t> begin_table,
+                   DerivedId d) const {
+    const size_t begin = static_cast<size_t>(begin_table[d]);
+    const size_t end = static_cast<size_t>(begin_table[d + 1]);
+    return arena.subspan(begin, end - begin);
+  }
 
-  std::vector<TokenSeq> origins_;
-  std::vector<DerivedEntity> derived_;
-  std::vector<DerivedId> origin_begin_;  // size num_origins() + 1
-  std::vector<DerivedId> size_sorted_ids_;   // see size_sorted_ids()
-  std::vector<uint32_t> size_sorted_sizes_;  // parallel to size_sorted_ids_
-  std::vector<TokenRank> ranks_arena_;       // see derived_ranks()
-  std::vector<size_t> ranks_begin_;          // size num_derived() + 1
+  /// Wires `parts` through a private arena (standalone Build/FromParts).
+  static Result<std::unique_ptr<DerivedDictionary>> PackStandalone(
+      DerivedDictParts parts);
+
+  AlignedBuffer backing_;  // private arena; empty when EngineImage owns it
   std::unique_ptr<TokenDictionary> dict_;
+
+  Span<uint64_t> origin_token_begin_;  // num_origins + 1
+  Span<TokenId> origin_tokens_;
+  Span<EntityId> derived_origin_;       // num_derived
+  Span<double> derived_weight_;         // num_derived
+  Span<uint64_t> derived_token_begin_;  // num_derived + 1
+  Span<TokenId> derived_tokens_;
+  Span<uint64_t> derived_set_begin_;  // num_derived + 1
+  Span<TokenId> derived_set_tokens_;
+  Span<uint64_t> derived_rule_begin_;  // num_derived + 1
+  Span<RuleId> derived_rules_;
+  Span<DerivedId> origin_begin_;     // num_origins + 1
+  Span<DerivedId> size_sorted_ids_;  // see size_sorted_ids()
+  Span<uint32_t> size_sorted_sizes_;
+  Span<uint64_t> ranks_begin_;  // num_derived + 1
+  Span<TokenRank> ranks_arena_;
+
+  size_t num_origins_ = 0;
+  size_t num_derived_ = 0;
   size_t min_set_size_ = 0;
   size_t max_set_size_ = 0;
   double avg_applicable_rules_ = 0.0;

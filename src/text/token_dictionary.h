@@ -2,12 +2,15 @@
 #define AEETES_TEXT_TOKEN_DICTIONARY_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/arena.h"
+#include "src/common/span.h"
 #include "src/common/status.h"
 #include "src/text/token.h"
 
@@ -23,6 +26,15 @@ namespace aeetes {
 /// Freeze(). After Freeze(), frequencies of existing tokens are immutable
 /// (so ranks are stable), but new (invalid) tokens may still be interned
 /// while encoding documents.
+///
+/// Storage is two-tiered (DESIGN.md §11). The *base* tier is a set of
+/// `Span` views over an engine image — one concatenated text blob, an
+/// offset table, the frequency array and a persisted open-addressing hash
+/// table — shared zero-copy with the arena (heap or mmap) that backs the
+/// image. The *overflow* tier is the familiar mutable map/vector pair and
+/// holds only tokens interned after the base was sealed (unseen document
+/// tokens, frequency 0), with ids continuing past the base. A dictionary
+/// built from scratch simply has an empty base.
 class TokenDictionary {
  public:
   TokenDictionary() = default;
@@ -47,26 +59,67 @@ class TokenDictionary {
   bool frozen() const { return frozen_; }
 
   /// Dictionary frequency (0 for invalid tokens).
-  uint64_t frequency(TokenId id) const { return freq_[id]; }
+  uint64_t frequency(TokenId id) const {
+    return id < base_count_ ? base_freq_[id] : freq_[id - base_count_];
+  }
 
   /// A token is valid iff it occurs in the derived dictionary.
-  bool IsValid(TokenId id) const { return freq_[id] > 0; }
+  bool IsValid(TokenId id) const { return frequency(id) > 0; }
 
   /// Global-order rank: (frequency << 32) | id. Lower = rarer = earlier in
   /// every tau-prefix.
   TokenRank Rank(TokenId id) const {
-    return (static_cast<TokenRank>(freq_[id]) << 32) |
+    return (static_cast<TokenRank>(frequency(id)) << 32) |
            static_cast<TokenRank>(id);
   }
 
-  const std::string& Text(TokenId id) const { return texts_[id]; }
+  /// Token text. The view stays valid until the next GetOrAdd/Encode call
+  /// (overflow-tier storage may move when the dictionary grows); base-tier
+  /// views live as long as the backing image.
+  std::string_view Text(TokenId id) const {
+    if (id < base_count_) {
+      const size_t begin = static_cast<size_t>(base_begin_[id]);
+      const size_t end = static_cast<size_t>(base_begin_[id + 1]);
+      return std::string_view(base_text_.data() + begin, end - begin);
+    }
+    return texts_[id - base_count_];
+  }
 
-  size_t size() const { return texts_.size(); }
+  size_t size() const { return base_count_ + texts_.size(); }
+
+  /// Tokens in the sealed base tier (0 for dictionaries built online).
+  size_t base_size() const { return base_count_; }
 
   /// Encodes a pre-tokenized string list, interning unseen tokens.
   TokenSeq Encode(const std::vector<std::string>& tokens);
 
+  /// Appends the four dictionary sections (img::kDict*) covering every
+  /// token — base and overflow — in id order. Requires a frozen
+  /// dictionary; the persisted hash table is rebuilt over the full id
+  /// range so the wired copy resolves every token.
+  Status AppendSections(ImageBuilder& builder) const;
+
+  /// Wires a dictionary whose base tier aliases `view`'s backing memory
+  /// (zero-copy; the image must outlive the dictionary). The result is
+  /// frozen with an empty overflow tier — document tokens may still be
+  /// interned into it afterwards.
+  static Result<std::unique_ptr<TokenDictionary>> WireFromImage(
+      const ImageView& view);
+
  private:
+  /// Empty-slot marker in the persisted hash table; bounds the id space.
+  static constexpr uint32_t kEmptySlot = 0xFFFFFFFFu;
+
+  std::optional<TokenId> BaseLookup(std::string_view text) const;
+
+  // Base tier: views into an engine image (empty for online-built dicts).
+  Span<char> base_text_;
+  Span<uint64_t> base_begin_;  // base_count_ + 1 offsets into base_text_
+  Span<uint64_t> base_freq_;   // base_count_ frequencies
+  Span<uint32_t> base_slots_;  // power-of-two open-addressing table
+  size_t base_count_ = 0;
+
+  // Overflow tier: tokens interned after the base was sealed.
   std::unordered_map<std::string, TokenId> ids_;
   std::vector<std::string> texts_;
   std::vector<uint64_t> freq_;

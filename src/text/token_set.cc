@@ -4,9 +4,9 @@
 
 namespace aeetes {
 
-TokenSeq BuildOrderedSet(const TokenSeq& seq, const TokenDictionary& dict) {
+TokenSeq BuildOrderedSet(Span<TokenId> seq, const TokenDictionary& dict) {
   TokenSeq out;
-  BuildOrderedSetInto(seq.data(), seq.data() + seq.size(), dict, out);
+  BuildOrderedSetInto(seq.begin(), seq.end(), dict, out);
   return out;
 }
 
@@ -48,7 +48,7 @@ size_t OverlapSizeAtLeastRanks(const TokenRank* a, size_t a_size,
   return overlap >= required ? overlap : kOverlapBelow;
 }
 
-size_t OverlapSize(const TokenSeq& a, const TokenSeq& b,
+size_t OverlapSize(Span<TokenId> a, Span<TokenId> b,
                    const TokenDictionary& dict) {
   size_t i = 0, j = 0, overlap = 0;
   while (i < a.size() && j < b.size()) {
@@ -67,7 +67,7 @@ size_t OverlapSize(const TokenSeq& a, const TokenSeq& b,
   return overlap;
 }
 
-size_t OverlapSizeAtLeast(const TokenSeq& a, const TokenSeq& b,
+size_t OverlapSizeAtLeast(Span<TokenId> a, Span<TokenId> b,
                           const TokenDictionary& dict, size_t required) {
   size_t i = 0, j = 0, overlap = 0;
   while (i < a.size() && j < b.size()) {
@@ -88,7 +88,7 @@ size_t OverlapSizeAtLeast(const TokenSeq& a, const TokenSeq& b,
   return overlap >= required ? overlap : kOverlapBelow;
 }
 
-bool PrefixesIntersect(const TokenSeq& a, size_t a_prefix, const TokenSeq& b,
+bool PrefixesIntersect(Span<TokenId> a, size_t a_prefix, Span<TokenId> b,
                        size_t b_prefix, const TokenDictionary& dict) {
   a_prefix = std::min(a_prefix, a.size());
   b_prefix = std::min(b_prefix, b.size());

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "src/common/span.h"
 #include "src/text/token.h"
 #include "src/text/token_dictionary.h"
 
@@ -11,7 +12,7 @@ namespace aeetes {
 /// Builds the "ordered set" representation used throughout the library:
 /// the distinct tokens of `seq` sorted by ascending global-order rank
 /// (rare first). Every tau-prefix is a prefix of this representation.
-TokenSeq BuildOrderedSet(const TokenSeq& seq, const TokenDictionary& dict);
+TokenSeq BuildOrderedSet(Span<TokenId> seq, const TokenDictionary& dict);
 
 /// In-place variant for hot paths: builds the ordered set of [begin, end)
 /// into `out`, reusing its capacity — no allocation once `out` is warm.
@@ -26,7 +27,7 @@ void BuildOrderedRanksInto(const TokenId* begin, const TokenId* end,
                            std::vector<TokenRank>& out);
 
 /// Number of common tokens of two ordered sets (merge by rank).
-size_t OverlapSize(const TokenSeq& a, const TokenSeq& b,
+size_t OverlapSize(Span<TokenId> a, Span<TokenId> b,
                    const TokenDictionary& dict);
 
 /// Sentinel returned by OverlapSizeAtLeast when the overlap cannot reach
@@ -37,7 +38,7 @@ inline constexpr size_t kOverlapBelow = static_cast<size_t>(-1);
 /// >= `required`, or kOverlapBelow as soon as the remaining tokens cannot
 /// close the gap (the verification improvement of the paper's future-work
 /// item (i) — most candidate pairs abort after a few comparisons).
-size_t OverlapSizeAtLeast(const TokenSeq& a, const TokenSeq& b,
+size_t OverlapSizeAtLeast(Span<TokenId> a, Span<TokenId> b,
                           const TokenDictionary& dict, size_t required);
 
 /// OverlapSizeAtLeast over pre-materialized rank arrays (both ascending).
@@ -47,7 +48,7 @@ size_t OverlapSizeAtLeastRanks(const TokenRank* a, size_t a_size,
 
 /// True iff the first `a_prefix` tokens of `a` and first `b_prefix` tokens
 /// of `b` share at least one token (the prefix-filter test).
-bool PrefixesIntersect(const TokenSeq& a, size_t a_prefix, const TokenSeq& b,
+bool PrefixesIntersect(Span<TokenId> a, size_t a_prefix, Span<TokenId> b,
                        size_t b_prefix, const TokenDictionary& dict);
 
 /// True iff `needle` occurs in `haystack` as a contiguous subsequence.

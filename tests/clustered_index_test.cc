@@ -43,8 +43,8 @@ class ClusteredIndexTest : public testing::Test {
 TEST_F(ClusteredIndexTest, EveryDerivedTokenHasOnePosting) {
   Build();
   size_t expected = 0;
-  for (const DerivedEntity& de : dd_->derived()) {
-    expected += de.ordered_set.size();
+  for (DerivedId d = 0; d < dd_->num_derived(); ++d) {
+    expected += dd_->ordered_set(d).size();
   }
   EXPECT_EQ(index_->num_entries(), expected);
 }
@@ -59,7 +59,7 @@ TEST_F(ClusteredIndexTest, PostingPositionsMatchOrderedSets) {
         const OriginGroup& origin_group = index_->origin_groups()[og];
         for (uint32_t i = origin_group.begin; i < origin_group.end; ++i) {
           const PostingEntry& e = index_->entries()[i];
-          const DerivedEntity& de = dd_->derived()[e.derived];
+          const DerivedView de = dd_->derived(e.derived);
           ASSERT_LT(e.pos, de.ordered_set.size());
           EXPECT_EQ(de.ordered_set[e.pos], t);
           EXPECT_EQ(de.ordered_set.size(), lg.length);

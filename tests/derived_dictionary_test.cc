@@ -42,7 +42,7 @@ TEST_F(DerivedDictionaryTest, BuildsDerivedEntitiesPerOrigin) {
   const auto [b1, e1] = (*dd)->DerivedRange(1);
   EXPECT_EQ(e1 - b1, 1u);  // no applicable rules
   for (DerivedId d = b0; d < e0; ++d) {
-    EXPECT_EQ((*dd)->derived()[d].origin, 0u);
+    EXPECT_EQ((*dd)->origin_of(d), 0u);
   }
 }
 
@@ -55,18 +55,18 @@ TEST_F(DerivedDictionaryTest, FreezesDictionaryAndComputesOrderedSets) {
       DerivedDictionary::Build(std::move(entities), rules, std::move(dict));
   ASSERT_TRUE(dd.ok());
   EXPECT_TRUE((*dd)->token_dict().frozen());
-  for (const DerivedEntity& de : (*dd)->derived()) {
-    ASSERT_FALSE(de.ordered_set.empty());
-    for (size_t i = 1; i < de.ordered_set.size(); ++i) {
-      EXPECT_LT((*dd)->token_dict().Rank(de.ordered_set[i - 1]),
-                (*dd)->token_dict().Rank(de.ordered_set[i]));
+  for (DerivedId d = 0; d < (*dd)->num_derived(); ++d) {
+    const Span<TokenId> set = (*dd)->ordered_set(d);
+    ASSERT_FALSE(set.empty());
+    for (size_t i = 1; i < set.size(); ++i) {
+      EXPECT_LT((*dd)->token_dict().Rank(set[i - 1]),
+                (*dd)->token_dict().Rank(set[i]));
     }
   }
 }
 
 TEST_F(DerivedDictionaryTest, FrequenciesCountDerivedOccurrences) {
   auto dict = NewDict();
-  TokenDictionary* raw = dict.get();
   RuleSet rules;
   ASSERT_TRUE(rules.Add({Id("au")}, {Id("australia")}).ok());
   std::vector<TokenSeq> entities = {{Id("uq"), Id("au")}};
@@ -74,11 +74,12 @@ TEST_F(DerivedDictionaryTest, FrequenciesCountDerivedOccurrences) {
       DerivedDictionary::Build(std::move(entities), rules, std::move(dict));
   ASSERT_TRUE(dd.ok());
   // Derived: {uq au}, {uq australia} -> uq appears twice, au and australia
-  // once each.
-  EXPECT_EQ(raw->frequency(Id("uq")), 2u);
-  EXPECT_EQ(raw->frequency(Id("au")), 1u);
-  EXPECT_EQ(raw->frequency(Id("australia")), 1u);
-  EXPECT_EQ(raw->frequency(Id("purdue")), 0u);  // not used by any entity
+  // once each. Ids survive the repack into the wired dictionary verbatim.
+  const TokenDictionary& wired = (*dd)->token_dict();
+  EXPECT_EQ(wired.frequency(Id("uq")), 2u);
+  EXPECT_EQ(wired.frequency(Id("au")), 1u);
+  EXPECT_EQ(wired.frequency(Id("australia")), 1u);
+  EXPECT_EQ(wired.frequency(Id("purdue")), 0u);  // not used by any entity
 }
 
 TEST_F(DerivedDictionaryTest, MinMaxSetSizes) {

@@ -60,7 +60,7 @@ TEST_F(FuzzyJaccArTest, WitnessPointsAtFuzzyBestDerived) {
   const auto score = fuzzy.Score(0, Set({uq_, austalia_}));
   ASSERT_NE(score.best_derived, JaccArScore::kNoDerived);
   // The witness is the rule-rewritten variant containing "australia".
-  const DerivedEntity& witness = dd_->derived()[score.best_derived];
+  const DerivedView witness = dd_->derived(score.best_derived);
   EXPECT_EQ(witness.applied_rules.size(), 1u);
 }
 

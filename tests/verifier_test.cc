@@ -72,7 +72,7 @@ TEST(VerifierTest, MatchesCarryBestDerived) {
       VerifyCandidates(std::move(gen.candidates), doc, *world.dd, 0.7, {});
   for (const Match& m : matches) {
     ASSERT_NE(m.best_derived, JaccArScore::kNoDerived);
-    EXPECT_EQ(world.dd->derived()[m.best_derived].origin, m.entity);
+    EXPECT_EQ(world.dd->origin_of(m.best_derived), m.entity);
   }
 }
 

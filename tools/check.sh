@@ -13,7 +13,13 @@
 #   alloc       Release bench_micro_ops --assert-steady-state-allocs:
 #               fails if a steady-state Extract call (second call on a
 #               warm scratch) performs any heap allocation, for any
-#               filter strategy (DESIGN.md §10)
+#               filter strategy (DESIGN.md §10); also asserts the v2
+#               snapshot load allocates nothing per entity
+#   snapshot    Release aeetes_cli build -> --save-snapshot ->
+#               --load-snapshot: the TSV rows served from the mmapped
+#               engine image must equal the directly built run, and a
+#               deliberately corrupted snapshot must fail cleanly
+#               (DESIGN.md §11)
 #   asan-ubsan  Debug + ASan/UBSan build + ctest
 #   tsan        Debug + TSan build + ctest (includes the runtime hammer
 #               test) + the --threads CLI smoke under TSan
@@ -213,11 +219,70 @@ step_alloc() {
   fi
   # Fails unless the second Extract call on a warm scratch performs zero
   # heap allocations, for every filter strategy (DESIGN.md §10).
-  if "$bindir/bench/bench_micro_ops" --assert-steady-state-allocs; then
+  if ! "$bindir/bench/bench_micro_ops" --assert-steady-state-allocs; then
+    fail alloc "steady-state Extract allocated on the hot path"
+    return
+  fi
+  # The v2 snapshot load must allocate a fixed set of wrapper objects —
+  # nothing proportional to entity count (DESIGN.md §11).
+  if "$bindir/bench/bench_micro_ops" --assert-snapshot-load-allocs; then
     pass alloc
   else
-    fail alloc "steady-state Extract allocated on the hot path"
+    fail alloc "v2 snapshot load allocates per entity"
   fi
+}
+
+step_snapshot() {
+  note "snapshot round trip (save -> mmap load -> diff, corrupt must fail)"
+  local bindir=build/release
+  local data=data/institutions
+  if [ ! -f "$data/entities.txt" ]; then
+    skip snapshot "$data corpus not found"
+    return
+  fi
+  if ! cmake -S . -B "$bindir" -DCMAKE_BUILD_TYPE=Release \
+        >"$bindir.configure.log" 2>&1 \
+     || ! cmake --build "$bindir" -j "$JOBS" --target aeetes_cli \
+        >"$bindir.build.log" 2>&1; then
+    tail -n 60 "$bindir.build.log" 2>/dev/null || cat "$bindir.configure.log"
+    fail snapshot "aeetes_cli build failed"
+    return
+  fi
+  local cli="$bindir/examples/aeetes_cli"
+  local snap tsv_built tsv_loaded
+  snap=$(mktemp /tmp/aeetes_check_snap.XXXXXX)
+  # Build, save the engine image, and keep the TSV rows as the reference.
+  if ! tsv_built=$("$cli" "$data/entities.txt" "$data/rules.txt" \
+        "$data/documents.txt" 0.8 lazy "--save-snapshot=$snap" \
+        2>/dev/null); then
+    rm -f "$snap"
+    fail snapshot "build + save run failed"
+    return
+  fi
+  # Serve from the mmapped snapshot; rows must be byte-identical.
+  if ! tsv_loaded=$("$cli" "$data/entities.txt" "$data/rules.txt" \
+        "$data/documents.txt" 0.8 lazy "--load-snapshot=$snap" \
+        2>/dev/null); then
+    rm -f "$snap"
+    fail snapshot "load run failed"
+    return
+  fi
+  if [ "$tsv_built" != "$tsv_loaded" ]; then
+    rm -f "$snap"
+    fail snapshot "snapshot-served TSV rows differ from direct build"
+    return
+  fi
+  # A corrupted image must be rejected with a clean error, not served.
+  printf '\377' | dd of="$snap" bs=1 seek=100 count=1 conv=notrunc \
+    >/dev/null 2>&1
+  if "$cli" "$data/entities.txt" "$data/rules.txt" "$data/documents.txt" \
+       0.8 lazy "--load-snapshot=$snap" >/dev/null 2>&1; then
+    rm -f "$snap"
+    fail snapshot "corrupted snapshot loaded without error"
+    return
+  fi
+  rm -f "$snap"
+  pass snapshot
 }
 
 step_asan_ubsan() {
@@ -264,17 +329,18 @@ run_step() {
     release)    step_release ;;
     smoke)      step_smoke ;;
     alloc)      step_alloc ;;
+    snapshot)   step_snapshot ;;
     asan-ubsan) step_asan_ubsan ;;
     tsan)       step_tsan ;;
     *) echo "unknown step: $1 (expected" \
-            "format|tidy|werror|release|smoke|alloc|asan-ubsan|tsan)" >&2
+            "format|tidy|werror|release|smoke|alloc|snapshot|asan-ubsan|tsan)" >&2
        exit 2 ;;
   esac
 }
 
 STEPS=("$@")
 if [ ${#STEPS[@]} -eq 0 ]; then
-  STEPS=(format tidy werror release smoke alloc asan-ubsan tsan)
+  STEPS=(format tidy werror release smoke alloc snapshot asan-ubsan tsan)
 fi
 
 mkdir -p build
