@@ -133,7 +133,19 @@ int main(int argc, char** argv) {
   if (!ReadLines(positional[0], &entities, false)) return 1;
   if (!ReadLines(positional[1], &rules, true)) return 1;
   if (!ReadLines(positional[2], &documents, false)) return 1;
-  const double tau = positional.size() > 3 ? std::stod(positional[3]) : 0.8;
+  // strtod, not stod: argv is untrusted and stod throws on non-numeric
+  // input, which a no-exceptions binary turns into std::terminate.
+  double tau = 0.8;
+  if (positional.size() > 3) {
+    const char* s = positional[3].c_str();
+    char* parse_end = nullptr;
+    tau = std::strtod(s, &parse_end);
+    if (parse_end == s || *parse_end != '\0' || !(tau > 0.0 && tau <= 1.0)) {
+      std::cerr << "bad tau (expected a number in (0, 1]): " << positional[3]
+                << "\n";
+      return 2;
+    }
+  }
   AeetesOptions options;
   if (positional.size() > 4 &&
       !ParseStrategy(positional[4], &options.strategy)) {

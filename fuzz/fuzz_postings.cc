@@ -1,0 +1,69 @@
+// Fuzz target: the varint/delta posting-stream decoder.
+//
+// Three properties per input:
+//  1. ValidatePostingStream never crashes and decides in O(size) — it is
+//     the firewall callers run before trusting a stream.
+//  2. Firewall sufficiency: a stream the validator ACCEPTS is then walked
+//     with the unchecked release-mode decoder (the exact loop
+//     CompressedIndex::Scan runs). Under ASan, any out-of-bounds read the
+//     validator failed to reject fires here — the property the firewall
+//     exists to guarantee.
+//  3. Round trip: values decoded with the checked decoder re-encode to
+//     canonical bytes that decode back to the same value.
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "src/index/compressed_index.h"
+
+namespace {
+
+using aeetes::internal::DecodeVarint;
+using aeetes::internal::DecodeVarintChecked;
+using aeetes::internal::EncodeVarint;
+
+// Mirror of CompressedIndex::Scan's decode loop, minus the callback — the
+// release-mode (DCHECK-free) behavior the validator must make safe.
+void UncheckedWalk(const uint8_t* p, const uint8_t* end) {
+  const uint32_t num_lengths = DecodeVarint(p, end);
+  for (uint32_t lg = 0; lg < num_lengths; ++lg) {
+    (void)DecodeVarint(p, end);  // length
+    const uint32_t num_origins = DecodeVarint(p, end);
+    for (uint32_t og = 0; og < num_origins; ++og) {
+      (void)DecodeVarint(p, end);  // origin delta
+      const uint32_t num_entries = DecodeVarint(p, end);
+      for (uint32_t i = 0; i < num_entries; ++i) {
+        (void)DecodeVarint(p, end);  // derived delta
+        (void)DecodeVarint(p, end);  // pos
+      }
+    }
+  }
+}
+
+void CheckRoundTrip(const uint8_t* data, size_t size) {
+  const uint8_t* p = data;
+  const uint8_t* const end = data + size;
+  uint32_t v = 0;
+  while (DecodeVarintChecked(p, end, &v)) {
+    std::vector<uint8_t> encoded;
+    EncodeVarint(v, &encoded);
+    const uint8_t* q = encoded.data();
+    uint32_t back = 0;
+    if (!DecodeVarintChecked(q, q + encoded.size(), &back) || back != v ||
+        q != encoded.data() + encoded.size()) {
+      std::abort();  // encode/decode disagree — a real bug
+    }
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const aeetes::Status verdict =
+      aeetes::internal::ValidatePostingStream(data, size);
+  if (verdict.ok()) {
+    UncheckedWalk(data, data + size);
+  }
+  CheckRoundTrip(data, size);
+  return 0;
+}

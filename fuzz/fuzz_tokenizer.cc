@@ -1,0 +1,54 @@
+// Fuzz target: the tokenizer — the first thing that touches every byte of
+// documents, entities and rule files. The first input byte selects the
+// option combination (lowercase / keep_digits / utf8_token_bytes /
+// extra_token_chars); the rest is the text. Asserted invariants:
+//  - every token's [begin, end) is a non-empty in-bounds byte span;
+//  - spans are strictly ascending and non-overlapping;
+//  - token text length equals the span length (folding is 1:1 on bytes);
+//  - TokenizeToStrings agrees with Tokenize.
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/text/tokenizer.h"
+
+namespace {
+
+void Require(bool ok) {
+  if (!ok) std::abort();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size == 0) return 0;
+  const uint8_t selector = data[0];
+  aeetes::TokenizerOptions options;
+  options.lowercase = (selector & 1) != 0;
+  options.keep_digits = (selector & 2) != 0;
+  options.utf8_token_bytes = (selector & 4) != 0;
+  if ((selector & 8) != 0) options.extra_token_chars = "-_'.";
+
+  const std::string_view text(reinterpret_cast<const char*>(data + 1),
+                              size - 1);
+  const aeetes::Tokenizer tokenizer(options);
+  const std::vector<aeetes::RawToken> tokens = tokenizer.Tokenize(text);
+
+  size_t prev_end = 0;
+  for (const aeetes::RawToken& token : tokens) {
+    Require(token.begin < token.end);
+    Require(token.end <= text.size());
+    Require(token.begin >= prev_end);
+    Require(token.text.size() == token.end - token.begin);
+    prev_end = token.end;
+  }
+
+  const std::vector<std::string> strings = tokenizer.TokenizeToStrings(text);
+  Require(strings.size() == tokens.size());
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    Require(strings[i] == tokens[i].text);
+  }
+  return 0;
+}

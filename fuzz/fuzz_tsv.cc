@@ -1,0 +1,80 @@
+// Fuzz target: the TSV dataset loader (and, for small inputs, the text
+// build path it feeds). The input is split on NUL bytes into up to five
+// parts written as the five dataset files — entities.txt, rules.txt,
+// documents.txt, ground_truth.tsv, meta.txt — then loaded with
+// LoadDataset, which must return a Status on malformed content, never
+// crash or throw (this target found the std::stoul terminate on hostile
+// meta.txt; regression input in fuzz/corpus/regressions/). When the
+// dataset both loads and is tiny, BuildFromText runs over it so hostile
+// entity/rule text reaches the derivation machinery too.
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/aeetes.h"
+#include "src/datagen/tsv_io.h"
+
+namespace {
+
+constexpr size_t kBuildFromTextCap = 512;  // bytes; keeps derivation cheap
+
+std::vector<std::string_view> SplitOnNul(const uint8_t* data, size_t size) {
+  std::vector<std::string_view> parts;
+  const char* begin = reinterpret_cast<const char*>(data);
+  size_t start = 0;
+  for (size_t i = 0; i < size && parts.size() < 4; ++i) {
+    if (data[i] == 0) {
+      parts.emplace_back(begin + start, i - start);
+      start = i + 1;
+    }
+  }
+  parts.emplace_back(begin + start, size - start);
+  return parts;
+}
+
+bool WriteFile(const std::string& path, std::string_view bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  char dir_template[] = "/tmp/aeetes_fuzz_tsv_XXXXXX";
+  if (mkdtemp(dir_template) == nullptr) return 0;
+  const std::string dir = dir_template;
+
+  const std::vector<std::string_view> parts = SplitOnNul(data, size);
+  const char* names[] = {"entities.txt", "rules.txt", "documents.txt",
+                         "ground_truth.tsv", "meta.txt"};
+  bool wrote_all = true;
+  for (size_t i = 0; i < 5; ++i) {
+    const std::string_view bytes =
+        i < parts.size() ? parts[i] : std::string_view();
+    wrote_all = wrote_all && WriteFile(dir + "/" + names[i], bytes);
+  }
+
+  if (wrote_all) {
+    auto dataset = aeetes::LoadDataset(dir);
+    if (dataset.ok() && size <= kBuildFromTextCap) {
+      auto engine = aeetes::Aeetes::BuildFromText(dataset->entity_texts,
+                                                  dataset->rule_lines);
+      if (engine.ok() && !dataset->documents.empty()) {
+        aeetes::Document doc =
+            (*engine)->EncodeDocument(dataset->documents.front());
+        (void)(*engine)->Extract(doc, 0.8);
+      }
+    }
+  }
+
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return 0;
+}

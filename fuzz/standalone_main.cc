@@ -1,0 +1,59 @@
+// Corpus-replay driver for toolchains without libFuzzer: runs every file
+// (or every regular file inside a directory) passed on the command line
+// through LLVMFuzzerTestOneInput, in sorted order. Exit 0 means every
+// input was processed without a crash — the same contract a libFuzzer
+// regression run (`fuzz_x corpus/ -runs=0`) gives, minus coverage
+// feedback. Keeps the fuzz gate meaningful on gcc-only containers.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+std::vector<std::string> CollectInputs(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind('-', 0) == 0) continue;  // ignore libFuzzer-style flags
+    std::error_code ec;
+    if (fs::is_directory(arg, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(arg, ec)) {
+        if (entry.is_regular_file()) paths.push_back(entry.path().string());
+      }
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> paths = CollectInputs(argc, argv);
+  if (paths.empty()) {
+    std::fprintf(stderr, "usage: %s CORPUS_FILE_OR_DIR...\n", argv[0]);
+    return 2;
+  }
+  for (const std::string& path : paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", path.c_str());
+      return 2;
+    }
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                           bytes.size());
+  }
+  std::fprintf(stderr, "replayed %zu inputs\n", paths.size());
+  return 0;
+}

@@ -32,9 +32,9 @@ class AhoCorasick {
   };
 
   /// Scans `text` (token ids) and returns every pattern occurrence.
-  std::vector<Hit> FindAll(const TokenSeq& text) const;
+  [[nodiscard]] std::vector<Hit> FindAll(const TokenSeq& text) const;
 
-  size_t num_patterns() const { return pattern_lens_.size(); }
+  [[nodiscard]] size_t num_patterns() const { return pattern_lens_.size(); }
 
  private:
   struct Node {

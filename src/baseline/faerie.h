@@ -55,14 +55,16 @@ class Faerie {
   std::vector<FaerieMatch> Extract(const Document& doc, double tau,
                                    Stats* stats = nullptr) const;
 
-  size_t num_entities() const { return entity_sets_.size(); }
-  const TokenSeq& entity_set(size_t i) const { return entity_sets_[i]; }
-  size_t min_set_size() const { return min_set_size_; }
-  size_t max_set_size() const { return max_set_size_; }
+  [[nodiscard]] size_t num_entities() const { return entity_sets_.size(); }
+  [[nodiscard]] const TokenSeq& entity_set(size_t i) const {
+    return entity_sets_[i];
+  }
+  [[nodiscard]] size_t min_set_size() const { return min_set_size_; }
+  [[nodiscard]] size_t max_set_size() const { return max_set_size_; }
 
   /// Approximate index footprint in bytes (Section 6.3 reports index
   /// sizes).
-  size_t MemoryBytes() const;
+  [[nodiscard]] size_t MemoryBytes() const;
 
  private:
   Faerie() = default;

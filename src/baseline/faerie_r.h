@@ -29,7 +29,7 @@ class FaerieR {
   std::vector<Match> Extract(const Document& doc, double tau,
                              Faerie::Stats* stats = nullptr) const;
 
-  const Faerie& faerie() const { return *faerie_; }
+  [[nodiscard]] const Faerie& faerie() const { return *faerie_; }
 
  private:
   FaerieR() = default;

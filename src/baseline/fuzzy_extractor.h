@@ -20,7 +20,8 @@ class FuzzyExtractor {
   FuzzyExtractor(std::vector<TokenSeq> entities, const TokenDictionary& dict,
                  FuzzyJaccardOptions options = {});
 
-  std::vector<Match> Extract(const Document& doc, double tau) const;
+  [[nodiscard]] std::vector<Match> Extract(const Document& doc,
+                                           double tau) const;
 
  private:
   const TokenDictionary& dict_;

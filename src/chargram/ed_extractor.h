@@ -57,8 +57,10 @@ class EditDistanceExtractor {
   std::vector<EdMatch> Extract(std::string_view document, size_t k,
                                Stats* stats = nullptr) const;
 
-  size_t num_entities() const { return entities_.size(); }
-  const std::string& entity(size_t i) const { return entities_[i]; }
+  [[nodiscard]] size_t num_entities() const { return entities_.size(); }
+  [[nodiscard]] const std::string& entity(size_t i) const {
+    return entities_[i];
+  }
 
  private:
   EditDistanceExtractor() = default;

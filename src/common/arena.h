@@ -133,10 +133,12 @@ class AlignedBuffer {
   }
 
   uint8_t* data() { return data_; }
-  const uint8_t* data() const { return data_; }
-  size_t size() const { return size_; }
-  bool empty() const { return size_ == 0; }
-  Span<uint8_t> bytes() const { return Span<uint8_t>(data_, size_); }
+  [[nodiscard]] const uint8_t* data() const { return data_; }
+  [[nodiscard]] size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] Span<uint8_t> bytes() const {
+    return Span<uint8_t>(data_, size_);
+  }
 
  private:
   void Free() {
@@ -175,7 +177,7 @@ class ImageBuilder {
 
   /// Lays out and checksums the final image. The builder may be reused
   /// afterwards (sections stay queued), but callers never do.
-  Result<AlignedBuffer> Finish() const;
+  [[nodiscard]] Result<AlignedBuffer> Finish() const;
 
  private:
   struct Pending {
@@ -197,12 +199,12 @@ class ImageView {
   /// mismatch — returns a Status; Parse never aborts on hostile input.
   static Result<ImageView> Parse(Span<uint8_t> bytes);
 
-  bool has(uint32_t id) const { return Find(id) != nullptr; }
+  [[nodiscard]] bool has(uint32_t id) const { return Find(id) != nullptr; }
 
   /// Typed section accessor: element size and divisibility are checked
   /// against the section table.
   template <typename T>
-  Result<Span<T>> array(uint32_t id) const {
+  [[nodiscard]] Result<Span<T>> array(uint32_t id) const {
     static_assert(std::is_trivially_copyable_v<T>);
     const SectionEntry* e = Find(id);
     if (e == nullptr) {
@@ -219,7 +221,7 @@ class ImageView {
 
   /// Single-POD section (exactly one element).
   template <typename T>
-  Result<T> pod(uint32_t id) const {
+  [[nodiscard]] Result<T> pod(uint32_t id) const {
     AEETES_ASSIGN_OR_RETURN(Span<T> span, array<T>(id));
     if (span.size() != 1) {
       return Status::IOError("engine image: section " + std::to_string(id) +
@@ -228,11 +230,11 @@ class ImageView {
     return span[0];
   }
 
-  Span<uint8_t> bytes() const { return bytes_; }
-  size_t section_count() const { return table_.size(); }
+  [[nodiscard]] Span<uint8_t> bytes() const { return bytes_; }
+  [[nodiscard]] size_t section_count() const { return table_.size(); }
 
  private:
-  const SectionEntry* Find(uint32_t id) const;
+  [[nodiscard]] const SectionEntry* Find(uint32_t id) const;
 
   Span<uint8_t> bytes_;
   Span<SectionEntry> table_;  // points into bytes_

@@ -36,9 +36,9 @@ class FlatMap {
  public:
   FlatMap() = default;
 
-  size_t size() const { return size_; }
-  bool empty() const { return size_ == 0; }
-  size_t capacity() const { return slots_.size(); }
+  [[nodiscard]] size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] size_t capacity() const { return slots_.size(); }
 
   /// Drops every entry in O(1). Slot storage and slot values survive (see
   /// class comment).
@@ -78,11 +78,11 @@ class FlatMap {
     Slot& s = Probe(key);
     return s.epoch == epoch_ ? &s.value : nullptr;
   }
-  const V* Find(K key) const {
+  [[nodiscard]] const V* Find(K key) const {
     return const_cast<FlatMap*>(this)->Find(key);
   }
 
-  bool Contains(K key) const { return Find(key) != nullptr; }
+  [[nodiscard]] bool Contains(K key) const { return Find(key) != nullptr; }
 
  private:
   static constexpr size_t kMinCapacity = 16;
@@ -149,11 +149,11 @@ class FlatSet {
  public:
   /// Returns true when `key` was newly inserted.
   bool Insert(K key) { return map_.TryEmplace(key).second; }
-  bool Contains(K key) const { return map_.Contains(key); }
+  [[nodiscard]] bool Contains(K key) const { return map_.Contains(key); }
   void Clear() { map_.Clear(); }
   void Reserve(size_t n) { map_.Reserve(n); }
-  size_t size() const { return map_.size(); }
-  bool empty() const { return map_.empty(); }
+  [[nodiscard]] size_t size() const { return map_.size(); }
+  [[nodiscard]] bool empty() const { return map_.empty(); }
 
  private:
   struct Empty {};

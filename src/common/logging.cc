@@ -2,10 +2,25 @@
 
 #include <atomic>
 
+#include "src/common/mutex.h"
+
 namespace aeetes {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarning};
+
+/// Serializes sink writes: a log line is composed off-lock in the
+/// message's private stream, so the critical section is exactly one
+/// cerr write — concurrent lines never interleave mid-line.
+Mutex& SinkMutex() {
+  static Mutex mu;
+  return mu;
+}
+
+void WriteLine(const std::string& line) {
+  MutexLock lock(SinkMutex());
+  std::cerr << line << std::endl;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -37,7 +52,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  if (enabled_) std::cerr << stream_.str() << std::endl;
+  if (enabled_) WriteLine(stream_.str());
 }
 
 FatalLogMessage::FatalLogMessage(const char* file, int line)
@@ -47,7 +62,7 @@ FatalLogMessage::FatalLogMessage(const char* file, int line)
 }
 
 FatalLogMessage::~FatalLogMessage() {
-  std::cerr << stream_.str() << std::endl;
+  WriteLine(stream_.str());
   enabled_ = false;  // Prevent the base destructor from double-printing.
   std::abort();
 }

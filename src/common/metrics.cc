@@ -68,7 +68,7 @@ void AppendInt(std::string* out, int64_t v) {
 }  // namespace jsonio
 
 Counter& MetricsRegistry::RegisterCounter(std::string name, std::string help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   AEETES_CHECK(help_.emplace(name, std::move(help)).second)
       << "duplicate metric registration: " << name;
   auto [it, inserted] =
@@ -78,7 +78,7 @@ Counter& MetricsRegistry::RegisterCounter(std::string name, std::string help) {
 }
 
 Gauge& MetricsRegistry::RegisterGauge(std::string name, std::string help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   AEETES_CHECK(help_.emplace(name, std::move(help)).second)
       << "duplicate metric registration: " << name;
   auto [it, inserted] =
@@ -89,7 +89,7 @@ Gauge& MetricsRegistry::RegisterGauge(std::string name, std::string help) {
 
 Histogram& MetricsRegistry::RegisterHistogram(std::string name,
                                               std::string help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   AEETES_CHECK(help_.emplace(name, std::move(help)).second)
       << "duplicate metric registration: " << name;
   auto [it, inserted] =
@@ -99,25 +99,25 @@ Histogram& MetricsRegistry::RegisterHistogram(std::string name,
 }
 
 const Counter* MetricsRegistry::FindCounter(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : it->second.get();
 }
 
 const Gauge* MetricsRegistry::FindGauge(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = gauges_.find(name);
   return it == gauges_.end() ? nullptr : it->second.get();
 }
 
 const Histogram* MetricsRegistry::FindHistogram(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : it->second.get();
 }
 
 std::string MetricsRegistry::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out = "{\"counters\":{";
   bool first = true;
   for (const auto& [name, c] : counters_) {
@@ -158,7 +158,7 @@ std::string MetricsRegistry::ToJson() const {
 }
 
 std::string MetricsRegistry::ToText() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   size_t name_width = 0;
   for (const auto& [name, help] : help_) {
     name_width = std::max(name_width, name.size());
@@ -210,7 +210,7 @@ std::string MetricsRegistry::ToText() const {
 }
 
 void MetricsRegistry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : histograms_) h->Reset();

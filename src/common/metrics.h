@@ -8,13 +8,14 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/stopwatch.h"
+#include "src/common/thread_annotations.h"
 
 namespace aeetes {
 
@@ -35,7 +36,9 @@ class Counter {
  public:
   void Increment() { Add(1); }
   void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
-  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  [[nodiscard]] uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
   void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
@@ -47,7 +50,9 @@ class Gauge {
  public:
   void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
   void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
-  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  [[nodiscard]] int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
   void Reset() { Set(0); }
 
  private:
@@ -69,9 +74,13 @@ class Histogram {
     sum_.fetch_add(v, std::memory_order_relaxed);
   }
 
-  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
-  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
-  uint64_t bucket(size_t i) const {
+  [[nodiscard]] uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t bucket(size_t i) const {
     return buckets_[i].load(std::memory_order_relaxed);
   }
 
@@ -112,34 +121,47 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  Counter& RegisterCounter(std::string name, std::string help);
-  Gauge& RegisterGauge(std::string name, std::string help);
-  Histogram& RegisterHistogram(std::string name, std::string help);
+  Counter& RegisterCounter(std::string name, std::string help)
+      AEETES_EXCLUDES(mu_);
+  Gauge& RegisterGauge(std::string name, std::string help)
+      AEETES_EXCLUDES(mu_);
+  Histogram& RegisterHistogram(std::string name, std::string help)
+      AEETES_EXCLUDES(mu_);
 
   /// Lookup by exact name; nullptr when absent (or of another kind).
-  const Counter* FindCounter(std::string_view name) const;
-  const Gauge* FindGauge(std::string_view name) const;
-  const Histogram* FindHistogram(std::string_view name) const;
+  const Counter* FindCounter(std::string_view name) const AEETES_EXCLUDES(mu_);
+  const Gauge* FindGauge(std::string_view name) const AEETES_EXCLUDES(mu_);
+  [[nodiscard]] const Histogram* FindHistogram(std::string_view name) const
+      AEETES_EXCLUDES(mu_);
 
   /// Compact single-line JSON snapshot:
   ///   {"counters":{...},"gauges":{...},
   ///    "histograms":{"n":{"count":c,"sum":s,"buckets":[32 ints]}}}
   /// Keys are sorted, so output is deterministic for a fixed state.
-  std::string ToJson() const;
+  std::string ToJson() const AEETES_EXCLUDES(mu_);
 
   /// Aligned human-readable table; histograms list non-zero buckets as
   /// [lo, hi]=count ranges.
-  std::string ToText() const;
+  std::string ToText() const AEETES_EXCLUDES(mu_);
 
   /// Zeroes every value while keeping registrations (per-run deltas).
-  void ResetAll();
+  void ResetAll() AEETES_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
-  std::map<std::string, std::string, std::less<>> help_;  // all kinds
+  /// Guards the registration maps only. The metric cells themselves are
+  /// lock-free (relaxed atomics) and returned by reference, so update
+  /// paths never touch this mutex — the split the class comment promises,
+  /// now compiler-checked: registration/lookup/export lock, Add/Record
+  /// cannot (they see only Counter&/Histogram&).
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      AEETES_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      AEETES_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      AEETES_GUARDED_BY(mu_);
+  std::map<std::string, std::string, std::less<>> help_  // all kinds
+      AEETES_GUARDED_BY(mu_);
 };
 
 /// RAII wall-time span: on destruction records elapsed microseconds into
@@ -161,7 +183,7 @@ class ScopedTimer {
   ScopedTimer(const ScopedTimer&) = delete;
   ScopedTimer& operator=(const ScopedTimer&) = delete;
 
-  double ElapsedMillis() const { return sw_.ElapsedMillis(); }
+  [[nodiscard]] double ElapsedMillis() const { return sw_.ElapsedMillis(); }
 
  private:
   Stopwatch sw_;
@@ -193,14 +215,14 @@ class TraceRecorder {
   /// long ago — any recorded span id is accepted).
   void AddStat(size_t id, std::string_view name, uint64_t value);
 
-  const std::vector<Span>& spans() const { return spans_; }
+  [[nodiscard]] const std::vector<Span>& spans() const { return spans_; }
   /// First span with this name in recording order; nullptr when absent.
-  const Span* Find(std::string_view name) const;
+  [[nodiscard]] const Span* Find(std::string_view name) const;
 
   /// {"spans":[{"name":..,"elapsed_ms":..,"stats":{...},"children":[..]}]}
-  std::string ToJson() const;
+  [[nodiscard]] std::string ToJson() const;
   /// Indented tree with times and stats, one span per line.
-  std::string ToText() const;
+  [[nodiscard]] std::string ToText() const;
 
   void Clear();
 

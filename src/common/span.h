@@ -46,33 +46,33 @@ class Span {
   }
 
   /// Checked in all build types; for cold paths guarding external input.
-  const T& at(size_t i) const {
+  [[nodiscard]] const T& at(size_t i) const {
     AEETES_CHECK_LT(i, size_) << "Span::at out of range";
     return data_[i];
   }
 
-  const T& front() const {
+  [[nodiscard]] const T& front() const {
     AEETES_DCHECK_GT(size_, size_t{0});
     return data_[0];
   }
-  const T& back() const {
+  [[nodiscard]] const T& back() const {
     AEETES_DCHECK_GT(size_, size_t{0});
     return data_[size_ - 1];
   }
 
   /// Sub-view of [offset, offset + count); both ends debug-checked.
-  Span subspan(size_t offset, size_t count) const {
+  [[nodiscard]] Span subspan(size_t offset, size_t count) const {
     AEETES_DCHECK_LE(offset, size_);
     AEETES_DCHECK_LE(count, size_ - offset);
     return Span(data_ + offset, count);
   }
 
-  const T* data() const { return data_; }
-  size_t size() const { return size_; }
-  bool empty() const { return size_ == 0; }
+  [[nodiscard]] const T* data() const { return data_; }
+  [[nodiscard]] size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
 
-  const T* begin() const { return data_; }
-  const T* end() const { return data_ + size_; }
+  [[nodiscard]] const T* begin() const { return data_; }
+  [[nodiscard]] const T* end() const { return data_ + size_; }
 
  private:
   const T* data_ = nullptr;

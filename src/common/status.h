@@ -29,7 +29,10 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 /// A lightweight success-or-error value. OK statuses carry no allocation.
-class Status {
+/// The type itself is [[nodiscard]]: every function returning Status — in
+/// this library or a caller's — has its result checked or explicitly
+/// voided, with no per-declaration annotation to forget.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -63,12 +66,12 @@ class Status {
     return Status(StatusCode::kIOError, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   /// "OK" or "<CodeName>: <message>".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
   bool operator==(const Status& other) const {
     return code_ == other.code_ && message_ == other.message_;
@@ -86,7 +89,7 @@ std::ostream& operator<<(std::ostream& os, const Status& status);
 /// with the held status in every build type (the library never throws, so
 /// silently dereferencing an empty Result would otherwise be UB).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value; mirrors absl::StatusOr ergonomics.
   Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
@@ -97,8 +100,8 @@ class Result {
         << "Result(Status) requires a non-OK status";
   }
 
-  bool ok() const { return status_.ok(); }
-  const Status& status() const { return status_; }
+  [[nodiscard]] bool ok() const { return status_.ok(); }
+  [[nodiscard]] const Status& status() const { return status_; }
 
   const T& value() const& {
     CheckHasValue();
@@ -119,7 +122,7 @@ class Result {
   T* operator->() { return &value(); }
 
   /// Returns the value, or `fallback` when holding an error.
-  T value_or(T fallback) const {
+  [[nodiscard]] T value_or(T fallback) const {
     return ok() ? *value_ : std::move(fallback);
   }
 

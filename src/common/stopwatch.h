@@ -14,11 +14,11 @@ class Stopwatch {
   void Restart() { start_ = Clock::now(); }
 
   /// Elapsed time since construction or the last Restart().
-  double ElapsedSeconds() const {
+  [[nodiscard]] double ElapsedSeconds() const {
     return std::chrono::duration<double>(Clock::now() - start_).count();
   }
-  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
-  int64_t ElapsedMicros() const {
+  [[nodiscard]] double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  [[nodiscard]] int64_t ElapsedMicros() const {
     return std::chrono::duration_cast<std::chrono::microseconds>(
                Clock::now() - start_)
         .count();

@@ -1,0 +1,79 @@
+#ifndef AEETES_COMMON_THREAD_ANNOTATIONS_H_
+#define AEETES_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang Thread Safety Analysis annotations (DESIGN.md §12).
+///
+/// These macros make the locking discipline part of the type system: which
+/// fields a mutex guards, which functions require or acquire it, and which
+/// must not be called with it held. Under clang the whole contract is
+/// re-checked on every build (`-Wthread-safety`, promoted to an error by
+/// the AEETES_THREAD_SAFETY cmake option / the `tsa` step of
+/// tools/check.sh); under other compilers every macro expands to nothing,
+/// so gcc builds are unaffected.
+///
+/// The annotated primitives live in src/common/mutex.h (`aeetes::Mutex`,
+/// `aeetes::MutexLock`, `aeetes::CondVar`); raw std::mutex is not analyzed
+/// by clang and must not be used for new guarded state.
+///
+/// tests/tsa_negative/ holds negative-compilation cases proving the
+/// analysis actually rejects misuse — if an annotation here rots into a
+/// no-op under clang, that harness fails.
+
+#if defined(__clang__) && defined(__has_attribute)
+#define AEETES_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define AEETES_THREAD_ANNOTATION_(x)  // no-op outside clang
+#endif
+
+/// Declares a type to be a lockable capability ("mutex" in diagnostics).
+#define AEETES_CAPABILITY(x) AEETES_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII type whose constructor acquires and destructor
+/// releases a capability.
+#define AEETES_SCOPED_CAPABILITY AEETES_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Field/variable is protected by the given capability; all reads and
+/// writes require it held.
+#define AEETES_GUARDED_BY(x) AEETES_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer field whose *pointee* is protected by the given capability.
+#define AEETES_PT_GUARDED_BY(x) AEETES_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function requires the capability/ies held on entry (and does not
+/// release them).
+#define AEETES_REQUIRES(...) \
+  AEETES_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability/ies and holds them on return.
+#define AEETES_ACQUIRE(...) \
+  AEETES_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability/ies (held on entry).
+#define AEETES_RELEASE(...) \
+  AEETES_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `ret`.
+#define AEETES_TRY_ACQUIRE(ret, ...) \
+  AEETES_THREAD_ANNOTATION_(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Function must NOT be called with the capability/ies held (deadlock
+/// guard for self-locking entry points).
+#define AEETES_EXCLUDES(...) \
+  AEETES_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Asserts (at analysis level) that the calling context holds the
+/// capability without acquiring it — escape hatch for cases the analysis
+/// cannot follow, e.g. lock ownership handed across a callback boundary.
+#define AEETES_ASSERT_CAPABILITY(x) \
+  AEETES_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Function returns a reference to the capability guarding its result.
+#define AEETES_RETURN_CAPABILITY(x) AEETES_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: disables analysis for one function. Zero uses in src/ is
+/// an acceptance criterion of the tsa gate (tools/lint.py counts them);
+/// the macro exists so test scaffolding can opt out explicitly.
+#define AEETES_NO_THREAD_SAFETY_ANALYSIS \
+  AEETES_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // AEETES_COMMON_THREAD_ANNOTATIONS_H_

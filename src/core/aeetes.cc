@@ -145,6 +145,7 @@ void Aeetes::PublishSnapshotMetrics(double load_us, uint64_t bytes,
 }
 
 Document Aeetes::EncodeDocument(std::string_view text) {
+  MutexLock lock(encode_mu_);
   return Document::FromText(text, tokenizer_, dd_->mutable_token_dict());
 }
 

@@ -8,7 +8,9 @@
 #include <vector>
 
 #include "src/common/metrics.h"
+#include "src/common/mutex.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 #include "src/core/candidate_generator.h"
 #include "src/core/document.h"
 #include "src/core/engine_image.h"
@@ -62,6 +64,11 @@ struct AeetesOptions {
 /// the shared dictionary and must not run concurrently with anything else
 /// on the same instance — encode documents serially (or up front), then
 /// extract in parallel. This is the split ParallelExtractor builds on.
+/// Since this PR the encode side of the contract is compiler-visible:
+/// EncodeDocument serializes concurrent encoders through `encode_mu_`
+/// (annotated, so the analysis rejects holding it across extraction
+/// entry points). The encode-vs-extract half remains a documented
+/// contract — the read side is deliberately lock-free.
 class Aeetes {
  public:
   /// Offline stage from pre-encoded entities. `dict` must hold all entity
@@ -87,9 +94,10 @@ class Aeetes {
       std::unique_ptr<EngineImage> image, AeetesOptions options = {});
 
   /// Tokenizes and interns a document against this instance's dictionary.
-  /// NOT thread-safe: serialize with all other calls (see the class
-  /// comment).
-  Document EncodeDocument(std::string_view text);
+  /// Concurrent EncodeDocument calls are serialized through `encode_mu_`;
+  /// encoding must still not overlap Extract on the same instance (see
+  /// the class comment).
+  Document EncodeDocument(std::string_view text) AEETES_EXCLUDES(encode_mu_);
 
   struct ExtractionResult {
     std::vector<Match> matches;
@@ -151,18 +159,20 @@ class Aeetes {
   Result<std::vector<Lookup>> LookupString(std::string_view mention,
                                            double tau, size_t k = 5) const;
 
-  const DerivedDictionary& derived_dictionary() const { return *dd_; }
-  const ClusteredIndex& index() const { return *index_; }
+  [[nodiscard]] const DerivedDictionary& derived_dictionary() const {
+    return *dd_;
+  }
+  [[nodiscard]] const ClusteredIndex& index() const { return *index_; }
   /// The arena all offline state lives in; SaveSnapshot writes its bytes.
-  const EngineImage& image() const { return *image_; }
-  const Tokenizer& tokenizer() const { return tokenizer_; }
-  const AeetesOptions& options() const { return options_; }
+  [[nodiscard]] const EngineImage& image() const { return *image_; }
+  [[nodiscard]] const Tokenizer& tokenizer() const { return tokenizer_; }
+  [[nodiscard]] const AeetesOptions& options() const { return options_; }
 
   /// Per-instance metrics registry: cumulative filter/verify/build/index
   /// counters and latency histograms (naming scheme in DESIGN.md
   /// §Observability). Counters are updated by Extract with relaxed
   /// atomics, so reading or exporting concurrently is race-free.
-  const MetricsRegistry& metrics() const { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
 
   /// Publishes `snapshot.{load_us,bytes,mmap}` gauges describing how this
   /// instance's image was loaded. Called by LoadSnapshot / the CLI; const
@@ -171,7 +181,7 @@ class Aeetes {
                               bool mmap) const;
 
   /// Original-entity text reconstruction (token texts joined by spaces).
-  std::string EntityText(EntityId e) const;
+  [[nodiscard]] std::string EntityText(EntityId e) const;
 
   /// Human-readable explanation of a match: which derived entity
   /// witnessed it and which synonym rules produced that witness. The rule
@@ -183,7 +193,8 @@ class Aeetes {
     std::vector<RuleId> applied_rules;
     double score = 0.0;
   };
-  MatchExplanation Explain(const Match& match, const Document& doc) const;
+  [[nodiscard]] MatchExplanation Explain(const Match& match,
+                                         const Document& doc) const;
 
  private:
   /// Registered pipeline metrics, resolved once at construction so the
@@ -223,6 +234,10 @@ class Aeetes {
 
   AeetesOptions options_;
   Tokenizer tokenizer_;
+  /// Serializes EncodeDocument's dictionary interning (the overflow tier
+  /// in TokenDictionary — the only state Extract's const path never
+  /// writes). Cold path: one uncontended lock per encoded document.
+  Mutex encode_mu_;
   /// Owns the arena plus the views wired over it; dd_/index_ alias it.
   std::unique_ptr<EngineImage> image_;
   DerivedDictionary* dd_;

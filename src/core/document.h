@@ -28,24 +28,25 @@ class Document {
   /// Wraps an already-encoded token sequence (spans unavailable).
   static Document FromTokens(TokenSeq tokens);
 
-  const TokenSeq& tokens() const { return tokens_; }
-  size_t size() const { return tokens_.size(); }
+  [[nodiscard]] const TokenSeq& tokens() const { return tokens_; }
+  [[nodiscard]] size_t size() const { return tokens_.size(); }
 
   /// Byte span of token `i` in the original text, or {0,0} when the
   /// document was built from tokens.
-  std::pair<size_t, size_t> TokenSpan(size_t i) const {
+  [[nodiscard]] std::pair<size_t, size_t> TokenSpan(size_t i) const {
     if (i >= spans_.size()) return {0, 0};
     return spans_[i];
   }
 
   /// Byte range covering tokens [begin, begin + len).
-  std::pair<size_t, size_t> SubstringSpan(size_t begin, size_t len) const;
+  [[nodiscard]] std::pair<size_t, size_t> SubstringSpan(size_t begin,
+                                                        size_t len) const;
 
   /// The original text (empty when built from tokens).
-  const std::string& text() const { return text_; }
+  [[nodiscard]] const std::string& text() const { return text_; }
 
   /// Substring text for tokens [begin, begin + len).
-  std::string SubstringText(size_t begin, size_t len) const;
+  [[nodiscard]] std::string SubstringText(size_t begin, size_t len) const;
 
  private:
   std::string text_;

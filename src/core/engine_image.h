@@ -46,7 +46,9 @@ struct EngineImageStats {
 /// one snapshot file through the page cache — need no synchronization.
 /// The one mutable piece, the token dictionary's overflow tier (document
 /// tokens interned after load), lives on the heap and follows the usual
-/// EncodeDocument serialization contract.
+/// EncodeDocument serialization contract — compiler-enforced through
+/// Aeetes::encode_mu_ (DESIGN.md §12); the const read side needs no lock
+/// and therefore carries no capability annotations.
 class EngineImage {
  public:
   /// Flattens offline build parts into a fresh heap arena and wires the
@@ -63,18 +65,20 @@ class EngineImage {
   /// buffer. (Tests and in-process hand-offs.)
   static Result<std::unique_ptr<EngineImage>> FromBuffer(AlignedBuffer buffer);
 
-  const DerivedDictionary& derived_dictionary() const { return *dd_; }
+  [[nodiscard]] const DerivedDictionary& derived_dictionary() const {
+    return *dd_;
+  }
   /// Mutable only for the token dictionary's overflow tier
   /// (EncodeDocument); the arena-backed state is immutable.
   DerivedDictionary& mutable_derived_dictionary() { return *dd_; }
-  const ClusteredIndex& index() const { return *index_; }
+  [[nodiscard]] const ClusteredIndex& index() const { return *index_; }
 
   /// The serialized image; SaveSnapshot writes these bytes verbatim.
-  Span<uint8_t> bytes() const {
+  [[nodiscard]] Span<uint8_t> bytes() const {
     return mapped_.valid() ? mapped_.bytes() : heap_.bytes();
   }
 
-  const EngineImageStats& stats() const { return stats_; }
+  [[nodiscard]] const EngineImageStats& stats() const { return stats_; }
 
  private:
   EngineImage() = default;

@@ -36,7 +36,7 @@ class OriginTracker {
 
   void NextSubstring() { ++epoch_; }
 
-  bool IsCandidate(EntityId e) const {
+  [[nodiscard]] bool IsCandidate(EntityId e) const {
     AEETES_DCHECK_LT(e, last_seen_.size());
     return last_seen_[e] == epoch_;
   }

@@ -50,20 +50,20 @@ class SlidingWindow {
   /// window would leave the document.
   bool Migrate();
 
-  size_t pos() const { return pos_; }
-  size_t len() const { return len_; }
+  [[nodiscard]] size_t pos() const { return pos_; }
+  [[nodiscard]] size_t len() const { return len_; }
 
   /// Number of distinct tokens.
-  size_t set_size() const { return slots_.size(); }
+  [[nodiscard]] size_t set_size() const { return slots_.size(); }
 
   /// k-th distinct token in global order (k < set_size()).
-  TokenId DistinctToken(size_t k) const {
+  [[nodiscard]] TokenId DistinctToken(size_t k) const {
     AEETES_DCHECK_LT(k, slots_.size());
     return slots_[k].token;
   }
 
   /// Materializes the ordered set (distinct tokens by rank).
-  TokenSeq OrderedSet() const;
+  [[nodiscard]] TokenSeq OrderedSet() const;
 
  private:
   struct Slot {

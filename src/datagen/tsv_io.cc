@@ -1,5 +1,6 @@
 #include "src/datagen/tsv_io.h"
 
+#include <charconv>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -65,13 +66,30 @@ Result<SyntheticDataset> LoadDataset(const std::string& dir) {
     int kind = 0;
     in >> g.doc >> g.token_begin >> g.token_len >> g.entity >> kind;
     if (!in) return Status::IOError("malformed ground truth row: " + line);
+    if (kind < static_cast<int>(MentionKind::kExact) ||
+        kind > static_cast<int>(MentionKind::kNearVariant)) {
+      return Status::IOError("ground truth kind out of range: " + line);
+    }
     g.kind = static_cast<MentionKind>(kind);
     ds.ground_truth.push_back(g);
   }
   AEETES_ASSIGN_OR_RETURN(auto meta, ReadLines(dir + "/meta.txt"));
   if (!meta.empty()) ds.profile.name = meta[0];
-  ds.num_original_entities =
-      meta.size() > 1 ? std::stoul(meta[1]) : ds.entity_texts.size();
+  if (meta.size() > 1) {
+    // Parse with from_chars, not stoul: this is untrusted file input and
+    // the library never throws — a non-numeric meta line used to
+    // std::terminate here (found by the tsv fuzz target; regression input
+    // in fuzz/corpus/regressions/).
+    const std::string& s = meta[1];
+    size_t n = 0;
+    const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), n);
+    if (ec != std::errc() || ptr != s.data() + s.size()) {
+      return Status::IOError("malformed entity count in meta.txt: " + s);
+    }
+    ds.num_original_entities = n;
+  } else {
+    ds.num_original_entities = ds.entity_texts.size();
+  }
   return ds;
 }
 

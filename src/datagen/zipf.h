@@ -32,7 +32,7 @@ class ZipfDistribution {
     return lo;
   }
 
-  size_t size() const { return cdf_.size(); }
+  [[nodiscard]] size_t size() const { return cdf_.size(); }
 
  private:
   std::vector<double> cdf_;

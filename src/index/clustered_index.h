@@ -52,7 +52,7 @@ class ClusteredIndex {
   struct ListRange {
     uint32_t begin = 0;  // into length_groups()
     uint32_t end = 0;
-    bool empty() const { return begin == end; }
+    [[nodiscard]] bool empty() const { return begin == end; }
   };
 
   /// The four flattened arrays, before they land in an arena.
@@ -88,20 +88,24 @@ class ClusteredIndex {
   /// its own backing.
   static std::unique_ptr<ClusteredIndex> Build(const DerivedDictionary& dd);
 
-  ListRange list(TokenId t) const {
+  [[nodiscard]] ListRange list(TokenId t) const {
     if (t >= lists_.size()) return {};
     return lists_[t];
   }
 
-  Span<PostingEntry> entries() const { return entries_; }
-  Span<OriginGroup> origin_groups() const { return origin_groups_; }
-  Span<LengthGroup> length_groups() const { return length_groups_; }
+  [[nodiscard]] Span<PostingEntry> entries() const { return entries_; }
+  [[nodiscard]] Span<OriginGroup> origin_groups() const {
+    return origin_groups_;
+  }
+  [[nodiscard]] Span<LengthGroup> length_groups() const {
+    return length_groups_;
+  }
 
   /// Total postings across all tokens.
-  size_t num_entries() const { return entries_.size(); }
+  [[nodiscard]] size_t num_entries() const { return entries_.size(); }
 
   /// Approximate resident size in bytes (Section 6.3 reports index sizes).
-  size_t MemoryBytes() const;
+  [[nodiscard]] size_t MemoryBytes() const;
 
   /// Registers and sets the `index.*` size gauges (entries, group counts,
   /// resident bytes) on `registry`. Call once per registry — metric names

@@ -15,6 +15,44 @@ void EncodeVarint(uint32_t v, std::vector<uint8_t>* out) {
   out->push_back(static_cast<uint8_t>(v));
 }
 
+Status ValidatePostingStream(const uint8_t* p, size_t size) {
+  const uint8_t* const end = p + size;
+  const auto truncated = [] {
+    return Status::InvalidArgument(
+        "posting stream: truncated or over-wide varint");
+  };
+  uint32_t num_lengths = 0;
+  if (!DecodeVarintChecked(p, end, &num_lengths)) return truncated();
+  for (uint32_t lg = 0; lg < num_lengths; ++lg) {
+    uint32_t length = 0;
+    uint32_t num_origins = 0;
+    if (!DecodeVarintChecked(p, end, &length) ||
+        !DecodeVarintChecked(p, end, &num_origins)) {
+      return truncated();
+    }
+    for (uint32_t og = 0; og < num_origins; ++og) {
+      uint32_t origin_delta = 0;
+      uint32_t num_entries = 0;
+      if (!DecodeVarintChecked(p, end, &origin_delta) ||
+          !DecodeVarintChecked(p, end, &num_entries)) {
+        return truncated();
+      }
+      for (uint32_t i = 0; i < num_entries; ++i) {
+        uint32_t derived_delta = 0;
+        uint32_t pos = 0;
+        if (!DecodeVarintChecked(p, end, &derived_delta) ||
+            !DecodeVarintChecked(p, end, &pos)) {
+          return truncated();
+        }
+      }
+    }
+  }
+  if (p != end) {
+    return Status::InvalidArgument("posting stream: trailing bytes");
+  }
+  return Status::OK();
+}
+
 }  // namespace internal
 
 std::unique_ptr<CompressedIndex> CompressedIndex::Build(
@@ -107,6 +145,31 @@ std::vector<CompressedIndex::DecodedLengthGroup> CompressedIndex::Decode(
     cur_og->entries.push_back(PostingEntry{derived, pos});
   });
   return out;
+}
+
+Status CompressedIndex::Validate() const {
+  if (offsets_.empty()) {
+    return Status::InvalidArgument("compressed index: empty directory");
+  }
+  if (offsets_.back() != blob_.size()) {
+    return Status::InvalidArgument(
+        "compressed index: directory does not delimit the blob");
+  }
+  for (size_t t = 0; t + 1 < offsets_.size(); ++t) {
+    if (offsets_[t] > offsets_[t + 1]) {
+      return Status::InvalidArgument(
+          "compressed index: directory offsets not monotone");
+    }
+    const size_t size = offsets_[t + 1] - offsets_[t];
+    if (size == 0) continue;
+    Status st =
+        internal::ValidatePostingStream(blob_.data() + offsets_[t], size);
+    if (!st.ok()) {
+      return Status::InvalidArgument("token " + std::to_string(t) + ": " +
+                                     st.message());
+    }
+  }
+  return Status::OK();
 }
 
 size_t CompressedIndex::MemoryBytes() const {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/common/logging.h"
+#include "src/common/status.h"
 #include "src/index/clustered_index.h"
 
 namespace aeetes {
@@ -37,7 +38,7 @@ class CompressedIndex {
   };
 
   /// Decodes token `t`'s full posting list (empty for unknown tokens).
-  std::vector<DecodedLengthGroup> Decode(TokenId t) const;
+  [[nodiscard]] std::vector<DecodedLengthGroup> Decode(TokenId t) const;
 
   /// Streaming scan without materialization: calls
   /// `fn(length, origin, derived, pos)` for every posting of token `t` in
@@ -46,18 +47,25 @@ class CompressedIndex {
   void Scan(TokenId t, Fn&& fn) const;
 
   /// Total resident bytes of the compressed streams + directory.
-  size_t MemoryBytes() const;
+  [[nodiscard]] size_t MemoryBytes() const;
 
   /// Registers and sets the `compressed_index.*` size gauges on
   /// `registry`. Call once per registry (duplicate registration aborts).
   void PublishMetrics(MetricsRegistry& registry) const;
 
-  size_t num_entries() const { return num_entries_; }
+  [[nodiscard]] size_t num_entries() const { return num_entries_; }
+
+  /// Firewall for untrusted bytes: re-walks every token's posting stream
+  /// with the checked decoder and verifies the grammar Scan assumes —
+  /// in-bounds varints, 32-bit widths, streams fully consumed, a sane
+  /// directory. A CompressedIndex built by Build always validates; call
+  /// this before Scan on any index whose bytes crossed a trust boundary.
+  [[nodiscard]] Status Validate() const;
 
  private:
   CompressedIndex() = default;
 
-  const uint8_t* TokenStream(TokenId t, size_t* size) const;
+  [[nodiscard]] const uint8_t* TokenStream(TokenId t, size_t* size) const;
 
   std::vector<uint8_t> blob_;
   /// Per token: offset of its stream in blob_ (offsets_[t+1] delimits).
@@ -87,6 +95,34 @@ inline uint32_t DecodeVarint(const uint8_t*& p, const uint8_t* end) {
 }
 
 void EncodeVarint(uint32_t v, std::vector<uint8_t>* out);
+
+/// Bounds-checked DecodeVarint for untrusted bytes: returns false (instead
+/// of invoking UB or DCHECK-aborting) on a truncated stream or a varint
+/// encoding a value wider than 32 bits. On success advances `p` past the
+/// varint and stores the value; on failure `p` is left mid-varint and
+/// `*out` is unspecified. Each call consumes at least one byte or fails,
+/// so validation of a stream is O(size) — no decompression-bomb risk.
+inline bool DecodeVarintChecked(const uint8_t*& p, const uint8_t* end,
+                                uint32_t* out) {
+  uint32_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (p == end) return false;               // truncated
+    const uint8_t byte = *p++;
+    if (shift == 28 && (byte & 0x70) != 0) return false;  // > 32 bits
+    v |= static_cast<uint32_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+    if (shift >= 35) return false;            // five continuation bytes
+  }
+  *out = v;
+  return true;
+}
+
+/// Validates one posting stream against the grammar Scan assumes (see
+/// Scan's loop): header varints, delta-coded groups, every byte consumed.
+/// OK iff Scan over the same bytes is safe in release builds.
+Status ValidatePostingStream(const uint8_t* p, size_t size);
 
 }  // namespace internal
 

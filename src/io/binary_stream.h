@@ -50,8 +50,8 @@ class BinaryReader {
   std::string ReadString();
   std::vector<uint32_t> ReadU32Vector();
 
-  const Status& status() const { return status_; }
-  bool ok() const { return status_.ok(); }
+  [[nodiscard]] const Status& status() const { return status_; }
+  [[nodiscard]] bool ok() const { return status_.ok(); }
 
   /// Guard against absurd element counts from corrupt files.
   static constexpr uint64_t kMaxElements = 1ull << 32;

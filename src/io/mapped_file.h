@@ -18,7 +18,11 @@ namespace aeetes {
 ///
 /// Lifetime contract: every Span handed out over bytes() aliases the
 /// mapping and dies with it. EngineImage keeps its MappedFile alive for as
-/// long as any component view exists (DESIGN.md §11).
+/// long as any component view exists (DESIGN.md §11). The mapping is
+/// immutable after Open, so concurrent readers need no synchronization;
+/// this class is intentionally outside the annotated-mutex surface of
+/// DESIGN.md §12 — it has no capability to guard, only a lifetime to
+/// respect.
 class MappedFile {
  public:
   /// Maps `path` read-only (MAP_PRIVATE). Fails with a Status on open,
@@ -43,9 +47,9 @@ class MappedFile {
     return *this;
   }
 
-  bool valid() const { return data_ != nullptr; }
-  size_t size() const { return size_; }
-  Span<uint8_t> bytes() const {
+  [[nodiscard]] bool valid() const { return data_ != nullptr; }
+  [[nodiscard]] size_t size() const { return size_; }
+  [[nodiscard]] Span<uint8_t> bytes() const {
     return Span<uint8_t>(static_cast<const uint8_t*>(data_), size_);
   }
 

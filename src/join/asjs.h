@@ -55,10 +55,10 @@ class AsjsJoin {
 
   /// All origin pairs with JaccT >= tau, sorted by (left, right); `score`
   /// is the realized maximum.
-  std::vector<JoinPair> Join(double tau) const;
+  [[nodiscard]] std::vector<JoinPair> Join(double tau) const;
 
-  size_t num_left_derived() const { return left_.size(); }
-  size_t num_right_derived() const { return right_.size(); }
+  [[nodiscard]] size_t num_left_derived() const { return left_.size(); }
+  [[nodiscard]] size_t num_right_derived() const { return right_.size(); }
 
  private:
   struct Derived {

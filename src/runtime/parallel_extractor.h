@@ -71,6 +71,13 @@ struct ParallelExtraction {
 /// The extractor owns its pool and is reusable: ExtractAll may be called
 /// any number of times (even concurrently — per-call state is local and
 /// the pool is shared fairly).
+///
+/// Deliberately lock-free at this layer: every mutex it depends on lives
+/// in ThreadPool (annotated, so misuse fails the -Wthread-safety gate,
+/// DESIGN.md §12); what remains here is exclusive slot ownership — each
+/// task writes only slots[ti], each worker only scratches_[w] — which
+/// thread-safety analysis cannot express. The tsan preset is the proof
+/// obligation for this file instead.
 class ParallelExtractor {
  public:
   static Result<std::unique_ptr<ParallelExtractor>> Create(
@@ -86,8 +93,10 @@ class ParallelExtractor {
                                                     double tau,
                                                     FilterStrategy strategy);
 
-  size_t num_threads() const { return pool_->num_threads(); }
-  const ParallelExtractorOptions& options() const { return options_; }
+  [[nodiscard]] size_t num_threads() const { return pool_->num_threads(); }
+  [[nodiscard]] const ParallelExtractorOptions& options() const {
+    return options_;
+  }
 
   /// The chunk layout ExtractAll would use for a document of `num_tokens`
   /// tokens at threshold `tau`: (begin, length) pairs covering the
@@ -107,7 +116,7 @@ class ParallelExtractor {
 
   /// Longest window (in tokens) the threshold admits — the chunk-overlap
   /// quantum.
-  size_t MaxWindowTokens(double tau) const;
+  [[nodiscard]] size_t MaxWindowTokens(double tau) const;
 
   /// One reusable ExtractScratch per pool worker, indexed by
   /// CurrentWorkerIndex(). A worker runs one task at a time, so its slot is

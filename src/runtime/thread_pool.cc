@@ -123,10 +123,10 @@ ThreadPool::~ThreadPool() {
 Status ThreadPool::Submit(Task task) {
   if (!task) return Status::InvalidArgument("ThreadPool::Submit: null task");
   auto* heap_task = new Task(std::move(task));
-  std::unique_lock<std::mutex> lk(mu_);
-  cv_space_.wait(lk, [&] {
-    return stop_ || injection_.size() < options_.queue_capacity;
-  });
+  MutexLock lk(mu_);
+  while (!stop_ && injection_.size() >= options_.queue_capacity) {
+    cv_space_.Wait(mu_);
+  }
   if (stop_) {
     delete heap_task;
     return Status::FailedPrecondition("ThreadPool is shut down");
@@ -134,7 +134,7 @@ Status ThreadPool::Submit(Task task) {
   injection_.push_back(heap_task);
   pending_.fetch_add(1, std::memory_order_relaxed);
   ++signal_;
-  cv_work_.notify_one();
+  cv_work_.NotifyOne();
   return Status::OK();
 }
 
@@ -142,7 +142,7 @@ Status ThreadPool::TrySubmit(Task task) {
   if (!task) {
     return Status::InvalidArgument("ThreadPool::TrySubmit: null task");
   }
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (stop_) return Status::FailedPrecondition("ThreadPool is shut down");
   if (injection_.size() >= options_.queue_capacity) {
     return Status::ResourceExhausted("ThreadPool queue is full");
@@ -150,33 +150,34 @@ Status ThreadPool::TrySubmit(Task task) {
   injection_.push_back(new Task(std::move(task)));
   pending_.fetch_add(1, std::memory_order_relaxed);
   ++signal_;
-  cv_work_.notify_one();
+  cv_work_.NotifyOne();
   return Status::OK();
 }
 
 void ThreadPool::WaitIdle() {
   AEETES_CHECK_EQ(CurrentWorkerIndex(), kNotAWorker)
       << "ThreadPool::WaitIdle called from a pool worker would deadlock";
-  std::unique_lock<std::mutex> lk(mu_);
-  cv_idle_.wait(lk, [&] {
-    return pending_.load(std::memory_order_acquire) == 0;
-  });
+  MutexLock lk(mu_);
+  while (pending_.load(std::memory_order_acquire) != 0) {
+    cv_idle_.Wait(mu_);
+  }
 }
 
 Status ThreadPool::Shutdown() {
   AEETES_CHECK_EQ(CurrentWorkerIndex(), kNotAWorker)
       << "ThreadPool::Shutdown called from a pool worker would deadlock";
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     if (stop_) {
       return Status::FailedPrecondition("ThreadPool already shut down");
     }
     stop_ = true;
   }
-  cv_work_.notify_all();
-  cv_space_.notify_all();
+  cv_work_.NotifyAll();
+  cv_space_.NotifyAll();
   for (std::thread& w : workers_) w.join();
   workers_.clear();
+  MutexLock lk(mu_);  // workers are gone; lock only to satisfy the contract
   AEETES_CHECK(injection_.empty()) << "ThreadPool shut down with queued work";
   AEETES_CHECK_EQ(pending_.load(), uint64_t{0})
       << "ThreadPool shut down with unfinished work";
@@ -209,9 +210,9 @@ ThreadPool::Task* ThreadPool::RefillLocked(size_t index) {
     // Peers may be parked; the new deque entries are only reachable by
     // stealing, so advertise them.
     ++signal_;
-    cv_work_.notify_all();
+    cv_work_.NotifyAll();
   }
-  cv_space_.notify_all();
+  cv_space_.NotifyAll();
   return first;
 }
 
@@ -219,19 +220,18 @@ void ThreadPool::FinishTask() {
   if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     // Hold the lock so a WaitIdle caller between predicate check and wait
     // cannot miss the notification.
-    std::lock_guard<std::mutex> lk(mu_);
-    cv_idle_.notify_all();
+    MutexLock lk(mu_);
+    cv_idle_.NotifyAll();
   }
 }
 
 void ThreadPool::WorkerLoop(size_t index) {
   tls_pool = this;
   tls_worker_index = index;
-  std::unique_lock<std::mutex> lk(mu_, std::defer_lock);
   for (;;) {
     Task* task = PopOrSteal(index);
     if (task == nullptr) {
-      lk.lock();
+      mu_.Lock();
       if (!injection_.empty()) task = RefillLocked(index);
       if (task == nullptr) {
         // Own deque and injection queue are empty; steal sweep came up
@@ -239,17 +239,17 @@ void ThreadPool::WorkerLoop(size_t index) {
         // responsibility (a worker never parks or exits with a non-empty
         // own deque), so parking here cannot strand work.
         if (stop_) {
-          lk.unlock();
+          mu_.Unlock();
           return;
         }
         const uint64_t seen = signal_;
-        cv_work_.wait(lk, [&] {
-          return stop_ || !injection_.empty() || signal_ != seen;
-        });
-        lk.unlock();
+        while (!stop_ && injection_.empty() && signal_ == seen) {
+          cv_work_.Wait(mu_);
+        }
+        mu_.Unlock();
         continue;
       }
-      lk.unlock();
+      mu_.Unlock();
     }
     (*task)();
     delete task;

@@ -2,18 +2,18 @@
 #define AEETES_RUNTIME_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 
 namespace aeetes {
 
@@ -51,9 +51,9 @@ class WorkStealingDeque {
   Task* Steal();
 
   /// Approximate (racy) emptiness — monitoring/tests only.
-  bool Empty() const;
+  [[nodiscard]] bool Empty() const;
 
-  size_t capacity() const { return buffer_.size(); }
+  [[nodiscard]] size_t capacity() const { return buffer_.size(); }
 
  private:
   std::vector<std::atomic<Task*>> buffer_;
@@ -105,56 +105,61 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task, blocking while the injection queue is at capacity.
-  Status Submit(Task task);
+  Status Submit(Task task) AEETES_EXCLUDES(mu_);
 
   /// Non-blocking Submit: kResourceExhausted when the queue is full.
-  Status TrySubmit(Task task);
+  Status TrySubmit(Task task) AEETES_EXCLUDES(mu_);
 
   /// Blocks until every submitted task has finished. Safe to call
   /// repeatedly and from multiple threads; must not be called from a
   /// worker (a task waiting for all tasks deadlocks by construction).
-  void WaitIdle();
+  void WaitIdle() AEETES_EXCLUDES(mu_);
 
   /// Stops accepting tasks, drains the queues, joins the workers. The
   /// second call reports FailedPrecondition.
-  Status Shutdown();
+  Status Shutdown() AEETES_EXCLUDES(mu_);
 
-  size_t num_threads() const { return workers_.size(); }
+  [[nodiscard]] size_t num_threads() const { return workers_.size(); }
 
   /// Index in [0, num_threads()) when called from one of this pool's
   /// workers, kNotAWorker otherwise. Lets per-worker state (stats
   /// accumulators, trace recorders) be indexed without synchronization.
-  size_t CurrentWorkerIndex() const;
+  [[nodiscard]] size_t CurrentWorkerIndex() const;
 
  private:
   explicit ThreadPool(const ThreadPoolOptions& options);
 
-  void WorkerLoop(size_t index);
+  void WorkerLoop(size_t index) AEETES_EXCLUDES(mu_);
 
   /// Lock-free part of the hunt: own deque, then one steal sweep.
   Task* PopOrSteal(size_t index);
 
   /// Moves up to `refill_batch_` tasks out of the injection queue: the
-  /// first is returned, the rest go onto worker `index`'s deque. Requires
-  /// `mu_` held; bumps `signal_` and wakes peers when it published
-  /// stealable work.
-  Task* RefillLocked(size_t index);
+  /// first is returned, the rest go onto worker `index`'s deque; bumps
+  /// `signal_` and wakes peers when it published stealable work.
+  Task* RefillLocked(size_t index) AEETES_REQUIRES(mu_);
 
-  void FinishTask();
+  void FinishTask() AEETES_EXCLUDES(mu_);
 
   ThreadPoolOptions options_;
   size_t refill_batch_ = 1;
 
+  /// Deque ownership: slot i's Push/Pop side belongs exclusively to worker
+  /// thread i (enforced by construction — only WorkerLoop(i) touches it);
+  /// Steal is safe from any thread. The deques themselves synchronize via
+  /// their internal atomics, so they are deliberately not GUARDED_BY(mu_).
   std::vector<std::unique_ptr<WorkStealingDeque>> deques_;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable cv_work_;   // workers park here
-  std::condition_variable cv_space_;  // blocked Submit callers park here
-  std::condition_variable cv_idle_;   // WaitIdle callers park here
-  std::deque<Task*> injection_;       // guarded by mu_
-  uint64_t signal_ = 0;               // guarded by mu_; bumped per publish
-  bool stop_ = false;                 // guarded by mu_
+  Mutex mu_;
+  CondVar cv_work_;   // workers park here
+  CondVar cv_space_;  // blocked Submit callers park here
+  CondVar cv_idle_;   // WaitIdle callers park here
+  std::deque<Task*> injection_ AEETES_GUARDED_BY(mu_);
+  /// Bumped once per batch of published work so parked workers can tell a
+  /// wakeup with new stealable deque entries from a spurious one.
+  uint64_t signal_ AEETES_GUARDED_BY(mu_) = 0;
+  bool stop_ AEETES_GUARDED_BY(mu_) = false;
 
   /// Submitted-but-unfinished tasks (atomic so FinishTask stays lock-free
   /// until the count hits zero).

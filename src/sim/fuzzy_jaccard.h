@@ -35,7 +35,7 @@ class FuzzyJaccard {
   double Similarity(const std::vector<std::string>& a,
                     const std::vector<std::string>& b) const;
 
-  const FuzzyJaccardOptions& options() const { return options_; }
+  [[nodiscard]] const FuzzyJaccardOptions& options() const { return options_; }
 
  private:
   FuzzyJaccardOptions options_;

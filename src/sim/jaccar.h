@@ -80,7 +80,7 @@ class JaccArVerifier {
                                     double tau,
                                     const LengthRange& partner) const;
 
-  const JaccArOptions& options() const { return options_; }
+  [[nodiscard]] const JaccArOptions& options() const { return options_; }
 
  private:
   const DerivedDictionary& dd_;
@@ -105,7 +105,8 @@ class FuzzyJaccArVerifier {
       : dd_(dd), fj_(fuzzy_options), weighted_(weighted) {}
 
   /// Max Fuzzy Jaccard over the derived entities of `e`.
-  JaccArScore Score(EntityId e, const TokenSeq& substring_ordered_set) const;
+  [[nodiscard]] JaccArScore Score(
+      EntityId e, const TokenSeq& substring_ordered_set) const;
 
  private:
   const DerivedDictionary& dd_;

@@ -46,7 +46,7 @@ size_t PrefixLength(Metric metric, size_t size, double tau);
 struct LengthRange {
   size_t lo = 1;
   size_t hi = std::numeric_limits<size_t>::max();
-  bool Contains(size_t l) const { return l >= lo && l <= hi; }
+  [[nodiscard]] bool Contains(size_t l) const { return l >= lo && l <= hi; }
 };
 LengthRange PartnerLengthRange(Metric metric, size_t size, double tau);
 

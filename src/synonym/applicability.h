@@ -19,8 +19,8 @@ struct ApplicableRule {
   TokenSeq replacement;
   double weight = 1.0;
 
-  size_t end() const { return begin + len; }
-  bool OverlapsSpan(const ApplicableRule& other) const {
+  [[nodiscard]] size_t end() const { return begin + len; }
+  [[nodiscard]] bool OverlapsSpan(const ApplicableRule& other) const {
     return begin < other.end() && other.begin < end();
   }
 };

@@ -18,9 +18,9 @@ struct RuleGroup {
   size_t len = 0;
   std::vector<ApplicableRule> rules;
 
-  size_t end() const { return begin + len; }
-  size_t weight() const { return rules.size(); }
-  bool Overlaps(const RuleGroup& other) const {
+  [[nodiscard]] size_t end() const { return begin + len; }
+  [[nodiscard]] size_t weight() const { return rules.size(); }
+  [[nodiscard]] bool Overlaps(const RuleGroup& other) const {
     return begin < other.end() && other.begin < end();
   }
 };

@@ -143,17 +143,17 @@ class DerivedDictionary {
   /// Deep-copies the wired state back into builder parts (including a
   /// fresh TokenDictionary clone). The cold path behind
   /// Aeetes::FromDerivedDictionary's repack.
-  Result<DerivedDictParts> ToParts() const;
+  [[nodiscard]] Result<DerivedDictParts> ToParts() const;
 
   /// Origin entity `e`'s raw token sequence.
-  Span<TokenId> origin_entity(EntityId e) const {
+  [[nodiscard]] Span<TokenId> origin_entity(EntityId e) const {
     const size_t begin = static_cast<size_t>(origin_token_begin_[e]);
     const size_t end = static_cast<size_t>(origin_token_begin_[e + 1]);
     return origin_tokens_.subspan(begin, end - begin);
   }
 
   /// Full view of derived entity `d`.
-  DerivedView derived(DerivedId d) const {
+  [[nodiscard]] DerivedView derived(DerivedId d) const {
     DerivedView view;
     view.origin = derived_origin_[d];
     view.weight = derived_weight_[d];
@@ -163,21 +163,23 @@ class DerivedDictionary {
     return view;
   }
 
-  EntityId origin_of(DerivedId d) const { return derived_origin_[d]; }
-  double weight(DerivedId d) const { return derived_weight_[d]; }
-  Span<TokenId> ordered_set(DerivedId d) const {
+  [[nodiscard]] EntityId origin_of(DerivedId d) const {
+    return derived_origin_[d];
+  }
+  [[nodiscard]] double weight(DerivedId d) const { return derived_weight_[d]; }
+  [[nodiscard]] Span<TokenId> ordered_set(DerivedId d) const {
     return SliceU64(derived_set_tokens_, derived_set_begin_, d);
   }
-  uint32_t ordered_set_size(DerivedId d) const {
+  [[nodiscard]] uint32_t ordered_set_size(DerivedId d) const {
     return static_cast<uint32_t>(derived_set_begin_[d + 1] -
                                  derived_set_begin_[d]);
   }
 
-  const TokenDictionary& token_dict() const { return *dict_; }
+  [[nodiscard]] const TokenDictionary& token_dict() const { return *dict_; }
   TokenDictionary& mutable_token_dict() { return *dict_; }
 
   /// Derived ids belonging to origin `e` (contiguous range).
-  std::pair<DerivedId, DerivedId> DerivedRange(EntityId e) const {
+  [[nodiscard]] std::pair<DerivedId, DerivedId> DerivedRange(EntityId e) const {
     return {origin_begin_[e], origin_begin_[e + 1]};
   }
 
@@ -186,32 +188,38 @@ class DerivedDictionary {
   /// ascending id. `size_sorted_sizes()` is the parallel array of those
   /// set sizes, so the verifier's length filter is a binary search over
   /// 4-byte keys instead of a pointer chase through derived entities.
-  Span<DerivedId> size_sorted_ids() const { return size_sorted_ids_; }
-  Span<uint32_t> size_sorted_sizes() const { return size_sorted_sizes_; }
+  [[nodiscard]] Span<DerivedId> size_sorted_ids() const {
+    return size_sorted_ids_;
+  }
+  [[nodiscard]] Span<uint32_t> size_sorted_sizes() const {
+    return size_sorted_sizes_;
+  }
 
   /// Materialized ordered-set ranks of derived entity `d` (ascending,
   /// `ordered_set_size(d)` entries). Verification merges run over these
   /// flat arrays instead of re-deriving each rank from the frequency
   /// table per comparison.
-  const TokenRank* derived_ranks(DerivedId d) const {
+  [[nodiscard]] const TokenRank* derived_ranks(DerivedId d) const {
     return ranks_arena_.data() + ranks_begin_[d];
   }
 
   /// Smallest / largest ordered-set size over all derived entities.
-  size_t min_set_size() const { return min_set_size_; }
-  size_t max_set_size() const { return max_set_size_; }
+  [[nodiscard]] size_t min_set_size() const { return min_set_size_; }
+  [[nodiscard]] size_t max_set_size() const { return max_set_size_; }
 
-  size_t num_origins() const { return num_origins_; }
-  size_t num_derived() const { return num_derived_; }
+  [[nodiscard]] size_t num_origins() const { return num_origins_; }
+  [[nodiscard]] size_t num_derived() const { return num_derived_; }
 
   /// Average |A(e)| (rules in the selected non-conflict groups), a Table 1
   /// statistic.
-  double avg_applicable_rules() const { return avg_applicable_rules_; }
+  [[nodiscard]] double avg_applicable_rules() const {
+    return avg_applicable_rules_;
+  }
 
   using BuildStats = DerivedDictionaryBuildStats;
   /// Cost accounting of the BuildParts call that produced this dictionary
   /// (zero when wired from a loaded snapshot).
-  const BuildStats& build_stats() const { return build_stats_; }
+  [[nodiscard]] const BuildStats& build_stats() const { return build_stats_; }
   /// Pack-path plumbing: carries the builder's stats onto the wired
   /// instance (EngineImage::Pack and the standalone Build call this).
   void set_build_stats(const BuildStats& stats) { build_stats_ = stats; }

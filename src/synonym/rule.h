@@ -40,10 +40,10 @@ class RuleSet {
   Result<RuleId> AddFromText(std::string_view line, const Tokenizer& tokenizer,
                              TokenDictionary& dict, double weight = 1.0);
 
-  const SynonymRule& rule(RuleId id) const { return rules_[id]; }
-  const std::vector<SynonymRule>& rules() const { return rules_; }
-  size_t size() const { return rules_.size(); }
-  bool empty() const { return rules_.empty(); }
+  [[nodiscard]] const SynonymRule& rule(RuleId id) const { return rules_[id]; }
+  [[nodiscard]] const std::vector<SynonymRule>& rules() const { return rules_; }
+  [[nodiscard]] size_t size() const { return rules_.size(); }
+  [[nodiscard]] bool empty() const { return rules_.empty(); }
 
  private:
   std::vector<SynonymRule> rules_;

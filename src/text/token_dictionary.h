@@ -48,7 +48,7 @@ class TokenDictionary {
   TokenId GetOrAdd(std::string_view text);
 
   /// Returns the id of `text` if interned.
-  std::optional<TokenId> Lookup(std::string_view text) const;
+  [[nodiscard]] std::optional<TokenId> Lookup(std::string_view text) const;
 
   /// Adds `count` dictionary occurrences to token `id`. Must not be called
   /// after Freeze().
@@ -56,19 +56,19 @@ class TokenDictionary {
 
   /// Locks frequencies; ranks become stable from here on.
   void Freeze() { frozen_ = true; }
-  bool frozen() const { return frozen_; }
+  [[nodiscard]] bool frozen() const { return frozen_; }
 
   /// Dictionary frequency (0 for invalid tokens).
-  uint64_t frequency(TokenId id) const {
+  [[nodiscard]] uint64_t frequency(TokenId id) const {
     return id < base_count_ ? base_freq_[id] : freq_[id - base_count_];
   }
 
   /// A token is valid iff it occurs in the derived dictionary.
-  bool IsValid(TokenId id) const { return frequency(id) > 0; }
+  [[nodiscard]] bool IsValid(TokenId id) const { return frequency(id) > 0; }
 
   /// Global-order rank: (frequency << 32) | id. Lower = rarer = earlier in
   /// every tau-prefix.
-  TokenRank Rank(TokenId id) const {
+  [[nodiscard]] TokenRank Rank(TokenId id) const {
     return (static_cast<TokenRank>(frequency(id)) << 32) |
            static_cast<TokenRank>(id);
   }
@@ -76,7 +76,7 @@ class TokenDictionary {
   /// Token text. The view stays valid until the next GetOrAdd/Encode call
   /// (overflow-tier storage may move when the dictionary grows); base-tier
   /// views live as long as the backing image.
-  std::string_view Text(TokenId id) const {
+  [[nodiscard]] std::string_view Text(TokenId id) const {
     if (id < base_count_) {
       const size_t begin = static_cast<size_t>(base_begin_[id]);
       const size_t end = static_cast<size_t>(base_begin_[id + 1]);
@@ -85,10 +85,10 @@ class TokenDictionary {
     return texts_[id - base_count_];
   }
 
-  size_t size() const { return base_count_ + texts_.size(); }
+  [[nodiscard]] size_t size() const { return base_count_ + texts_.size(); }
 
   /// Tokens in the sealed base tier (0 for dictionaries built online).
-  size_t base_size() const { return base_count_; }
+  [[nodiscard]] size_t base_size() const { return base_count_; }
 
   /// Encodes a pre-tokenized string list, interning unseen tokens.
   TokenSeq Encode(const std::vector<std::string>& tokens);
@@ -97,7 +97,7 @@ class TokenDictionary {
   /// token — base and overflow — in id order. Requires a frozen
   /// dictionary; the persisted hash table is rebuilt over the full id
   /// range so the wired copy resolves every token.
-  Status AppendSections(ImageBuilder& builder) const;
+  [[nodiscard]] Status AppendSections(ImageBuilder& builder) const;
 
   /// Wires a dictionary whose base tier aliases `view`'s backing memory
   /// (zero-copy; the image must outlive the dictionary). The result is
@@ -110,7 +110,7 @@ class TokenDictionary {
   /// Empty-slot marker in the persisted hash table; bounds the id space.
   static constexpr uint32_t kEmptySlot = 0xFFFFFFFFu;
 
-  std::optional<TokenId> BaseLookup(std::string_view text) const;
+  [[nodiscard]] std::optional<TokenId> BaseLookup(std::string_view text) const;
 
   // Base tier: views into an engine image (empty for online-built dicts).
   Span<char> base_text_;

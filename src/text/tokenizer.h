@@ -34,15 +34,16 @@ class Tokenizer {
   explicit Tokenizer(TokenizerOptions options = {});
 
   /// Tokenizes `text`, returning tokens with their byte spans.
-  std::vector<RawToken> Tokenize(std::string_view text) const;
+  [[nodiscard]] std::vector<RawToken> Tokenize(std::string_view text) const;
 
   /// Convenience: tokenize and drop the span information.
-  std::vector<std::string> TokenizeToStrings(std::string_view text) const;
+  [[nodiscard]] std::vector<std::string> TokenizeToStrings(
+      std::string_view text) const;
 
-  const TokenizerOptions& options() const { return options_; }
+  [[nodiscard]] const TokenizerOptions& options() const { return options_; }
 
  private:
-  bool IsTokenChar(unsigned char c) const;
+  [[nodiscard]] bool IsTokenChar(unsigned char c) const;
 
   TokenizerOptions options_;
   bool token_char_table_[256] = {};

@@ -100,5 +100,88 @@ TEST(CompressedIndexTest, ScanVisitsEveryPostingOnce) {
   EXPECT_EQ(visited, packed->num_entries());
 }
 
+TEST(VarintCheckedTest, RoundTripsAndConsumesExactly) {
+  std::vector<uint8_t> buf;
+  const std::vector<uint32_t> values = {0, 1, 127, 128, 300, 16384,
+                                        0xffffffffu};
+  for (uint32_t v : values) internal::EncodeVarint(v, &buf);
+  const uint8_t* p = buf.data();
+  const uint8_t* const end = buf.data() + buf.size();
+  for (uint32_t v : values) {
+    uint32_t decoded = 0;
+    ASSERT_TRUE(internal::DecodeVarintChecked(p, end, &decoded));
+    EXPECT_EQ(decoded, v);
+  }
+  EXPECT_EQ(p, end);
+}
+
+TEST(VarintCheckedTest, RejectsTruncationInsteadOfReadingPastEnd) {
+  std::vector<uint8_t> buf;
+  internal::EncodeVarint(0xffffffffu, &buf);  // five bytes
+  for (size_t keep = 0; keep < buf.size(); ++keep) {
+    const uint8_t* p = buf.data();
+    uint32_t v = 0;
+    EXPECT_FALSE(internal::DecodeVarintChecked(p, p + keep, &v))
+        << "prefix of " << keep << " bytes decoded";
+  }
+}
+
+TEST(VarintCheckedTest, RejectsEncodingsWiderThan32Bits) {
+  // Five continuation bytes: the sixth byte would need shift 35.
+  const std::vector<uint8_t> endless = {0xff, 0xff, 0xff, 0xff, 0xff, 0x01};
+  const uint8_t* p = endless.data();
+  uint32_t v = 0;
+  EXPECT_FALSE(
+      internal::DecodeVarintChecked(p, p + endless.size(), &v));
+  // A fifth byte carrying bits beyond 2^32 (value overflow).
+  const std::vector<uint8_t> wide = {0x80, 0x80, 0x80, 0x80, 0x7f};
+  p = wide.data();
+  EXPECT_FALSE(internal::DecodeVarintChecked(p, p + wide.size(), &v));
+  // The widest legal value still decodes.
+  std::vector<uint8_t> max;
+  internal::EncodeVarint(0xffffffffu, &max);
+  p = max.data();
+  ASSERT_TRUE(internal::DecodeVarintChecked(p, p + max.size(), &v));
+  EXPECT_EQ(v, 0xffffffffu);
+}
+
+TEST(ValidatePostingStreamTest, AcceptsEveryStreamBuildProduces) {
+  std::mt19937_64 rng(829);
+  auto world = MakeRandomWorld(rng);
+  auto packed = CompressedIndex::Build(*world.dd);
+  const Status st = packed->Validate();
+  EXPECT_TRUE(st.ok()) << st;
+}
+
+TEST(ValidatePostingStreamTest, RejectsHostileStreams) {
+  // Well-formed: one length group, one origin group, one entry.
+  std::vector<uint8_t> good;
+  for (uint32_t v : {1u, 3u, 1u, 0u, 1u, 2u, 5u}) {
+    internal::EncodeVarint(v, &good);
+  }
+  EXPECT_TRUE(
+      internal::ValidatePostingStream(good.data(), good.size()).ok());
+
+  // Every strict prefix is truncated mid-grammar.
+  for (size_t keep = 1; keep < good.size(); ++keep) {
+    EXPECT_FALSE(
+        internal::ValidatePostingStream(good.data(), keep).ok())
+        << "prefix " << keep;
+  }
+
+  // Trailing bytes after a complete stream.
+  std::vector<uint8_t> trailing = good;
+  trailing.push_back(0x00);
+  EXPECT_FALSE(
+      internal::ValidatePostingStream(trailing.data(), trailing.size())
+          .ok());
+
+  // A count promising more data than the stream holds.
+  std::vector<uint8_t> hungry;
+  internal::EncodeVarint(200, &hungry);  // 200 length groups, no bytes
+  EXPECT_FALSE(
+      internal::ValidatePostingStream(hungry.data(), hungry.size()).ok());
+}
+
 }  // namespace
 }  // namespace aeetes

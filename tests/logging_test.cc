@@ -135,7 +135,7 @@ TEST(SpanTest, ViewsVectorContents) {
 TEST(SpanDeathTest, AtAbortsOutOfRangeInAllBuilds) {
   const std::vector<int> v = {1, 2, 3};
   const Span<int> s(v);
-  EXPECT_DEATH(s.at(3), "Span::at out of range");
+  EXPECT_DEATH((void)s.at(3), "Span::at out of range");
 }
 
 #ifndef NDEBUG

@@ -1,0 +1,25 @@
+// MUST FAIL to compile under -Werror=thread-safety: writes a
+// GUARDED_BY(mu_) field without holding mu_. If this file ever compiles,
+// the AEETES_GUARDED_BY annotation has silently become a no-op under the
+// gate compiler and the whole TSA contract is void.
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
+
+namespace {
+
+class Guarded {
+ public:
+  void Set(int v) { value_ = v; }  // no lock: must be rejected
+
+ private:
+  aeetes::Mutex mu_;
+  int value_ AEETES_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  g.Set(1);
+  return 0;
+}

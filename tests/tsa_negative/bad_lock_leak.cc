@@ -1,0 +1,22 @@
+// MUST FAIL to compile under -Werror=thread-safety: a function acquires a
+// mutex on one path and returns without releasing it (the early-return
+// leak that scoped MutexLock makes impossible and manual Lock/Unlock
+// reintroduces).
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
+
+namespace {
+
+int LeakOnEarlyReturn(aeetes::Mutex& mu, bool flag) {
+  mu.Lock();
+  if (flag) return 1;  // leaks mu: must be rejected
+  mu.Unlock();
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  aeetes::Mutex mu;
+  return LeakOnEarlyReturn(mu, false);
+}

@@ -1,0 +1,26 @@
+// MUST FAIL to compile under -Werror=thread-safety: calls a
+// REQUIRES(mu_) method without holding the lock (the RefillLocked /
+// SetLocked calling convention).
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
+
+namespace {
+
+class Guarded {
+ public:
+  void SetLocked(int v) AEETES_REQUIRES(mu_) { value_ = v; }
+
+  void Set(int v) { SetLocked(v); }  // caller holds nothing: reject
+
+ private:
+  aeetes::Mutex mu_;
+  int value_ AEETES_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  g.Set(1);
+  return 0;
+}

@@ -1,0 +1,11 @@
+// MUST FAIL to compile under -Werror=thread-safety: releases a mutex the
+// function never acquired (the double-unlock / unlock-on-wrong-branch
+// shape that TSA exists to catch in WorkerLoop-style manual locking).
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
+
+int main() {
+  aeetes::Mutex mu;
+  mu.Unlock();  // never locked: must be rejected
+  return 0;
+}

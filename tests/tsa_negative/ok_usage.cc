@@ -1,0 +1,43 @@
+// Positive control for the TSA negative-compilation harness: correct
+// lock discipline must compile WARNING-FREE under
+// -Wthread-safety -Werror=thread-safety. If this file fails, the harness
+// toolchain is broken (and the bad_*.cc failures prove nothing).
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
+
+namespace {
+
+class Guarded {
+ public:
+  void Set(int v) AEETES_EXCLUDES(mu_) {
+    aeetes::MutexLock lock(mu_);
+    value_ = v;
+  }
+
+  int Get() AEETES_EXCLUDES(mu_) {
+    aeetes::MutexLock lock(mu_);
+    return value_;
+  }
+
+  void SetLocked(int v) AEETES_REQUIRES(mu_) { value_ = v; }
+
+  void WaitForNonZero() AEETES_EXCLUDES(mu_) {
+    mu_.Lock();
+    while (value_ == 0) cv_.Wait(mu_);
+    mu_.Unlock();
+  }
+
+ private:
+  aeetes::Mutex mu_;
+  aeetes::CondVar cv_;
+  int value_ AEETES_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  g.Set(1);
+  g.WaitForNonZero();
+  return g.Get();
+}

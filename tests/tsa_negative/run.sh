@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Negative-compilation harness for the thread safety annotations
+# (DESIGN.md §12). Proves the TSA gate has teeth in both directions:
+#   ok_*.cc   must compile clean under -Werror=thread-safety
+#   bad_*.cc  must FAIL to compile — each encodes one misuse
+#             (guarded write without the lock, unlock-unheld,
+#             REQUIRES violation, early-return lock leak)
+# If a bad case starts compiling, an annotation went no-op (a silently
+# weakened contract), which is exactly as bad as a new race.
+#
+# Requires clang++ (TSA is a clang analysis); callers gate on that —
+# tools/check.sh skips the whole tsa step when clang is absent.
+set -euo pipefail
+
+cd "$(dirname "${BASH_SOURCE[0]}")/../.."
+
+CXX="${CLANG_CXX:-clang++}"
+FLAGS=(-std=c++20 -fsyntax-only -I. -Wthread-safety -Werror=thread-safety)
+
+failed=0
+
+for f in tests/tsa_negative/ok_*.cc; do
+  if "$CXX" "${FLAGS[@]}" "$f" 2>/dev/null; then
+    echo "PASS (compiles clean): $f"
+  else
+    echo "FAIL: positive control does not compile: $f"
+    "$CXX" "${FLAGS[@]}" "$f" || true
+    failed=1
+  fi
+done
+
+for f in tests/tsa_negative/bad_*.cc; do
+  if "$CXX" "${FLAGS[@]}" "$f" 2>/dev/null; then
+    echo "FAIL: misuse compiled (annotation is a no-op): $f"
+    failed=1
+  else
+    echo "PASS (correctly rejected): $f"
+  fi
+done
+
+exit "$failed"

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 #include "src/datagen/profile.h"
 
@@ -69,6 +70,47 @@ TEST_F(TsvIoTest, SaveCreatesDirectory) {
   ASSERT_TRUE(SaveDataset(ds, nested.string()).ok());
   EXPECT_TRUE(std::filesystem::exists(nested / "entities.txt"));
   EXPECT_TRUE(std::filesystem::exists(nested / "ground_truth.tsv"));
+}
+
+// Regression: a non-numeric entity count in meta.txt used to reach
+// std::stoul, whose throw a no-exceptions binary turns into
+// std::terminate (found by fuzz_tsv; the minimized input is checked in
+// at fuzz/corpus/regressions/tsv_meta_stoul_terminate.bin). Hostile file
+// content must come back as a Status.
+TEST_F(TsvIoTest, HostileMetaEntityCountIsAnErrorNotACrash) {
+  std::filesystem::create_directories(dir_);
+  for (const char* name :
+       {"entities.txt", "rules.txt", "documents.txt", "ground_truth.tsv"}) {
+    std::ofstream(dir_ / name) << "";
+  }
+  std::ofstream(dir_ / "meta.txt") << "profile-name\nNOT_A_NUMBER\n";
+
+  auto loaded = LoadDataset(dir_.string());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+
+  // Trailing garbage after valid digits must also be rejected (stoul's
+  // old behavior silently accepted "12abc" as 12).
+  std::ofstream(dir_ / "meta.txt") << "profile-name\n12abc\n";
+  EXPECT_FALSE(LoadDataset(dir_.string()).ok());
+
+  // A plain numeric count still parses.
+  std::ofstream(dir_ / "meta.txt") << "profile-name\n7\n";
+  auto ok = LoadDataset(dir_.string());
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_EQ(ok->num_original_entities, 7u);
+}
+
+TEST_F(TsvIoTest, GroundTruthKindOutOfRangeIsRejected) {
+  std::filesystem::create_directories(dir_);
+  for (const char* name : {"entities.txt", "rules.txt", "documents.txt"}) {
+    std::ofstream(dir_ / name) << "";
+  }
+  std::ofstream(dir_ / "meta.txt") << "p\n0\n";
+  std::ofstream(dir_ / "ground_truth.tsv") << "0\t0\t1\t0\t99\n";
+  auto loaded = LoadDataset(dir_.string());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
 }
 
 }  // namespace

@@ -4,6 +4,11 @@
 # Runs, in order:
 #   format      clang-format --dry-run over src/ tests/ bench/ examples/
 #   tidy        clang-tidy over src/ with the checked-in .clang-tidy
+#   lint        tools/lint.py banned-construct scan (no throw, no naked
+#               new/delete, no TSA suppressions, ... — DESIGN.md §12)
+#   tsa         clang -Werror=thread-safety over the whole tree plus the
+#               tests/tsa_negative negative-compilation harness (each
+#               bad_*.cc must FAIL to compile)
 #   werror      full build with AEETES_WERROR=ON (hardened warning set)
 #   release     Release build + ctest
 #   smoke       Release aeetes_cli --stats=json over data/institutions,
@@ -23,6 +28,11 @@
 #   asan-ubsan  Debug + ASan/UBSan build + ctest
 #   tsan        Debug + TSan build + ctest (includes the runtime hammer
 #               test) + the --threads CLI smoke under TSan
+#   fuzz        AEETES_FUZZ=ON + ASan/UBSan build of the fuzz/ harnesses;
+#               with clang each target fuzzes its seed corpus for
+#               FUZZ_SECONDS (default 30) seconds, otherwise the corpus
+#               and regression inputs are replayed through the
+#               standalone driver
 #
 # Usage:
 #   tools/check.sh                 # run everything available
@@ -92,6 +102,90 @@ step_tidy() {
     # shellcheck disable=SC2086
     clang-tidy -p "$bindir" --quiet $srcs && pass tidy || fail tidy
   fi
+}
+
+step_lint() {
+  note "banned-construct lint (tools/lint.py)"
+  if ! command -v python3 >/dev/null 2>&1; then
+    skip lint "python3 not installed"
+    return
+  fi
+  if python3 tools/lint.py; then
+    pass lint
+  else
+    fail lint "banned construct in src/ (fix or allowlist with a reason)"
+  fi
+}
+
+step_tsa() {
+  note "clang thread safety analysis (-Werror=thread-safety)"
+  if ! command -v clang++ >/dev/null 2>&1; then
+    skip tsa "clang++ not installed (TSA is a clang analysis)"
+    return
+  fi
+  local bindir=build/tsa
+  if ! cmake -S . -B "$bindir" -DCMAKE_BUILD_TYPE=Release \
+       -DCMAKE_C_COMPILER=clang -DCMAKE_CXX_COMPILER=clang++ \
+       -DAEETES_THREAD_SAFETY=ON >"$bindir.configure.log" 2>&1 \
+     || ! cmake --build "$bindir" -j "$JOBS" >"$bindir.build.log" 2>&1; then
+    tail -n 60 "$bindir.build.log" 2>/dev/null || cat "$bindir.configure.log"
+    fail tsa "-Werror=thread-safety build failed"
+    return
+  fi
+  # The annotations must also reject misuse: every bad_*.cc in the
+  # negative harness has to FAIL to compile, or a macro went no-op.
+  if tests/tsa_negative/run.sh; then
+    pass tsa
+  else
+    fail tsa "negative-compilation harness (see output above)"
+  fi
+}
+
+step_fuzz() {
+  note "fuzz firewall (untrusted-input harnesses + seed corpora)"
+  local bindir=build/fuzz
+  local -a cmake_args=(-DCMAKE_BUILD_TYPE=Debug -DAEETES_FUZZ=ON
+                       "-DAEETES_SANITIZE=address,undefined")
+  local libfuzzer=0
+  if command -v clang++ >/dev/null 2>&1; then
+    cmake_args+=(-DCMAKE_C_COMPILER=clang -DCMAKE_CXX_COMPILER=clang++)
+    libfuzzer=1
+  fi
+  if ! cmake -S . -B "$bindir" "${cmake_args[@]}" \
+        >"$bindir.configure.log" 2>&1 \
+     || ! cmake --build "$bindir" -j "$JOBS" \
+          --target fuzz_snapshot fuzz_postings fuzz_tokenizer fuzz_tsv \
+          >"$bindir.build.log" 2>&1; then
+    tail -n 60 "$bindir.build.log" 2>/dev/null || cat "$bindir.configure.log"
+    fail fuzz "harness build failed"
+    return
+  fi
+  local budget="${FUZZ_SECONDS:-30}"
+  local t
+  for t in snapshot postings tokenizer tsv; do
+    local bin="$bindir/fuzz_build/fuzz_$t"
+    if [ "$libfuzzer" = 1 ]; then
+      # Coverage-guided from the seeds, bounded; crash artifacts land in
+      # the current directory (CI uploads crash-*/leak-*/timeout-*).
+      if ! "$bin" "fuzz/corpus/$t" fuzz/corpus/regressions \
+            -max_total_time="$budget" -print_final_stats=1 \
+            >"$bindir.$t.log" 2>&1; then
+        tail -n 40 "$bindir.$t.log"
+        fail fuzz "fuzz_$t found a crash (log above)"
+        return
+      fi
+    else
+      # No libFuzzer on this toolchain: replay every checked-in seed and
+      # regression input through the standalone driver instead.
+      if ! "$bin" "fuzz/corpus/$t" fuzz/corpus/regressions \
+            >"$bindir.$t.log" 2>&1; then
+        tail -n 40 "$bindir.$t.log"
+        fail fuzz "fuzz_$t corpus replay crashed"
+        return
+      fi
+    fi
+  done
+  pass fuzz
 }
 
 step_werror() {
@@ -325,6 +419,8 @@ run_step() {
   case "$1" in
     format)     step_format ;;
     tidy)       step_tidy ;;
+    lint)       step_lint ;;
+    tsa)        step_tsa ;;
     werror)     step_werror ;;
     release)    step_release ;;
     smoke)      step_smoke ;;
@@ -332,15 +428,17 @@ run_step() {
     snapshot)   step_snapshot ;;
     asan-ubsan) step_asan_ubsan ;;
     tsan)       step_tsan ;;
-    *) echo "unknown step: $1 (expected" \
-            "format|tidy|werror|release|smoke|alloc|snapshot|asan-ubsan|tsan)" >&2
+    fuzz)       step_fuzz ;;
+    *) echo "unknown step: $1 (expected format|tidy|lint|tsa|werror|" \
+            "release|smoke|alloc|snapshot|asan-ubsan|tsan|fuzz)" >&2
        exit 2 ;;
   esac
 }
 
 STEPS=("$@")
 if [ ${#STEPS[@]} -eq 0 ]; then
-  STEPS=(format tidy werror release smoke alloc snapshot asan-ubsan tsan)
+  STEPS=(format tidy lint tsa werror release smoke alloc snapshot
+         asan-ubsan tsan fuzz)
 fi
 
 mkdir -p build
