@@ -8,12 +8,12 @@
 #include <set>
 
 #include "bench/bench_common.h"
-#include "src/common/stopwatch.h"
 
 int main() {
   using namespace aeetes;
-  bench::PrintHeader("Ablation: derived-entity cap max_derived",
-                     "DESIGN.md Sec. 4");
+  bench::BenchReporter reporter("ablation_cap",
+                                "Ablation: derived-entity cap max_derived",
+                                "DESIGN.md Sec. 4");
 
   const DatasetProfile profile = bench::EvaluationProfiles()[2];  // USJob-like
   const SyntheticDataset ds = GenerateDataset(profile);
@@ -26,29 +26,32 @@ int main() {
   for (size_t cap : {4u, 16u, 64u, 256u, 1024u}) {
     AeetesOptions options;
     options.derivation.expander.max_derived = cap;
-    Stopwatch sw;
-    auto built =
-        Aeetes::BuildFromText(ds.entity_texts, ds.rule_lines, options);
-    const double build_ms = sw.ElapsedMillis();
-    AEETES_CHECK(built.ok());
-    auto& aeetes = *built;
+    std::unique_ptr<Aeetes> aeetes;
+    const double build_ms = bench::TimedMillis([&] {
+      auto built =
+          Aeetes::BuildFromText(ds.entity_texts, ds.rule_lines, options);
+      AEETES_CHECK(built.ok());
+      aeetes = std::move(*built);
+    });
 
     std::vector<Document> docs;
     for (const std::string& d : ds.documents) {
       docs.push_back(aeetes->EncodeDocument(d));
     }
 
-    sw.Restart();
     std::set<std::tuple<uint32_t, uint32_t, uint32_t>> found;
-    for (size_t d = 0; d < docs.size(); ++d) {
-      auto r = aeetes->Extract(docs[d], 0.9);
-      AEETES_CHECK(r.ok());
-      for (const Match& m : r->matches) {
-        found.emplace(static_cast<uint32_t>(d), m.token_begin, m.entity);
-      }
-    }
     const double extract_ms =
-        sw.ElapsedMillis() / static_cast<double>(docs.size());
+        bench::TimedMillis([&] {
+          for (size_t d = 0; d < docs.size(); ++d) {
+            auto r = aeetes->Extract(docs[d], 0.9);
+            AEETES_CHECK(r.ok());
+            for (const Match& m : r->matches) {
+              found.emplace(static_cast<uint32_t>(d), m.token_begin,
+                            m.entity);
+            }
+          }
+        }) /
+        static_cast<double>(docs.size());
 
     size_t synonym_total = 0, synonym_found = 0;
     for (const GroundTruthPair& gt : ds.ground_truth) {
@@ -61,6 +64,16 @@ int main() {
             ? 1.0
             : static_cast<double>(synonym_found) /
                   static_cast<double>(synonym_total);
+
+    reporter.AddRow()
+        .Set("max_derived", static_cast<uint64_t>(cap))
+        .Set("num_derived",
+             static_cast<uint64_t>(aeetes->derived_dictionary().num_derived()))
+        .Set("build_ms", build_ms)
+        .Set("index_kb",
+             static_cast<uint64_t>(aeetes->index().MemoryBytes() / 1024))
+        .Set("synonym_recall", recall)
+        .Set("extract_ms_per_doc", extract_ms);
 
     std::cout << std::left << std::setw(12) << cap << std::right
               << std::setw(12)

@@ -7,12 +7,12 @@
 #include <iostream>
 
 #include "bench/bench_common.h"
-#include "src/common/stopwatch.h"
 
 int main() {
   using namespace aeetes;
-  bench::PrintHeader("Ablation: greedy vs exact clique selection",
-                     "Section 5");
+  bench::BenchReporter reporter("ablation_clique",
+                                "Ablation: greedy vs exact clique selection",
+                                "Section 5");
 
   std::cout << std::left << std::setw(14) << "dataset" << std::setw(9)
             << "mode" << std::right << std::setw(12) << "avg|A(e)|"
@@ -24,15 +24,24 @@ int main() {
     for (CliqueMode mode : {CliqueMode::kGreedy, CliqueMode::kExact}) {
       AeetesOptions options;
       options.derivation.expander.clique_mode = mode;
-      Stopwatch sw;
-      auto built =
-          Aeetes::BuildFromText(ds.entity_texts, ds.rule_lines, options);
-      const double build_ms = sw.ElapsedMillis();
-      AEETES_CHECK(built.ok());
-      const auto& dd = (*built)->derived_dictionary();
+      std::unique_ptr<Aeetes> aeetes;
+      const double build_ms = bench::TimedMillis([&] {
+        auto built =
+            Aeetes::BuildFromText(ds.entity_texts, ds.rule_lines, options);
+        AEETES_CHECK(built.ok());
+        aeetes = std::move(*built);
+      });
+      const auto& dd = aeetes->derived_dictionary();
+      const std::string_view mode_name =
+          mode == CliqueMode::kGreedy ? "greedy" : "exact";
+      reporter.AddRow()
+          .Set("dataset", profile.name)
+          .Set("mode", mode_name)
+          .Set("avg_applicable_rules", dd.avg_applicable_rules())
+          .Set("num_derived", static_cast<uint64_t>(dd.num_derived()))
+          .Set("build_ms", build_ms);
       std::cout << std::left << std::setw(14) << profile.name << std::setw(9)
-                << (mode == CliqueMode::kGreedy ? "greedy" : "exact")
-                << std::right << std::fixed << std::setw(12)
+                << mode_name << std::right << std::fixed << std::setw(12)
                 << std::setprecision(2) << dd.avg_applicable_rules()
                 << std::setw(12) << dd.num_derived() << std::setw(14)
                 << std::setprecision(1) << build_ms << "\n";

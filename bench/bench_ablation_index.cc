@@ -5,13 +5,13 @@
 #include <iostream>
 
 #include "bench/bench_common.h"
-#include "src/common/stopwatch.h"
 #include "src/index/compressed_index.h"
 
 int main() {
   using namespace aeetes;
-  bench::PrintHeader("Ablation: clustered vs compressed index storage",
-                     "extension");
+  bench::BenchReporter reporter(
+      "ablation_index", "Ablation: clustered vs compressed index storage",
+      "extension");
 
   std::cout << std::left << std::setw(14) << "dataset" << std::right
             << std::setw(12) << "postings" << std::setw(12) << "plain(KB)"
@@ -26,26 +26,35 @@ int main() {
     auto packed = CompressedIndex::Build(plain, dd.token_dict().size());
 
     // Full sweep over every posting, both representations.
-    Stopwatch sw;
     uint64_t checksum_plain = 0;
-    for (const PostingEntry& e : plain.entries()) {
-      checksum_plain += e.derived + e.pos;
-    }
-    const double plain_ms = sw.ElapsedMillis();
+    const double plain_ms = bench::TimedMillis([&] {
+      for (const PostingEntry& e : plain.entries()) {
+        checksum_plain += e.derived + e.pos;
+      }
+    });
 
-    sw.Restart();
     uint64_t checksum_packed = 0;
-    for (TokenId t = 0; t < dd.token_dict().size(); ++t) {
-      packed->Scan(t, [&](uint32_t, EntityId, DerivedId derived,
-                          uint32_t pos) { checksum_packed += derived + pos; });
-    }
-    const double packed_ms = sw.ElapsedMillis();
+    const double packed_ms = bench::TimedMillis([&] {
+      for (TokenId t = 0; t < dd.token_dict().size(); ++t) {
+        packed->Scan(t, [&](uint32_t, EntityId, DerivedId derived,
+                            uint32_t pos) {
+          checksum_packed += derived + pos;
+        });
+      }
+    });
     AEETES_CHECK(checksum_plain == checksum_packed)
         << "representations diverged";
 
     const double plain_kb = static_cast<double>(plain.MemoryBytes()) / 1024;
     const double packed_kb =
         static_cast<double>(packed->MemoryBytes()) / 1024;
+    reporter.AddRow()
+        .Set("dataset", profile.name)
+        .Set("postings", static_cast<uint64_t>(plain.num_entries()))
+        .Set("plain_kb", plain_kb)
+        .Set("packed_kb", packed_kb)
+        .Set("scan_plain_ms", plain_ms)
+        .Set("scan_packed_ms", packed_ms);
     std::cout << std::left << std::setw(14) << profile.name << std::right
               << std::setw(12) << plain.num_entries() << std::fixed
               << std::setprecision(0) << std::setw(12) << plain_kb

@@ -6,12 +6,12 @@
 #include <iostream>
 
 #include "bench/bench_common.h"
-#include "src/common/stopwatch.h"
 #include "src/core/candidate_generator.h"
 
 int main() {
   using namespace aeetes;
-  bench::PrintHeader("Ablation: positional filter", "extension");
+  bench::BenchReporter reporter("ablation_positional",
+                                "Ablation: positional filter", "extension");
 
   std::cout << std::left << std::setw(14) << "dataset" << std::setw(6)
             << "tau" << std::right << std::setw(12) << "cand(off)"
@@ -27,24 +27,32 @@ int main() {
       uint64_t cand_off = 0, cand_on = 0, pruned = 0;
       double ms_off = 0.0, ms_on = 0.0;
       for (const Document& doc : w.documents) {
-        Stopwatch sw;
-        auto off = GenerateCandidates(FilterStrategy::kLazy, doc, dd, index,
-                                      tau);
-        VerifyCandidates(std::move(off.candidates), doc, dd, tau, {});
-        ms_off += sw.ElapsedMillis();
-        cand_off += off.stats.candidates;
+        ms_off += bench::TimedMillis([&] {
+          auto off = GenerateCandidates(FilterStrategy::kLazy, doc, dd,
+                                        index, tau);
+          VerifyCandidates(std::move(off.candidates), doc, dd, tau, {});
+          cand_off += off.stats.candidates;
+        });
 
         CandidateGenOptions opts;
         opts.positional_filter = true;
-        sw.Restart();
-        auto on = GenerateCandidates(FilterStrategy::kLazy, doc, dd, index,
-                                     tau, Metric::kJaccard, opts);
-        VerifyCandidates(std::move(on.candidates), doc, dd, tau, {});
-        ms_on += sw.ElapsedMillis();
-        cand_on += on.stats.candidates;
-        pruned += on.stats.positional_pruned;
+        ms_on += bench::TimedMillis([&] {
+          auto on = GenerateCandidates(FilterStrategy::kLazy, doc, dd, index,
+                                       tau, Metric::kJaccard, opts);
+          VerifyCandidates(std::move(on.candidates), doc, dd, tau, {});
+          cand_on += on.stats.candidates;
+          pruned += on.stats.positional_pruned;
+        });
       }
       const double docs = static_cast<double>(w.documents.size());
+      reporter.AddRow()
+          .Set("dataset", profile.name)
+          .Set("tau", tau)
+          .Set("candidates_off", cand_off)
+          .Set("candidates_on", cand_on)
+          .Set("positional_pruned", pruned)
+          .Set("ms_off_per_doc", ms_off / docs)
+          .Set("ms_on_per_doc", ms_on / docs);
       std::cout << std::left << std::setw(14) << profile.name << std::setw(6)
                 << std::setprecision(2) << tau << std::right << std::setw(12)
                 << cand_off << std::setw(12) << cand_on << std::setw(12)

@@ -9,15 +9,15 @@
 #include <iostream>
 
 #include "bench/bench_common.h"
-#include "src/common/stopwatch.h"
 #include "src/join/asjs.h"
 #include "src/synonym/applicability.h"
 #include "src/synonym/conflict.h"
 
 int main() {
   using namespace aeetes;
-  bench::PrintHeader("ASJS join vs AEES extraction cost asymmetry",
-                     "Section 2.2");
+  bench::BenchReporter reporter("asjs_vs_aees",
+                                "ASJS join vs AEES extraction cost asymmetry",
+                                "Section 2.2");
 
   for (const DatasetProfile& base : bench::EvaluationProfiles()) {
     DatasetProfile profile = base;
@@ -60,20 +60,32 @@ int main() {
     // dictionary) is perfectly tractable.
     AsjsJoin::Options options;
     options.expander.max_derived = 16;
-    Stopwatch sw;
-    auto join =
-        AsjsJoin::Build(entities, entities, rules, std::move(dict), options);
-    AEETES_CHECK(join.ok());
-    const double build_ms = sw.ElapsedMillis();
-    sw.Restart();
-    const auto pairs = (*join)->Join(0.8);
-    const double join_ms = sw.ElapsedMillis();
+    std::unique_ptr<AsjsJoin> join;
+    const double build_ms = bench::TimedMillis([&] {
+      auto built = AsjsJoin::Build(entities, entities, rules,
+                                   std::move(dict), options);
+      AEETES_CHECK(built.ok());
+      join = std::move(*built);
+    });
+    size_t num_pairs = 0;
+    const double join_ms = bench::TimedMillis([&] {
+      num_pairs = join->Join(0.8).size();
+    });
+
+    reporter.AddRow()
+        .Set("dataset", profile.name)
+        .Set("num_left_derived",
+             static_cast<uint64_t>(join->num_left_derived()))
+        .Set("build_ms", build_ms)
+        .Set("join_ms", join_ms)
+        .Set("pairs", static_cast<uint64_t>(num_pairs))
+        .Set("avg_window_rules", avg_aw);
 
     std::cout << std::left << std::setw(14) << profile.name << std::fixed
               << std::setprecision(1) << "  self-join: "
-              << (*join)->num_left_derived() << " derived, build "
+              << join->num_left_derived() << " derived, build "
               << build_ms << " ms, join(0.8) " << join_ms << " ms, "
-              << pairs.size() << " pairs\n"
+              << num_pairs << " pairs\n"
               << "                window-side rules if ASJS were applied "
                  "to documents: avg |A(w)| = "
               << std::setprecision(2) << avg_aw

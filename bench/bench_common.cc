@@ -28,6 +28,18 @@ double TimedMillis(const std::function<void()>& fn) {
   return ms;
 }
 
+double TimedMillisWithPerf(const std::function<void()>& fn,
+                           PerfSample* perf) {
+  // One process-lifetime counter group: benchmarks are single-threaded
+  // main()s, and reopening four perf fds per measurement would dominate
+  // short timed regions.
+  static PerfCounterGroup group;
+  const PerfSample before = group.Read();
+  const double ms = TimedMillis(fn);
+  *perf = group.Read().DeltaSince(before);
+  return ms;
+}
+
 BenchReporter::BenchReporter(std::string name, std::string title,
                              std::string paper_ref)
     : name_(std::move(name)), paper_ref_(std::move(paper_ref)) {
@@ -139,6 +151,43 @@ Workload PrepareWorkload(const DatasetProfile& profile, size_t max_derived) {
   auto built =
       Aeetes::BuildFromText(w.dataset.entity_texts, w.dataset.rule_lines,
                             options);
+  AEETES_CHECK(built.ok()) << built.status();
+  w.aeetes = std::move(*built);
+  w.documents.reserve(w.dataset.documents.size());
+  for (const std::string& d : w.dataset.documents) {
+    w.documents.push_back(w.aeetes->EncodeDocument(d));
+  }
+  return w;
+}
+
+namespace {
+
+std::vector<std::string> MustReadLines(const std::string& path,
+                                       bool allow_empty) {
+  std::vector<std::string> out;
+  std::ifstream in(path);
+  AEETES_CHECK(in.good() || allow_empty) << "cannot open " << path;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) out.push_back(line);
+  }
+  return out;
+}
+
+}  // namespace
+
+Workload PrepareCorpusWorkload(const std::string& dir, size_t max_derived) {
+  Workload w;
+  w.dataset.entity_texts = MustReadLines(dir + "/entities.txt", false);
+  // An absent or empty rule file is a valid corpus (no synonyms).
+  w.dataset.rule_lines = MustReadLines(dir + "/rules.txt", true);
+  w.dataset.documents = MustReadLines(dir + "/documents.txt", false);
+  AEETES_CHECK(!w.dataset.entity_texts.empty()) << dir << ": no entities";
+  AEETES_CHECK(!w.dataset.documents.empty()) << dir << ": no documents";
+  AeetesOptions options;
+  options.derivation.expander.max_derived = max_derived;
+  auto built = Aeetes::BuildFromText(w.dataset.entity_texts,
+                                     w.dataset.rule_lines, options);
   AEETES_CHECK(built.ok()) << built.status();
   w.aeetes = std::move(*built);
   w.documents.reserve(w.dataset.documents.size());

@@ -11,6 +11,7 @@
 #include "src/baseline/faerie_r.h"
 #include "src/common/logging.h"
 #include "src/common/metrics.h"
+#include "src/common/perf_counters.h"
 #include "src/core/aeetes.h"
 #include "src/datagen/generator.h"
 #include "src/datagen/profile.h"
@@ -24,6 +25,13 @@ double EnvDouble(const char* name, double fallback);
 /// Wall time of one call, via ScopedTimer — the single timing primitive
 /// shared by every benchmark (replaces per-benchmark Stopwatch plumbing).
 double TimedMillis(const std::function<void()>& fn);
+
+/// TimedMillis plus the hardware-counter delta across the call (cycles,
+/// instructions, cache misses, branch misses). `*perf` comes back with
+/// `valid == false` when the host exposes no perf events (containers,
+/// non-Linux) — callers emit the perf columns only when valid, so bench
+/// JSON stays machine-independent.
+double TimedMillisWithPerf(const std::function<void()>& fn, PerfSample* perf);
 
 /// Collects benchmark measurements as rows of key/value pairs and emits
 /// them as one uniform machine-readable blob, so trajectory tooling parses
@@ -95,6 +103,15 @@ struct Workload {
 /// |D(e)| (see DESIGN.md).
 Workload PrepareWorkload(const DatasetProfile& profile,
                          size_t max_derived = 64);
+
+/// Builds a workload from an on-disk corpus directory containing
+/// `entities.txt`, `rules.txt` and `documents.txt` (one item per line; the
+/// layout of `data/institutions`). Unlike the synthetic profiles this is
+/// fully deterministic across machines, which is what the bench-smoke
+/// regression gate needs: timing columns drift with hardware, count
+/// columns must not. CHECK-fails when the directory is unreadable.
+Workload PrepareCorpusWorkload(const std::string& dir,
+                               size_t max_derived = 64);
 
 /// Thresholds swept in the paper's efficiency experiments.
 const std::vector<double>& ThresholdSweep();

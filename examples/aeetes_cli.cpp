@@ -14,8 +14,15 @@
 //   --stats        print the metrics registry as a human table (stderr)
 //   --stats=json   print the metrics registry as one JSON line (stdout,
 //                  after the TSV rows — `tail -n 1` isolates it)
+//   --stats=prom   print the registry in Prometheus text exposition
+//                  format (stdout, after the TSV rows; exposition lines
+//                  start at the first `# HELP`)
 //   --trace        print the per-stage span tree of every document's
 //                  Extract call (stderr; per worker when --threads != 1)
+//   --flight-recorder=FILE  enable the flight recorder (sample every
+//                  call, keep the slowest 32) and write the retained
+//                  span trees as Chrome trace_event JSON to FILE — load
+//                  it in Perfetto / chrome://tracing
 //   --threads=N    extract documents on N pool workers (default 1 =
 //                  serial; 0 = one per hardware thread). The TSV rows and
 //                  the stats counters are identical for every N.
@@ -94,9 +101,10 @@ int main(int argc, char** argv) {
   using namespace aeetes;
   bool stats_text = false;
   bool stats_json = false;
+  bool stats_prom = false;
   bool trace_stages = false;
   size_t threads = 1;
-  std::string save_snapshot, load_snapshot;
+  std::string save_snapshot, load_snapshot, flight_recorder_path;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -104,8 +112,16 @@ int main(int argc, char** argv) {
       stats_text = true;
     } else if (arg == "--stats=json") {
       stats_json = true;
+    } else if (arg == "--stats=prom") {
+      stats_prom = true;
     } else if (arg == "--trace") {
       trace_stages = true;
+    } else if (arg.rfind("--flight-recorder=", 0) == 0) {
+      flight_recorder_path = arg.substr(18);
+      if (flight_recorder_path.empty()) {
+        std::cerr << "empty flight recorder path: " << arg << "\n";
+        return 2;
+      }
     } else if (arg.rfind("--threads=", 0) == 0) {
       if (!ParseThreads(arg.substr(10), &threads)) {
         std::cerr << "bad thread count: " << arg << "\n";
@@ -125,7 +141,8 @@ int main(int argc, char** argv) {
   if (positional.size() < 3) {
     std::cerr << "usage: " << argv[0]
               << " ENTITIES RULES DOCUMENTS [tau=0.8] [strategy=lazy]"
-                 " [--stats[=json]] [--trace] [--threads=N]"
+                 " [--stats[=json|=prom]] [--trace] [--threads=N]"
+                 " [--flight-recorder=FILE]"
                  " [--save-snapshot=PATH] [--load-snapshot=PATH]\n";
     return 2;
   }
@@ -174,6 +191,16 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::cerr << "saved snapshot to " << save_snapshot << "\n";
+  }
+  if (!flight_recorder_path.empty()) {
+    // Batch-mode capture: sample every call (the ring still bounds
+    // retention to the slowest 32). A long-running service would keep the
+    // defaults — 1-in-64 plus the slow threshold.
+    FlightRecorderOptions fopts;
+    fopts.sample_every_n = 1;
+    fopts.slow_threshold_ms = 0.0;
+    fopts.capacity = 32;
+    aeetes->EnableFlightRecorder(fopts);
   }
   std::cerr << "dictionary: " << entities.size() << " entities, "
             << aeetes->derived_dictionary().num_derived()
@@ -237,11 +264,27 @@ int main(int argc, char** argv) {
   }
   std::cerr << total << " matches across " << documents.size()
             << " documents at tau=" << tau << "\n";
+  if (!flight_recorder_path.empty()) {
+    const FlightRecorder* recorder = aeetes->flight_recorder();
+    std::ofstream out(flight_recorder_path);
+    if (!out) {
+      std::cerr << "cannot write flight recorder trace to "
+                << flight_recorder_path << "\n";
+      return 1;
+    }
+    out << recorder->ToChromeTrace() << "\n";
+    std::cerr << "flight recorder: retained " << recorder->retained()
+              << " of " << recorder->total_calls() << " calls -> "
+              << flight_recorder_path << "\n";
+  }
   if (stats_text) {
     std::cerr << aeetes->metrics().ToText();
   }
   if (stats_json) {
     std::cout << aeetes->metrics().ToJson() << "\n";
+  }
+  if (stats_prom) {
+    std::cout << aeetes->metrics().ToPrometheus();
   }
   return 0;
 }

@@ -98,6 +98,45 @@ Histogram& MetricsRegistry::RegisterHistogram(std::string name,
   return *it->second;
 }
 
+Counter& MetricsRegistry::GetOrRegisterCounter(std::string name,
+                                               std::string help) {
+  MutexLock lock(mu_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  AEETES_CHECK(help_.emplace(name, std::move(help)).second)
+      << "metric registered under another kind: " << name;
+  auto [ins, inserted] =
+      counters_.emplace(std::move(name), std::make_unique<Counter>());
+  AEETES_CHECK(inserted);
+  return *ins->second;
+}
+
+Gauge& MetricsRegistry::GetOrRegisterGauge(std::string name,
+                                           std::string help) {
+  MutexLock lock(mu_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  AEETES_CHECK(help_.emplace(name, std::move(help)).second)
+      << "metric registered under another kind: " << name;
+  auto [ins, inserted] =
+      gauges_.emplace(std::move(name), std::make_unique<Gauge>());
+  AEETES_CHECK(inserted);
+  return *ins->second;
+}
+
+Histogram& MetricsRegistry::GetOrRegisterHistogram(std::string name,
+                                                   std::string help) {
+  MutexLock lock(mu_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  AEETES_CHECK(help_.emplace(name, std::move(help)).second)
+      << "metric registered under another kind: " << name;
+  auto [ins, inserted] =
+      histograms_.emplace(std::move(name), std::make_unique<Histogram>());
+  AEETES_CHECK(inserted);
+  return *ins->second;
+}
+
 const Counter* MetricsRegistry::FindCounter(std::string_view name) const {
   MutexLock lock(mu_);
   const auto it = counters_.find(name);
@@ -114,6 +153,33 @@ const Histogram* MetricsRegistry::FindHistogram(std::string_view name) const {
   MutexLock lock(mu_);
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::pair<std::string, const Counter*>> MetricsRegistry::Counters()
+    const {
+  MutexLock lock(mu_);
+  std::vector<std::pair<std::string, const Counter*>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c.get());
+  return out;
+}
+
+std::vector<std::pair<std::string, const Gauge*>> MetricsRegistry::Gauges()
+    const {
+  MutexLock lock(mu_);
+  std::vector<std::pair<std::string, const Gauge*>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g.get());
+  return out;
+}
+
+std::vector<std::pair<std::string, const Histogram*>>
+MetricsRegistry::Histograms() const {
+  MutexLock lock(mu_);
+  std::vector<std::pair<std::string, const Histogram*>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) out.emplace_back(name, h.get());
+  return out;
 }
 
 std::string MetricsRegistry::ToJson() const {
@@ -209,6 +275,99 @@ std::string MetricsRegistry::ToText() const {
   return out;
 }
 
+namespace {
+
+/// `extract.calls` -> `aeetes_extract_calls`: the registry's dot-separated
+/// names are not valid Prometheus identifiers, so dots (and any other
+/// character outside [a-zA-Z0-9_:]) become underscores.
+std::string PromName(const std::string& name) {
+  std::string out = "aeetes_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+/// HELP text escaping per the exposition format: backslash and newline.
+void AppendPromHelp(std::string* out, const std::string& help) {
+  for (const char c : help) {
+    if (c == '\\') {
+      *out += "\\\\";
+    } else if (c == '\n') {
+      *out += "\\n";
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToPrometheus() const {
+  MutexLock lock(mu_);
+  std::string out;
+  auto header = [&](const std::string& raw_name, const std::string& prom_name,
+                    std::string_view type) {
+    const auto help = help_.find(raw_name);
+    out += "# HELP ";
+    out += prom_name;
+    out.push_back(' ');
+    if (help != help_.end()) AppendPromHelp(&out, help->second);
+    out += "\n# TYPE ";
+    out += prom_name;
+    out.push_back(' ');
+    out += type;
+    out.push_back('\n');
+  };
+  for (const auto& [name, c] : counters_) {
+    const std::string prom = PromName(name) + "_total";
+    header(name, prom, "counter");
+    out += prom;
+    out.push_back(' ');
+    jsonio::AppendUint(&out, c->value());
+    out.push_back('\n');
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string prom = PromName(name);
+    header(name, prom, "gauge");
+    out += prom;
+    out.push_back(' ');
+    jsonio::AppendInt(&out, g->value());
+    out.push_back('\n');
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string prom = PromName(name);
+    header(name, prom, "histogram");
+    // Prometheus buckets are cumulative counts of observations <= le; the
+    // registry's log2 buckets are disjoint, so prefix-sum while emitting.
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      cumulative += h->bucket(i);
+      out += prom;
+      out += "_bucket{le=\"";
+      if (i == Histogram::kNumBuckets - 1) {
+        out += "+Inf";
+      } else {
+        out += std::to_string(Histogram::BucketUpperBound(i));
+      }
+      out += "\"} ";
+      jsonio::AppendUint(&out, cumulative);
+      out.push_back('\n');
+    }
+    out += prom;
+    out += "_sum ";
+    jsonio::AppendUint(&out, h->sum());
+    out.push_back('\n');
+    out += prom;
+    out += "_count ";
+    jsonio::AppendUint(&out, h->count());
+    out.push_back('\n');
+  }
+  return out;
+}
+
 void MetricsRegistry::ResetAll() {
   MutexLock lock(mu_);
   for (auto& [name, c] : counters_) c->Reset();
@@ -278,18 +437,20 @@ void AppendSpanJson(const std::vector<TraceRecorder::Span>& spans, size_t id,
 
 }  // namespace
 
-std::string TraceRecorder::ToJson() const {
+std::string TraceRecorder::SpansToJson(const std::vector<Span>& spans) {
   std::string out = "{\"spans\":[";
   bool first = true;
-  for (size_t i = 0; i < spans_.size(); ++i) {
-    if (spans_[i].parent != kNoSpan) continue;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].parent != kNoSpan) continue;
     if (!first) out.push_back(',');
     first = false;
-    AppendSpanJson(spans_, i, &out);
+    AppendSpanJson(spans, i, &out);
   }
   out += "]}";
   return out;
 }
+
+std::string TraceRecorder::ToJson() const { return SpansToJson(spans_); }
 
 std::string TraceRecorder::ToText() const {
   std::string out;

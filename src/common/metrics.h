@@ -128,11 +128,34 @@ class MetricsRegistry {
   Histogram& RegisterHistogram(std::string name, std::string help)
       AEETES_EXCLUDES(mu_);
 
+  /// Idempotent registration: returns the existing metric when the name is
+  /// already registered with the same kind (help is kept from the first
+  /// registration), CHECK-aborts when it exists as another kind. For
+  /// publishers that re-emit after every run (pool gauges, snapshot stats)
+  /// without tracking whether this is the first run.
+  Counter& GetOrRegisterCounter(std::string name, std::string help)
+      AEETES_EXCLUDES(mu_);
+  Gauge& GetOrRegisterGauge(std::string name, std::string help)
+      AEETES_EXCLUDES(mu_);
+  Histogram& GetOrRegisterHistogram(std::string name, std::string help)
+      AEETES_EXCLUDES(mu_);
+
   /// Lookup by exact name; nullptr when absent (or of another kind).
   const Counter* FindCounter(std::string_view name) const AEETES_EXCLUDES(mu_);
   const Gauge* FindGauge(std::string_view name) const AEETES_EXCLUDES(mu_);
   [[nodiscard]] const Histogram* FindHistogram(std::string_view name) const
       AEETES_EXCLUDES(mu_);
+
+  /// Sorted (name, metric) enumeration of what is registered right now.
+  /// The pointers stay valid for the life of the registry (same stability
+  /// guarantee as the references Register* returns); the telemetry hub
+  /// uses this to pick its tracked set once at startup.
+  [[nodiscard]] std::vector<std::pair<std::string, const Counter*>> Counters()
+      const AEETES_EXCLUDES(mu_);
+  [[nodiscard]] std::vector<std::pair<std::string, const Gauge*>> Gauges()
+      const AEETES_EXCLUDES(mu_);
+  [[nodiscard]] std::vector<std::pair<std::string, const Histogram*>>
+  Histograms() const AEETES_EXCLUDES(mu_);
 
   /// Compact single-line JSON snapshot:
   ///   {"counters":{...},"gauges":{...},
@@ -143,6 +166,15 @@ class MetricsRegistry {
   /// Aligned human-readable table; histograms list non-zero buckets as
   /// [lo, hi]=count ranges.
   std::string ToText() const AEETES_EXCLUDES(mu_);
+
+  /// Prometheus text exposition format (v0.0.4). Naming rules (DESIGN.md
+  /// §13): every metric is prefixed `aeetes_`, dots become underscores,
+  /// counters get the conventional `_total` suffix. Histograms emit
+  /// cumulative `_bucket{le="..."}` series derived from the log2 bucket
+  /// upper bounds (0, 1, 3, 7, ..., +Inf) plus `_sum` and `_count`.
+  /// Iteration order is the sorted registry order, so output is
+  /// deterministic for a fixed state (golden-tested).
+  std::string ToPrometheus() const AEETES_EXCLUDES(mu_);
 
   /// Zeroes every value while keeping registrations (per-run deltas).
   void ResetAll() AEETES_EXCLUDES(mu_);
@@ -223,6 +255,11 @@ class TraceRecorder {
   [[nodiscard]] std::string ToJson() const;
   /// Indented tree with times and stats, one span per line.
   [[nodiscard]] std::string ToText() const;
+
+  /// Same encoding as ToJson over a detached span vector — the flight
+  /// recorder stores copies of span trees after the recorder that produced
+  /// them has been recycled.
+  static std::string SpansToJson(const std::vector<Span>& spans);
 
   void Clear();
 

@@ -1,0 +1,116 @@
+#include "src/common/perf_counters.h"
+
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace aeetes {
+
+PerfSample PerfSample::DeltaSince(const PerfSample& earlier) const {
+  PerfSample d;
+  d.valid = valid && earlier.valid;
+  auto sub = [](uint64_t a, uint64_t b) { return a >= b ? a - b : 0; };
+  d.cycles = sub(cycles, earlier.cycles);
+  d.instructions = sub(instructions, earlier.instructions);
+  d.cache_misses = sub(cache_misses, earlier.cache_misses);
+  d.branch_misses = sub(branch_misses, earlier.branch_misses);
+  return d;
+}
+
+#if defined(__linux__)
+
+namespace {
+
+long PerfEventOpen(perf_event_attr* attr, pid_t pid, int cpu, int group_fd,
+                   unsigned long flags) {
+  return syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags);
+}
+
+/// config value per slot, in PerfSample field order.
+constexpr uint64_t kEventConfigs[PerfCounterGroup::kNumEvents] = {
+    PERF_COUNT_HW_CPU_CYCLES,
+    PERF_COUNT_HW_INSTRUCTIONS,
+    PERF_COUNT_HW_CACHE_MISSES,
+    PERF_COUNT_HW_BRANCH_MISSES,
+};
+
+int OpenHardwareEvent(uint64_t config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  attr.disabled = 0;  // counting starts at open
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  // pid=0, cpu=-1: this thread, whichever CPU it runs on.
+  return static_cast<int>(PerfEventOpen(&attr, 0, -1, -1, 0));
+}
+
+uint64_t ReadCounterFd(int fd) {
+  if (fd < 0) return 0;
+  uint64_t value = 0;
+  const ssize_t n = read(fd, &value, sizeof(value));
+  return n == static_cast<ssize_t>(sizeof(value)) ? value : 0;
+}
+
+}  // namespace
+
+void PerfCounterGroup::OpenAll() {
+  for (int i = 0; i < kNumEvents; ++i) {
+    fds_[i] = OpenHardwareEvent(kEventConfigs[i]);
+    if (fds_[i] >= 0) ++open_events_;
+  }
+  active_ = open_events_ > 0;
+}
+
+PerfCounterGroup::~PerfCounterGroup() {
+  for (const int fd : fds_) {
+    if (fd >= 0) close(fd);
+  }
+}
+
+PerfSample PerfCounterGroup::Read() const {
+  PerfSample s;
+  if (!active_) return s;
+  s.valid = true;
+  s.cycles = ReadCounterFd(fds_[0]);
+  s.instructions = ReadCounterFd(fds_[1]);
+  s.cache_misses = ReadCounterFd(fds_[2]);
+  s.branch_misses = ReadCounterFd(fds_[3]);
+  return s;
+}
+
+bool PerfCounterGroup::Supported() {
+  static const bool supported = [] {
+    const int fd = OpenHardwareEvent(PERF_COUNT_HW_CPU_CYCLES);
+    if (fd < 0) return false;
+    close(fd);
+    return true;
+  }();
+  return supported;
+}
+
+#else  // !defined(__linux__)
+
+void PerfCounterGroup::OpenAll() {}
+
+PerfCounterGroup::~PerfCounterGroup() = default;
+
+PerfSample PerfCounterGroup::Read() const { return PerfSample{}; }
+
+bool PerfCounterGroup::Supported() { return false; }
+
+#endif  // defined(__linux__)
+
+PerfCounterGroup::PerfCounterGroup() { OpenAll(); }
+
+PerfCounterGroup::PerfCounterGroup(bool disabled) {
+  if (!disabled) OpenAll();
+}
+
+}  // namespace aeetes

@@ -1,0 +1,73 @@
+#ifndef AEETES_COMMON_PERF_COUNTERS_H_
+#define AEETES_COMMON_PERF_COUNTERS_H_
+
+#include <cstdint>
+
+namespace aeetes {
+
+/// One reading (or delta) of the hardware counters the flight recorder and
+/// benches attach to Extract calls. `valid` is false when the backend is
+/// the null one — perf_event_open denied (containers, perf_event_paranoid),
+/// unsupported hardware, or a non-Linux build — in which case every field
+/// is zero and consumers simply omit the columns.
+struct PerfSample {
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t cache_misses = 0;
+  uint64_t branch_misses = 0;
+  bool valid = false;
+
+  /// Saturating per-field difference (counters are monotone while open, so
+  /// saturation only guards against a torn pairing of samples).
+  [[nodiscard]] PerfSample DeltaSince(const PerfSample& earlier) const;
+};
+
+/// RAII group of per-thread hardware counters: cycles, instructions,
+/// cache-misses, branch-misses, counting from construction. Each event is
+/// opened with its own fd (pid=0, cpu=-1, exclude_kernel) so a machine
+/// that virtualizes away, say, cache-miss counters still yields the rest.
+/// When nothing opens — or on non-Linux — the group degrades to a null
+/// backend: active() is false and Read() returns an invalid zero sample.
+/// No exceptions, no allocation; safe to hold in a thread_local.
+///
+/// File descriptors are bound to the opening thread (the counters follow
+/// that thread across CPUs), so a group must be constructed and read on
+/// the same thread — one group per thread, never shared.
+class PerfCounterGroup {
+ public:
+  /// Number of events the group tries to open.
+  static constexpr int kNumEvents = 4;
+
+  PerfCounterGroup();
+  /// Forced null backend regardless of kernel support (tests, and callers
+  /// that want the plumbing without the syscalls).
+  explicit PerfCounterGroup(bool disabled);
+  ~PerfCounterGroup();
+
+  PerfCounterGroup(const PerfCounterGroup&) = delete;
+  PerfCounterGroup& operator=(const PerfCounterGroup&) = delete;
+
+  /// True when at least one event opened; Read() samples are then valid.
+  [[nodiscard]] bool active() const { return active_; }
+  /// Number of events that actually opened (0..kNumEvents).
+  [[nodiscard]] int open_events() const { return open_events_; }
+
+  /// Current cumulative reading; events that failed to open read as zero.
+  /// Invalid (all-zero) when the group is inactive.
+  [[nodiscard]] PerfSample Read() const;
+
+  /// One cached process-wide probe: can this process open a cycles
+  /// counter at all? Cheap to call repeatedly.
+  static bool Supported();
+
+ private:
+  void OpenAll();
+
+  int fds_[kNumEvents] = {-1, -1, -1, -1};
+  int open_events_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace aeetes
+
+#endif  // AEETES_COMMON_PERF_COUNTERS_H_

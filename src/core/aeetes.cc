@@ -5,9 +5,23 @@
 #include <string_view>
 
 #include "src/common/metrics.h"
+#include "src/common/perf_counters.h"
 #include "src/text/token_set.h"
 
 namespace aeetes {
+
+namespace {
+
+/// Hardware counters for sampled Extract calls. perf_event fds follow the
+/// opening thread, so there is one lazily-opened group per thread; on
+/// machines without perf_event_open this is the null backend and every
+/// Read comes back invalid (the trace simply carries no perf stats).
+PerfCounterGroup& ThreadPerfCounters() {
+  thread_local PerfCounterGroup group;
+  return group;
+}
+
+}  // namespace
 
 Aeetes::PipelineMetrics::PipelineMetrics(MetricsRegistry& registry)
     : extract_calls(registry.RegisterCounter("extract.calls",
@@ -144,6 +158,10 @@ void Aeetes::PublishSnapshotMetrics(double load_us, uint64_t bytes,
       .Set(mmap ? 1 : 0);
 }
 
+void Aeetes::EnableFlightRecorder(const FlightRecorderOptions& options) {
+  flight_ = std::make_unique<FlightRecorder>(options);
+}
+
 Document Aeetes::EncodeDocument(std::string_view text) {
   MutexLock lock(encode_mu_);
   return Document::FromText(text, tokenizer_, dd_->mutable_token_dict());
@@ -184,29 +202,75 @@ Result<Aeetes::ExtractionSummary> Aeetes::ExtractIntoWithStrategy(
     return Status::InvalidArgument("threshold must be in (0, 1]");
   }
   ExtractionSummary result;
-  ScopedTimer extract_timer(&pipeline_.extract_latency_us);
-  TraceScope extract_span(trace, "extract");
 
-  {
-    ScopedTimer timer(&pipeline_.filter_latency_us, &result.filter_ms);
-    CandidateGenOptions gen_options;
-    gen_options.positional_filter = options_.positional_filter;
-    result.filter_stats =
-        GenerateCandidatesInto(strategy, doc, *dd_, *index_, tau,
-                               options_.metric, gen_options, scratch, trace);
+  // Flight recorder: when the caller did not bring a TraceRecorder and the
+  // sampler picks this call, capture it into the scratch-owned recorder
+  // (and bracket it with hardware counter readings). Recorder off — the
+  // default — costs one null-check; unsampled calls cost one relaxed add.
+  FlightRecorder* const recorder = flight_.get();
+  TraceRecorder* active_trace = trace;
+  bool flight_sampled = false;
+  PerfSample perf_before;
+  if (recorder != nullptr && trace == nullptr && recorder->ShouldSample()) {
+    scratch.flight_trace.Clear();
+    active_trace = &scratch.flight_trace;
+    flight_sampled = true;
+    perf_before = ThreadPerfCounters().Read();
   }
 
+  double elapsed_ms = 0.0;
   {
-    ScopedTimer timer(&pipeline_.verify_latency_us, &result.verify_ms);
-    TraceScope verify_span(trace, "verify");
-    JaccArOptions jopts;
-    jopts.metric = options_.metric;
-    jopts.weighted = options_.weighted;
-    VerifyCandidatesInto(scratch.candidates, doc, *dd_, tau, jopts,
-                         scratch.matches, scratch.ordered_set,
-                         scratch.ordered_ranks, &result.verify_stats);
-    verify_span.AddStat("verified", result.verify_stats.verified);
-    verify_span.AddStat("matched", result.verify_stats.matched);
+    ScopedTimer extract_timer(&pipeline_.extract_latency_us, &elapsed_ms);
+    TraceScope extract_span(active_trace, "extract");
+
+    {
+      ScopedTimer timer(&pipeline_.filter_latency_us, &result.filter_ms);
+      CandidateGenOptions gen_options;
+      gen_options.positional_filter = options_.positional_filter;
+      result.filter_stats = GenerateCandidatesInto(
+          strategy, doc, *dd_, *index_, tau, options_.metric, gen_options,
+          scratch, active_trace);
+    }
+
+    {
+      ScopedTimer timer(&pipeline_.verify_latency_us, &result.verify_ms);
+      TraceScope verify_span(active_trace, "verify");
+      JaccArOptions jopts;
+      jopts.metric = options_.metric;
+      jopts.weighted = options_.weighted;
+      VerifyCandidatesInto(scratch.candidates, doc, *dd_, tau, jopts,
+                           scratch.matches, scratch.ordered_set,
+                           scratch.ordered_ranks, &result.verify_stats);
+      verify_span.AddStat("verified", result.verify_stats.verified);
+      verify_span.AddStat("matched", result.verify_stats.matched);
+    }
+  }
+
+  if (recorder != nullptr) {
+    FlightRecorder::CallInfo info;
+    info.elapsed_ms = elapsed_ms;
+    info.filter_ms = result.filter_ms;
+    info.verify_ms = result.verify_ms;
+    info.doc_tokens = doc.size();
+    info.matches = scratch.matches.size();
+    info.label = FilterStrategyName(strategy);
+    if (flight_sampled) {
+      info.perf = ThreadPerfCounters().Read().DeltaSince(perf_before);
+      if (info.perf.valid) {
+        // Root span id is 0: the recorder was Clear()ed above, so
+        // "extract" was the first span it opened.
+        scratch.flight_trace.AddStat(0, "perf.cycles", info.perf.cycles);
+        scratch.flight_trace.AddStat(0, "perf.instructions",
+                                     info.perf.instructions);
+        scratch.flight_trace.AddStat(0, "perf.cache_misses",
+                                     info.perf.cache_misses);
+        scratch.flight_trace.AddStat(0, "perf.branch_misses",
+                                     info.perf.branch_misses);
+      }
+      recorder->RecordCall(info, &scratch.flight_trace);
+    } else {
+      recorder->RecordCall(info, nullptr);
+    }
   }
 
   // One relaxed atomic add per counter per call: the per-call structs stay

@@ -10,6 +10,7 @@
 #include "src/common/metrics.h"
 #include "src/common/mutex.h"
 #include "src/common/status.h"
+#include "src/common/telemetry.h"
 #include "src/common/thread_annotations.h"
 #include "src/core/candidate_generator.h"
 #include "src/core/document.h"
@@ -174,11 +175,32 @@ class Aeetes {
   /// atomics, so reading or exporting concurrently is race-free.
   [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
 
+  /// Mutable handle to the instance registry (the designated-mutable
+  /// member). Runtime components layered above the core — pool gauges,
+  /// telemetry publishers — write through this; updates stay lock-free
+  /// relaxed atomics, so it is as safe as the const view.
+  [[nodiscard]] MetricsRegistry& mutable_metrics() const { return metrics_; }
+
   /// Publishes `snapshot.{load_us,bytes,mmap}` gauges describing how this
   /// instance's image was loaded. Called by LoadSnapshot / the CLI; const
   /// because the registry is the designated-mutable member.
   void PublishSnapshotMetrics(double load_us, uint64_t bytes,
                               bool mmap) const;
+
+  /// Turns on the always-on flight recorder: every 1-in-N Extract keeps
+  /// its full span tree, any call over the slow threshold is retained
+  /// unconditionally, and the K slowest survive in a bounded ring
+  /// (FlightRecorderOptions; DESIGN.md §13). Enable once before extraction
+  /// traffic starts — installing the recorder is not synchronized against
+  /// in-flight Extract calls; once installed, recording itself is
+  /// thread-safe. When the recorder is off (the default), the hot path
+  /// pays exactly one pointer null-check.
+  void EnableFlightRecorder(const FlightRecorderOptions& options);
+
+  /// The installed recorder, or nullptr when disabled.
+  [[nodiscard]] FlightRecorder* flight_recorder() const {
+    return flight_.get();
+  }
 
   /// Original-entity text reconstruction (token texts joined by spaces).
   [[nodiscard]] std::string EntityText(EntityId e) const;
@@ -244,6 +266,8 @@ class Aeetes {
   const ClusteredIndex* index_;
   mutable MetricsRegistry metrics_;
   PipelineMetrics pipeline_;
+  /// Installed by EnableFlightRecorder; null when recording is off.
+  std::unique_ptr<FlightRecorder> flight_;
 };
 
 }  // namespace aeetes

@@ -7,6 +7,7 @@
 
 #include "src/common/flat_map.h"
 #include "src/common/logging.h"
+#include "src/common/metrics.h"
 #include "src/core/candidate_generator.h"
 #include "src/core/verifier.h"
 #include "src/core/window.h"
@@ -144,6 +145,11 @@ struct ExtractScratch {
   std::vector<TokenRank> ordered_ranks;
   /// Verifier output, sorted by (token_begin, token_len, entity).
   std::vector<Match> matches;
+  /// Flight-recorder span capture for calls the sampler picks when the
+  /// caller did not pass its own TraceRecorder. Lives in the scratch so
+  /// sampled calls reuse one warm recorder per thread (Clear keeps span
+  /// capacity); untouched — zero cost — when the recorder is disabled.
+  TraceRecorder flight_trace;
 };
 
 }  // namespace aeetes

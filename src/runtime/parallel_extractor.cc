@@ -216,6 +216,9 @@ Result<ParallelExtraction> ParallelExtractor::ExtractAllWithStrategy(
     out.verify_stats += ws.verify;
   }
   out.worker_traces = std::move(traces);
+  // Fresh `runtime.*` gauges after every run; gauges (not counters) so the
+  // counters-only determinism comparison across thread counts stays exact.
+  PublishRuntimeMetrics();
   return out;
 }
 

@@ -98,6 +98,19 @@ class ParallelExtractor {
     return options_;
   }
 
+  /// The underlying pool's monitoring snapshot (steals, injections, queue
+  /// depth, per-worker busy fractions).
+  [[nodiscard]] ThreadPool::Stats PoolStats() const {
+    return pool_->GetStats();
+  }
+
+  /// Publishes the pool snapshot as `runtime.*` gauges into the engine's
+  /// registry. ExtractAll* calls this after every run; long-lived callers
+  /// hook it to a TelemetryTicker for fresh per-tick values.
+  void PublishRuntimeMetrics() const {
+    pool_->PublishMetrics(aeetes_.mutable_metrics());
+  }
+
   /// The chunk layout ExtractAll would use for a document of `num_tokens`
   /// tokens at threshold `tau`: (begin, length) pairs covering the
   /// document, overlapping by max_window_len - 1. Exposed for tests and

@@ -100,7 +100,8 @@ Result<std::unique_ptr<ThreadPool>> ThreadPool::Create(
   return std::unique_ptr<ThreadPool>(new ThreadPool(resolved));
 }
 
-ThreadPool::ThreadPool(const ThreadPoolOptions& options) : options_(options) {
+ThreadPool::ThreadPool(const ThreadPoolOptions& options)
+    : options_(options), worker_clocks_(options.num_threads) {
   const size_t n = options_.num_threads;
   // Batch refills amortize the injection-queue lock without letting one
   // worker hoard the queue; leftovers stay stealable on its deque.
@@ -133,6 +134,7 @@ Status ThreadPool::Submit(Task task) {
   }
   injection_.push_back(heap_task);
   pending_.fetch_add(1, std::memory_order_relaxed);
+  submitted_.fetch_add(1, std::memory_order_relaxed);
   ++signal_;
   cv_work_.NotifyOne();
   return Status::OK();
@@ -149,6 +151,7 @@ Status ThreadPool::TrySubmit(Task task) {
   }
   injection_.push_back(new Task(std::move(task)));
   pending_.fetch_add(1, std::memory_order_relaxed);
+  submitted_.fetch_add(1, std::memory_order_relaxed);
   ++signal_;
   cv_work_.NotifyOne();
   return Status::OK();
@@ -192,7 +195,10 @@ ThreadPool::Task* ThreadPool::PopOrSteal(size_t index) {
   if (Task* t = deques_[index]->Pop()) return t;
   const size_t n = deques_.size();
   for (size_t i = 1; i < n; ++i) {
-    if (Task* t = deques_[(index + i) % n]->Steal()) return t;
+    if (Task* t = deques_[(index + i) % n]->Steal()) {
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return t;
+    }
   }
   return nullptr;
 }
@@ -251,9 +257,69 @@ void ThreadPool::WorkerLoop(size_t index) {
       }
       mu_.Unlock();
     }
-    (*task)();
+    {
+      // Two steady_clock reads per task; tasks are whole-document
+      // extractions, so the busy clock costs well under 0.1%.
+      const Stopwatch task_clock;
+      (*task)();
+      worker_clocks_[index].busy_us.fetch_add(
+          static_cast<uint64_t>(task_clock.ElapsedMicros()),
+          std::memory_order_relaxed);
+    }
     delete task;
+    executed_.fetch_add(1, std::memory_order_relaxed);
     FinishTask();
+  }
+}
+
+ThreadPool::Stats ThreadPool::GetStats() const {
+  Stats stats;
+  stats.num_threads = workers_.size();
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.executed = executed_.load(std::memory_order_relaxed);
+  stats.steals = steals_.load(std::memory_order_relaxed);
+  {
+    MutexLock lk(mu_);
+    stats.queue_depth = injection_.size();
+  }
+  const double lifetime_us =
+      std::max(1.0, static_cast<double>(lifetime_.ElapsedMicros()));
+  stats.worker_busy_fraction.reserve(worker_clocks_.size());
+  for (const WorkerClock& clock : worker_clocks_) {
+    const auto busy =
+        static_cast<double>(clock.busy_us.load(std::memory_order_relaxed));
+    stats.worker_busy_fraction.push_back(
+        std::min(1.0, busy / lifetime_us));
+  }
+  return stats;
+}
+
+void ThreadPool::PublishMetrics(MetricsRegistry& registry) const {
+  const Stats stats = GetStats();
+  registry.GetOrRegisterGauge("runtime.pool.threads", "pool worker threads")
+      .Set(static_cast<int64_t>(stats.num_threads));
+  registry
+      .GetOrRegisterGauge("runtime.pool.submitted",
+                          "tasks accepted into the injection queue")
+      .Set(static_cast<int64_t>(stats.submitted));
+  registry
+      .GetOrRegisterGauge("runtime.pool.executed",
+                          "tasks run to completion")
+      .Set(static_cast<int64_t>(stats.executed));
+  registry
+      .GetOrRegisterGauge("runtime.pool.steals",
+                          "successful cross-worker steals")
+      .Set(static_cast<int64_t>(stats.steals));
+  registry
+      .GetOrRegisterGauge("runtime.pool.queue_depth",
+                          "injection queue length at publish time")
+      .Set(static_cast<int64_t>(stats.queue_depth));
+  for (size_t i = 0; i < stats.worker_busy_fraction.size(); ++i) {
+    registry
+        .GetOrRegisterGauge(
+            "runtime.worker." + std::to_string(i) + ".busy_ppm",
+            "worker busy time over pool lifetime, parts per million")
+        .Set(static_cast<int64_t>(stats.worker_busy_fraction[i] * 1e6));
   }
 }
 

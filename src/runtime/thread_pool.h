@@ -11,8 +11,10 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/metrics.h"
 #include "src/common/mutex.h"
 #include "src/common/status.h"
+#include "src/common/stopwatch.h"
 #include "src/common/thread_annotations.h"
 
 namespace aeetes {
@@ -126,6 +128,25 @@ class ThreadPool {
   /// accumulators, trace recorders) be indexed without synchronization.
   [[nodiscard]] size_t CurrentWorkerIndex() const;
 
+  /// Monitoring snapshot. Counts are pool-lifetime totals; `queue_depth`
+  /// is an instantaneous sample of the injection queue; busy fractions are
+  /// each worker's task-execution time over the pool's lifetime so far.
+  struct Stats {
+    size_t num_threads = 0;
+    uint64_t submitted = 0;   // tasks accepted into the injection queue
+    uint64_t executed = 0;    // tasks run to completion
+    uint64_t steals = 0;      // successful cross-worker steals
+    size_t queue_depth = 0;   // injection queue length right now
+    std::vector<double> worker_busy_fraction;  // [0,1] per worker
+  };
+  [[nodiscard]] Stats GetStats() const AEETES_EXCLUDES(mu_);
+
+  /// Publishes GetStats() as `runtime.pool.*` and `runtime.worker.<i>.*`
+  /// gauges (busy fractions as parts-per-million ints). Registration is
+  /// idempotent, so callers republish after every run — and the telemetry
+  /// ticker can republish on every tick.
+  void PublishMetrics(MetricsRegistry& registry) const AEETES_EXCLUDES(mu_);
+
  private:
   explicit ThreadPool(const ThreadPoolOptions& options);
 
@@ -151,7 +172,8 @@ class ThreadPool {
   std::vector<std::unique_ptr<WorkStealingDeque>> deques_;
   std::vector<std::thread> workers_;
 
-  Mutex mu_;
+  /// Mutable so const monitoring (GetStats) can sample the queue depth.
+  mutable Mutex mu_;
   CondVar cv_work_;   // workers park here
   CondVar cv_space_;  // blocked Submit callers park here
   CondVar cv_idle_;   // WaitIdle callers park here
@@ -164,6 +186,18 @@ class ThreadPool {
   /// Submitted-but-unfinished tasks (atomic so FinishTask stays lock-free
   /// until the count hits zero).
   std::atomic<uint64_t> pending_{0};
+
+  /// Lifetime stats (relaxed atomics: one add per task on each, dwarfed by
+  /// the task bodies themselves). Busy clocks are cache-line separated so
+  /// workers never share a stats line.
+  struct alignas(64) WorkerClock {
+    std::atomic<uint64_t> busy_us{0};
+  };
+  std::vector<WorkerClock> worker_clocks_;
+  Stopwatch lifetime_;
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> executed_{0};
+  std::atomic<uint64_t> steals_{0};
 };
 
 }  // namespace aeetes

@@ -141,6 +141,37 @@ TEST_F(ParallelExtractorTest, ExtractorIsReusableAndDeterministic) {
   EXPECT_EQ(first->total_matches, second->total_matches);
 }
 
+TEST_F(ParallelExtractorTest, PublishesRuntimeGaugesAfterEveryRun) {
+  ParallelExtractorOptions opts;
+  opts.num_threads = 2;
+  auto extractor = ParallelExtractor::Create(*aeetes_, opts);
+  ASSERT_TRUE(extractor.ok());
+  auto result = (*extractor)->ExtractAll(encoded_, 0.8);
+  ASSERT_TRUE(result.ok());
+
+  // ExtractAll publishes the pool snapshot into the engine registry.
+  const MetricsRegistry& registry = aeetes_->metrics();
+  const Gauge* submitted = registry.FindGauge("runtime.pool.submitted");
+  const Gauge* executed = registry.FindGauge("runtime.pool.executed");
+  ASSERT_NE(submitted, nullptr);
+  ASSERT_NE(executed, nullptr);
+  EXPECT_EQ(submitted->value(),
+            static_cast<int64_t>(encoded_.size()));  // one task per doc
+  EXPECT_EQ(executed->value(), submitted->value());
+  EXPECT_NE(registry.FindGauge("runtime.pool.threads"), nullptr);
+  EXPECT_NE(registry.FindGauge("runtime.worker.0.busy_ppm"), nullptr);
+  EXPECT_NE(registry.FindGauge("runtime.worker.1.busy_ppm"), nullptr);
+
+  // PoolStats mirrors the gauges.
+  const ThreadPool::Stats stats = (*extractor)->PoolStats();
+  EXPECT_EQ(static_cast<int64_t>(stats.submitted), submitted->value());
+
+  // A second run refreshes the same gauges in place.
+  ASSERT_TRUE((*extractor)->ExtractAll(encoded_, 0.8).ok());
+  EXPECT_EQ(submitted->value(),
+            static_cast<int64_t>(2 * encoded_.size()));
+}
+
 TEST_F(ParallelExtractorTest, CollectsOneTracePerWorker) {
   ParallelExtractorOptions opts;
   opts.num_threads = 3;

@@ -1,0 +1,90 @@
+// Tests for the perf_event_open wrapper. The hardware backend is
+// environment-dependent (containers and CI runners usually expose no perf
+// events), so these tests pin down the contract both ways: a disabled or
+// unsupported group degrades to the null backend — invalid zero samples,
+// never errors — and a working group produces monotone counters.
+
+#include "src/common/perf_counters.h"
+
+#include "gtest/gtest.h"
+
+namespace aeetes {
+namespace {
+
+TEST(PerfSampleTest, DefaultIsInvalidAndZero) {
+  PerfSample sample;
+  EXPECT_FALSE(sample.valid);
+  EXPECT_EQ(sample.cycles, 0u);
+  EXPECT_EQ(sample.instructions, 0u);
+  EXPECT_EQ(sample.cache_misses, 0u);
+  EXPECT_EQ(sample.branch_misses, 0u);
+}
+
+TEST(PerfSampleTest, DeltaSinceSubtractsFieldwise) {
+  PerfSample before;
+  before.valid = true;
+  before.cycles = 100;
+  before.instructions = 200;
+  before.cache_misses = 10;
+  before.branch_misses = 5;
+  PerfSample after = before;
+  after.cycles = 350;
+  after.instructions = 900;
+  after.cache_misses = 12;
+  after.branch_misses = 5;
+  const PerfSample delta = after.DeltaSince(before);
+  EXPECT_TRUE(delta.valid);
+  EXPECT_EQ(delta.cycles, 250u);
+  EXPECT_EQ(delta.instructions, 700u);
+  EXPECT_EQ(delta.cache_misses, 2u);
+  EXPECT_EQ(delta.branch_misses, 0u);
+}
+
+TEST(PerfSampleTest, DeltaOfInvalidSamplesIsInvalid) {
+  PerfSample valid;
+  valid.valid = true;
+  PerfSample invalid;
+  EXPECT_FALSE(valid.DeltaSince(invalid).valid);
+  EXPECT_FALSE(invalid.DeltaSince(valid).valid);
+  EXPECT_FALSE(invalid.DeltaSince(invalid).valid);
+}
+
+TEST(PerfCounterGroupTest, ForcedNullBackendReadsInvalidZero) {
+  PerfCounterGroup group(/*disabled=*/true);
+  EXPECT_FALSE(group.active());
+  EXPECT_EQ(group.open_events(), 0);
+  const PerfSample sample = group.Read();
+  EXPECT_FALSE(sample.valid);
+  EXPECT_EQ(sample.cycles, 0u);
+  EXPECT_EQ(sample.instructions, 0u);
+}
+
+TEST(PerfCounterGroupTest, DefaultGroupMatchesSupportedProbe) {
+  // Supported() and a real open must agree: if the probe says no hardware
+  // events are available, the group has to be the null backend (and vice
+  // versa a supported host yields an active group with valid samples).
+  PerfCounterGroup group;
+  EXPECT_EQ(group.active(), PerfCounterGroup::Supported());
+  const PerfSample first = group.Read();
+  EXPECT_EQ(first.valid, group.active());
+  if (group.active()) {
+    // Counters are monotone over work.
+    volatile uint64_t sink = 0;
+    for (uint64_t i = 0; i < 100000; ++i) sink = sink + i;
+    const PerfSample second = group.Read();
+    ASSERT_TRUE(second.valid);
+    EXPECT_GE(second.cycles, first.cycles);
+    EXPECT_GE(second.instructions, first.instructions);
+    const PerfSample delta = second.DeltaSince(first);
+    EXPECT_TRUE(delta.valid);
+    EXPECT_GT(delta.instructions, 0u);
+  }
+}
+
+TEST(PerfCounterGroupTest, SupportedIsStableAcrossCalls) {
+  const bool first = PerfCounterGroup::Supported();
+  EXPECT_EQ(first, PerfCounterGroup::Supported());
+}
+
+}  // namespace
+}  // namespace aeetes

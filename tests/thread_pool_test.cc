@@ -193,5 +193,61 @@ TEST(ThreadPoolTest, ConcurrentProducers) {
   EXPECT_EQ(counter.load(), 2000);
 }
 
+TEST(ThreadPoolTest, StatsCountSubmittedAndExecutedTasks) {
+  ThreadPoolOptions opts;
+  opts.num_threads = 3;
+  auto pool = ThreadPool::Create(opts);
+  ASSERT_TRUE(pool.ok());
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE((*pool)->Submit([&counter] { counter.fetch_add(1); }).ok());
+  }
+  (*pool)->WaitIdle();
+  const ThreadPool::Stats stats = (*pool)->GetStats();
+  EXPECT_EQ(stats.num_threads, 3u);
+  EXPECT_EQ(stats.submitted, 40u);
+  EXPECT_EQ(stats.executed, 40u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  ASSERT_EQ(stats.worker_busy_fraction.size(), 3u);
+  for (double fraction : stats.worker_busy_fraction) {
+    EXPECT_GE(fraction, 0.0);
+    EXPECT_LE(fraction, 1.0);
+  }
+}
+
+TEST(ThreadPoolTest, PublishMetricsExportsRuntimeGauges) {
+  ThreadPoolOptions opts;
+  opts.num_threads = 2;
+  auto pool = ThreadPool::Create(opts);
+  ASSERT_TRUE(pool.ok());
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE((*pool)->Submit([&counter] { counter.fetch_add(1); }).ok());
+  }
+  (*pool)->WaitIdle();
+  MetricsRegistry registry;
+  (*pool)->PublishMetrics(registry);
+  const Gauge* threads = registry.FindGauge("runtime.pool.threads");
+  const Gauge* submitted = registry.FindGauge("runtime.pool.submitted");
+  const Gauge* executed = registry.FindGauge("runtime.pool.executed");
+  ASSERT_NE(threads, nullptr);
+  ASSERT_NE(submitted, nullptr);
+  ASSERT_NE(executed, nullptr);
+  EXPECT_EQ(threads->value(), 2);
+  EXPECT_EQ(submitted->value(), 10);
+  EXPECT_EQ(executed->value(), 10);
+  EXPECT_NE(registry.FindGauge("runtime.pool.steals"), nullptr);
+  EXPECT_NE(registry.FindGauge("runtime.pool.queue_depth"), nullptr);
+  ASSERT_NE(registry.FindGauge("runtime.worker.0.busy_ppm"), nullptr);
+  ASSERT_NE(registry.FindGauge("runtime.worker.1.busy_ppm"), nullptr);
+  // Republication is idempotent (GetOrRegister), refreshing in place.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE((*pool)->Submit([&counter] { counter.fetch_add(1); }).ok());
+  }
+  (*pool)->WaitIdle();
+  (*pool)->PublishMetrics(registry);
+  EXPECT_EQ(submitted->value(), 15);
+}
+
 }  // namespace
 }  // namespace aeetes

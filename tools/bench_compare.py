@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Compare two sets of BENCH_*.json blobs and fail on regressions.
+
+Usage:
+    tools/bench_compare.py BASELINE CURRENT [--noise=F] [--abs-floor-ms=F]
+
+BASELINE and CURRENT are directories holding BENCH_<name>.json files (the
+AEETES_BENCH_JSON_DIR output format), or two individual files. Every bench
+present in BASELINE must be present in CURRENT, and every baseline row must
+have a matching current row.
+
+Rows are matched by their identity fields: every string-valued column plus
+the sweep knobs (tau, max_derived). Columns are then compared over the key
+intersection — columns only one side has (e.g. the hardware perf columns,
+emitted only where perf_event_open works) are ignored, so blobs stay
+comparable across machines.
+
+Two comparison regimes:
+  * count-like columns (matches, num_derived, candidate counts, recall...)
+    must be EXACTLY equal — these are deterministic, and any drift is a
+    correctness regression, not noise;
+  * timing / hardware columns (*_ms*, *_us*, cycles, instructions, misses)
+    regress only when the current value exceeds baseline * (1 + noise) AND
+    by more than the absolute floor. Wall-clock on a smoke corpus is noisy,
+    so the default gate (noise=1.0, floor 1 ms) only catches order-of-
+    magnitude blowups; tighten both knobs on quiet dedicated hardware.
+
+Exit status: 0 when clean, 1 on any regression or structural mismatch,
+2 on usage errors.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+TIMING_RE = re.compile(r"(^|_)(ms|us)(_|$)|cycles|instruction|miss")
+ID_KNOBS = ("tau", "max_derived")
+
+
+def load_blobs(path):
+    """Returns {bench_name: blob} from a directory of BENCH_*.json or a file."""
+    blobs = {}
+    if os.path.isdir(path):
+        names = sorted(os.listdir(path))
+        for fname in names:
+            if not (fname.startswith("BENCH_") and fname.endswith(".json")):
+                continue
+            with open(os.path.join(path, fname)) as f:
+                blob = json.load(f)
+            blobs[blob["bench"]] = blob
+    else:
+        with open(path) as f:
+            blob = json.load(f)
+        blobs[blob["bench"]] = blob
+    return blobs
+
+
+def row_id(row):
+    """Identity of a row: its string columns plus the sweep knobs."""
+    parts = []
+    for key in sorted(row):
+        if isinstance(row[key], str) or key in ID_KNOBS:
+            parts.append((key, row[key]))
+    return tuple(parts)
+
+
+def fmt_id(rid):
+    inner = ", ".join(f"{k}={v}" for k, v in rid)
+    return "{" + (inner or "row") + "}"
+
+
+def compare_rows(bench, rid, base, cur, noise, abs_floor_ms, problems):
+    for key in sorted(set(base) & set(cur)):
+        b, c = base[key], cur[key]
+        if (key, b) in rid:
+            continue  # identity column, equal by construction
+        if TIMING_RE.search(key):
+            if not isinstance(b, (int, float)) or not isinstance(c, (int, float)):
+                continue
+            if c > b * (1.0 + noise) and c - b > abs_floor_ms:
+                problems.append(
+                    f"{bench} {fmt_id(rid)}: {key} regressed "
+                    f"{b:.3f} -> {c:.3f} (>{(1.0 + noise):.2f}x baseline)")
+        else:
+            if isinstance(b, float) or isinstance(c, float):
+                equal = b == c or abs(c - b) <= 1e-6 * max(abs(b), abs(c))
+            else:
+                equal = b == c
+            if not equal:
+                problems.append(
+                    f"{bench} {fmt_id(rid)}: {key} changed {b!r} -> {c!r} "
+                    "(count-like column, must be exact)")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="compare BENCH_*.json sets and fail on regressions")
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--noise", type=float, default=1.0,
+                        help="allowed relative slack on timing columns "
+                             "(1.0 = current may be 2x baseline)")
+    parser.add_argument("--abs-floor-ms", type=float, default=1.0,
+                        help="timing regressions smaller than this absolute "
+                             "delta never fail (smoke-corpus jitter)")
+    args = parser.parse_args()
+
+    baseline = load_blobs(args.baseline)
+    current = load_blobs(args.current)
+    if not baseline:
+        print(f"bench_compare: no BENCH_*.json under {args.baseline}",
+              file=sys.stderr)
+        return 2
+
+    problems = []
+    compared = 0
+    for bench, base_blob in sorted(baseline.items()):
+        cur_blob = current.get(bench)
+        if cur_blob is None:
+            problems.append(f"{bench}: present in baseline, missing from "
+                            f"{args.current}")
+            continue
+        cur_rows = {}
+        for row in cur_blob["rows"]:
+            cur_rows.setdefault(row_id(row), []).append(row)
+        for row in base_blob["rows"]:
+            rid = row_id(row)
+            matches = cur_rows.get(rid)
+            if not matches:
+                problems.append(f"{bench} {fmt_id(rid)}: row missing from "
+                                "current run")
+                continue
+            compare_rows(bench, rid, row, matches.pop(0), args.noise,
+                         args.abs_floor_ms, problems)
+            compared += 1
+
+    if problems:
+        print(f"bench_compare: {len(problems)} regression(s) over "
+              f"{compared} row(s):", file=sys.stderr)
+        for p in problems:
+            print(f"  {p}", file=sys.stderr)
+        return 1
+    print(f"bench_compare: OK ({compared} row(s), {len(baseline)} bench(es))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,14 @@
 #   smoke       Release aeetes_cli --stats=json over data/institutions,
 #               validating the metrics snapshot is well-formed JSON and
 #               that --threads=4 output (TSV rows + stats counters) is
-#               identical to the --threads=1 run
+#               identical to the --threads=1 run; also validates the
+#               --stats=prom Prometheus exposition (line grammar, TYPE
+#               declarations, cumulative le buckets, +Inf == _count)
+#   bench-smoke Release bench_fig9_end_to_end on data/institutions
+#               (AEETES_BENCH_CORPUS_DIR mode), compared against the
+#               committed bench/baselines blob with
+#               tools/bench_compare.py: count columns must be bit-exact,
+#               timing columns only gate order-of-magnitude blowups
 #   alloc       Release bench_micro_ops --assert-steady-state-allocs:
 #               fails if a steady-state Extract call (second call on a
 #               warm scratch) performs any heap allocation, for any
@@ -297,7 +304,63 @@ assert "index.bytes" in snap["gauges"], "index gauges not published"
     fail smoke "--threads=4 output diverged from --threads=1"
     return
   fi
+  # Prometheus exposition: exposition lines follow the TSV rows; validate
+  # the text-format grammar, not just "something printed".
+  if command -v python3 >/dev/null 2>&1; then
+    local prom
+    if ! prom=$("$bindir/examples/aeetes_cli" "$data/entities.txt" \
+          "$data/rules.txt" "$data/documents.txt" 0.8 lazy --stats=prom \
+          2>/dev/null); then
+      fail smoke "aeetes_cli --stats=prom exited non-zero"
+      return
+    fi
+    if ! printf '%s\n' "$prom" | python3 tools/validate_prometheus.py; then
+      fail smoke "--stats=prom output failed exposition validation"
+      return
+    fi
+  fi
   pass smoke
+}
+
+step_bench_smoke() {
+  note "bench regression smoke (fig9 corpus mode vs committed baseline)"
+  local bindir=build/release
+  local data=data/institutions
+  if [ ! -f "$data/entities.txt" ]; then
+    skip bench-smoke "$data corpus not found"
+    return
+  fi
+  if ! command -v python3 >/dev/null 2>&1; then
+    skip bench-smoke "python3 not installed"
+    return
+  fi
+  if [ ! -f bench/baselines/BENCH_fig9_end_to_end.json ]; then
+    fail bench-smoke "bench/baselines/BENCH_fig9_end_to_end.json missing"
+    return
+  fi
+  if ! cmake -S . -B "$bindir" -DCMAKE_BUILD_TYPE=Release \
+        >"$bindir.configure.log" 2>&1 \
+     || ! cmake --build "$bindir" -j "$JOBS" \
+        --target bench_fig9_end_to_end >"$bindir.build.log" 2>&1; then
+    tail -n 60 "$bindir.build.log" 2>/dev/null || cat "$bindir.configure.log"
+    fail bench-smoke "bench_fig9_end_to_end build failed"
+    return
+  fi
+  local outdir
+  outdir=$(mktemp -d /tmp/aeetes_bench_smoke.XXXXXX)
+  if ! AEETES_BENCH_CORPUS_DIR="$data" AEETES_BENCH_JSON_DIR="$outdir" \
+       "$bindir/bench/bench_fig9_end_to_end" >/dev/null; then
+    rm -rf "$outdir"
+    fail bench-smoke "bench_fig9_end_to_end run failed"
+    return
+  fi
+  if python3 tools/bench_compare.py bench/baselines "$outdir"; then
+    rm -rf "$outdir"
+    pass bench-smoke
+  else
+    rm -rf "$outdir"
+    fail bench-smoke "regression vs bench/baselines (see rows above)"
+  fi
 }
 
 step_alloc() {
@@ -424,21 +487,23 @@ run_step() {
     werror)     step_werror ;;
     release)    step_release ;;
     smoke)      step_smoke ;;
+    bench-smoke) step_bench_smoke ;;
     alloc)      step_alloc ;;
     snapshot)   step_snapshot ;;
     asan-ubsan) step_asan_ubsan ;;
     tsan)       step_tsan ;;
     fuzz)       step_fuzz ;;
     *) echo "unknown step: $1 (expected format|tidy|lint|tsa|werror|" \
-            "release|smoke|alloc|snapshot|asan-ubsan|tsan|fuzz)" >&2
+            "release|smoke|bench-smoke|alloc|snapshot|asan-ubsan|tsan|fuzz)" \
+            >&2
        exit 2 ;;
   esac
 }
 
 STEPS=("$@")
 if [ ${#STEPS[@]} -eq 0 ]; then
-  STEPS=(format tidy lint tsa werror release smoke alloc snapshot
-         asan-ubsan tsan fuzz)
+  STEPS=(format tidy lint tsa werror release smoke bench-smoke alloc
+         snapshot asan-ubsan tsan fuzz)
 fi
 
 mkdir -p build

@@ -22,6 +22,10 @@ mentioning `throw` does not trip the gate:
                    sync guarantees belong in one place: the log sink.
   AEETES_NO_THREAD_SAFETY_ANALYSIS     the TSA gate runs with zero
                    suppressions; an escape hatch use is a finding.
+  steady_clock::now()   all timing flows through Stopwatch / ScopedTimer
+                   so latency lands in the metrics histograms (and the
+                   telemetry windows built on them) instead of ad-hoc
+                   clock math scattered through the library.
 
 Every exemption is an explicit (rule, path) pair in ALLOWLIST with a
 reason — adding one is a reviewed decision, not a regex accident.
@@ -45,6 +49,9 @@ ALLOWLIST = {
         "new[]/delete[] with align_val_t has no smart-pointer spelling",
     ("iostream", "src/common/logging.h"):
         "the log sink itself; every other file must log through it",
+    ("steady-clock", "src/common/stopwatch.h"):
+        "the one clock-read site; Stopwatch wraps steady_clock for "
+        "everything else",
 }
 
 BANNED_SIMPLE = [
@@ -53,6 +60,7 @@ BANNED_SIMPLE = [
     ("std-regex", re.compile(r"\bstd::regex\b|#include\s*<regex>")),
     ("rand", re.compile(r"\brand\s*\(\s*\)|\bsrand\s*\(")),
     ("tsa-suppression", re.compile(r"\bAEETES_NO_THREAD_SAFETY_ANALYSIS\b")),
+    ("steady-clock", re.compile(r"\bsteady_clock\s*::\s*now\s*\(")),
 ]
 
 NEW_RE = re.compile(r"\bnew\b(?!\s*\()")  # `new (` = placement/op-new decl

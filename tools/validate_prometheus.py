@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text exposition (v0.0.4) read from stdin.
+
+Used by tools/check.sh to gate `aeetes_cli --stats=prom`. Input may carry
+leading non-exposition lines (the CLI prints TSV match rows first);
+validation starts at the first `# HELP` line.
+
+Checks:
+  * every line is a comment (# HELP / # TYPE) or a valid sample line
+    `name{labels} value`;
+  * every sample's metric family has a preceding # TYPE declaration and
+    the declared type is counter / gauge / histogram;
+  * counter families end in _total;
+  * histogram `le` buckets are cumulative (monotone non-decreasing in
+    bucket order) and the `+Inf` bucket equals the `_count` sample.
+
+Exit 0 when valid, 1 otherwise (problems on stderr).
+"""
+
+import re
+import sys
+
+NAME_RE = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+SAMPLE_RE = re.compile(
+    rf"^({NAME_RE})(?:\{{([^}}]*)\}})? (-?(?:[0-9.e+-]+|Inf|NaN))$")
+LABEL_RE = re.compile(rf'^{NAME_RE}="[^"\\]*(?:\\.[^"\\]*)*"$')
+
+
+def family_of(name):
+    for suffix in ("_bucket", "_sum", "_count", "_total"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)], suffix
+    return name, ""
+
+
+def main():
+    lines = sys.stdin.read().splitlines()
+    start = next((i for i, l in enumerate(lines) if l.startswith("# HELP")),
+                 None)
+    if start is None:
+        print("no `# HELP` line found: not an exposition", file=sys.stderr)
+        return 1
+    lines = lines[start:]
+
+    problems = []
+    types = {}
+    buckets = {}  # family -> [(le_string, value)] in emission order
+    counts = {}  # family -> _count value
+    samples = 0
+    for lineno, line in enumerate(lines, 1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            m = re.match(rf"^# (HELP|TYPE) ({NAME_RE}) (.*)$", line)
+            if not m:
+                problems.append(f"line {lineno}: malformed comment: {line}")
+            elif m.group(1) == "TYPE":
+                if m.group(3) not in ("counter", "gauge", "histogram"):
+                    problems.append(
+                        f"line {lineno}: unknown type {m.group(3)!r}")
+                types[m.group(2)] = m.group(3)
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            problems.append(f"line {lineno}: malformed sample: {line}")
+            continue
+        samples += 1
+        name, labels, value = m.group(1), m.group(2), m.group(3)
+        family, suffix = family_of(name)
+        # The TYPE is declared for the family name as exposed: counters are
+        # declared with their _total name, histograms with the bare family.
+        declared = types.get(name) or types.get(family)
+        if declared is None:
+            problems.append(f"line {lineno}: {name}: no # TYPE declared")
+            continue
+        if declared == "counter" and not name.endswith("_total"):
+            problems.append(f"line {lineno}: counter {name} lacks _total")
+        if labels:
+            for label in labels.split(","):
+                if not LABEL_RE.match(label):
+                    problems.append(
+                        f"line {lineno}: malformed label {label!r}")
+        if declared == "histogram" and suffix == "_bucket":
+            le = re.search(r'le="([^"]*)"', labels or "")
+            if not le:
+                problems.append(f"line {lineno}: bucket without le label")
+            else:
+                buckets.setdefault(family, []).append(
+                    (le.group(1), float(value)))
+        if declared == "histogram" and suffix == "_count":
+            counts[family] = float(value)
+
+    for family, series in sorted(buckets.items()):
+        values = [v for _, v in series]
+        if any(b < a for a, b in zip(values, values[1:])):
+            problems.append(f"{family}: le buckets are not cumulative")
+        if series[-1][0] != "+Inf":
+            problems.append(f"{family}: last bucket is not le=\"+Inf\"")
+        elif family in counts and series[-1][1] != counts[family]:
+            problems.append(
+                f"{family}: +Inf bucket {series[-1][1]} != _count "
+                f"{counts[family]}")
+        if family not in counts:
+            problems.append(f"{family}: histogram without _count")
+
+    if problems:
+        for p in problems:
+            print(p, file=sys.stderr)
+        return 1
+    if samples == 0:
+        print("exposition contains no samples", file=sys.stderr)
+        return 1
+    print(f"prometheus exposition OK ({samples} samples, "
+          f"{len(types)} families)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
