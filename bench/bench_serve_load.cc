@@ -1,0 +1,269 @@
+// Closed-loop load generator for the serving daemon (ISSUE 8).
+//
+// Unlike every other bench in this directory, this one measures the whole
+// deployment artifact: it builds a snapshot from the corpus, spawns the
+// real aeetes_server binary (mmap cold start), drives it over real TCP
+// from N closed-loop connections (each sends the next request only after
+// receiving the previous response), and reports end-to-end latency
+// percentiles, throughput, the server's resident set, and whether SIGTERM
+// drained cleanly.
+//
+// Row columns and their bench_compare.py regimes:
+//   matches            exact   (same corpus + tau => deterministic)
+//   requests, conns    exact
+//   clean_exit         exact   (1 = server exited 0 on SIGTERM)
+//   cold_start_ms, p50_ms, p95_ms, p99_ms   timing (noise-gated)
+//   qps                throughput (gates downward)
+//   rss_mb             footprint  (gates upward)
+//
+// Knobs: AEETES_BENCH_CORPUS_DIR (default data/institutions),
+// AEETES_BENCH_SERVE_CONNS, AEETES_BENCH_SERVE_REQUESTS (per connection),
+// AEETES_SERVER_BIN (default: ../src/aeetes_server next to this binary).
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/common/logging.h"
+#include "src/common/stopwatch.h"
+#include "src/core/aeetes.h"
+#include "src/io/snapshot.h"
+#include "src/server/client.h"
+
+namespace aeetes {
+namespace bench {
+namespace {
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  AEETES_CHECK(in.good()) << "cannot read " << path;
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+/// The server binary shipped alongside this bench in the build tree.
+std::string ServerBinary() {
+  if (const char* env = std::getenv("AEETES_SERVER_BIN")) return env;
+  char self[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", self, sizeof(self) - 1);
+  AEETES_CHECK(n > 0) << "cannot resolve /proc/self/exe";
+  std::string path(self, static_cast<size_t>(n));
+  const size_t slash = path.rfind('/');
+  AEETES_CHECK(slash != std::string::npos);
+  return path.substr(0, slash) + "/../src/aeetes_server";
+}
+
+/// VmRSS of `pid` in MiB, from /proc (0.0 when unreadable).
+double ResidentSetMb(pid_t pid) {
+  std::ifstream in("/proc/" + std::to_string(pid) + "/status");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      std::istringstream fields(line.substr(6));
+      double kb = 0.0;
+      fields >> kb;
+      return kb / 1024.0;
+    }
+  }
+  return 0.0;
+}
+
+double PercentileMs(const std::vector<uint64_t>& sorted_us, double q) {
+  if (sorted_us.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted_us.size() - 1);
+  const size_t idx = static_cast<size_t>(rank);
+  return static_cast<double>(sorted_us[idx]) / 1000.0;
+}
+
+std::string ExtractRequest(const std::string& doc) {
+  std::string payload =
+      R"({"verb":"extract","collection":"bench","tau":0.8,"docs":[)";
+  jsonio::AppendString(&payload, doc);
+  payload += "]}";
+  return payload;
+}
+
+struct WorkerResult {
+  std::vector<uint64_t> latencies_us;
+  size_t matches = 0;
+  bool ok = true;
+};
+
+/// One closed-loop connection: request, wait for the response, repeat.
+void RunWorker(uint16_t port, const std::vector<std::string>& docs,
+               size_t worker, size_t requests, WorkerResult* out) {
+  auto client = server::Client::Connect("127.0.0.1", port);
+  if (!client.ok()) {
+    AEETES_LOG(Error) << "worker connect: " << client.status();
+    out->ok = false;
+    return;
+  }
+  out->latencies_us.reserve(requests);
+  Stopwatch clock;
+  for (size_t r = 0; r < requests; ++r) {
+    const std::string& doc = docs[(worker + r) % docs.size()];
+    const int64_t start_us = clock.ElapsedMicros();
+    auto response = (*client)->Call(ExtractRequest(doc));
+    if (!response.ok()) {
+      AEETES_LOG(Error) << "worker call: " << response.status();
+      out->ok = false;
+      return;
+    }
+    out->latencies_us.push_back(
+        static_cast<uint64_t>(clock.ElapsedMicros() - start_us));
+    if (const server::JsonValue* results = response->Find("results")) {
+      for (size_t d = 0; d < results->size(); ++d) {
+        out->matches += results->at(d).Find("matches")->size();
+      }
+    } else {
+      AEETES_LOG(Error) << "extract rejected";
+      out->ok = false;
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+int Main() {
+  const char* corpus_env = std::getenv("AEETES_BENCH_CORPUS_DIR");
+  const std::string corpus = corpus_env ? corpus_env : "data/institutions";
+  const size_t conns =
+      static_cast<size_t>(EnvDouble("AEETES_BENCH_SERVE_CONNS", 4));
+  const size_t requests =
+      static_cast<size_t>(EnvDouble("AEETES_BENCH_SERVE_REQUESTS", 250));
+
+  BenchReporter reporter(
+      "serve_load", "Serving daemon closed-loop load (aeetes_server)",
+      "DESIGN.md S14");
+
+  // Offline: build the engine once and write the snapshot the server will
+  // cold-start from.
+  const std::string workdir =
+      "/tmp/aeetes_serve_load." + std::to_string(::getpid());
+  AEETES_CHECK(std::system(("mkdir -p " + workdir).c_str()) == 0);
+  const std::string snap = workdir + "/bench.snap";
+  const std::string port_file = workdir + "/port";
+  {
+    auto engine = Aeetes::BuildFromText(ReadLines(corpus + "/entities.txt"),
+                                        ReadLines(corpus + "/rules.txt"));
+    AEETES_CHECK(engine.ok()) << engine.status();
+    const Status saved = SaveSnapshot(**engine, snap);
+    AEETES_CHECK(saved.ok()) << saved;
+  }
+  const std::vector<std::string> docs = ReadLines(corpus + "/documents.txt");
+  AEETES_CHECK(!docs.empty());
+
+  // Spawn the real server binary BEFORE any threads exist (fork rules),
+  // timing from exec to the port file appearing — that window covers
+  // process start plus the mmap snapshot load.
+  const std::string server_bin = ServerBinary();
+  Stopwatch cold_clock;
+  const pid_t server_pid = ::fork();
+  AEETES_CHECK(server_pid >= 0) << "fork failed";
+  if (server_pid == 0) {
+    const std::string snap_arg = "--snapshot=" + snap;
+    const std::string port_arg = "--port-file=" + port_file;
+    const char* argv[] = {server_bin.c_str(), snap_arg.c_str(),
+                          "--collection=bench", "--port=0",
+                          port_arg.c_str(),    nullptr};
+    ::execv(server_bin.c_str(), const_cast<char* const*>(argv));
+    ::perror("execv aeetes_server");
+    ::_exit(127);
+  }
+  uint16_t port = 0;
+  double cold_start_ms = 0.0;
+  for (int tries = 0; tries < 300; ++tries) {
+    std::ifstream in(port_file);
+    unsigned value = 0;
+    if (in >> value && value != 0) {
+      cold_start_ms =
+          static_cast<double>(cold_clock.ElapsedMicros()) / 1000.0;
+      port = static_cast<uint16_t>(value);
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  AEETES_CHECK(port != 0) << "server did not come up (" << server_bin << ")";
+
+  // Closed-loop phase: N connections, each request waits for its response.
+  std::vector<WorkerResult> results(conns);
+  std::vector<std::thread> workers;
+  workers.reserve(conns);
+  Stopwatch wall;
+  for (size_t w = 0; w < conns; ++w) {
+    workers.emplace_back(RunWorker, port, std::cref(docs), w, requests,
+                         &results[w]);
+  }
+  for (auto& t : workers) t.join();
+  const double wall_s =
+      static_cast<double>(wall.ElapsedMicros()) / 1'000'000.0;
+
+  std::vector<uint64_t> latencies;
+  size_t matches = 0;
+  bool all_ok = true;
+  for (const WorkerResult& r : results) {
+    latencies.insert(latencies.end(), r.latencies_us.begin(),
+                     r.latencies_us.end());
+    matches += r.matches;
+    all_ok = all_ok && r.ok;
+  }
+  AEETES_CHECK(all_ok) << "a worker connection failed";
+  std::sort(latencies.begin(), latencies.end());
+  const double total_requests = static_cast<double>(latencies.size());
+
+  const double rss_mb = ResidentSetMb(server_pid);
+
+  // Graceful drain: SIGTERM, then the exit code is part of the row.
+  AEETES_CHECK(::kill(server_pid, SIGTERM) == 0);
+  int wstatus = 0;
+  AEETES_CHECK(::waitpid(server_pid, &wstatus, 0) == server_pid);
+  const uint64_t clean_exit =
+      (WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0) ? 1 : 0;
+  AEETES_CHECK(std::system(("rm -rf " + workdir).c_str()) == 0);
+
+  reporter.AddRow()
+      .Set("dataset", std::string_view("institutions"))
+      .Set("conns", static_cast<uint64_t>(conns))
+      .Set("requests", static_cast<uint64_t>(latencies.size()))
+      .Set("matches", static_cast<uint64_t>(matches))
+      .Set("clean_exit", clean_exit)
+      .Set("cold_start_ms", cold_start_ms)
+      .Set("qps", wall_s > 0 ? total_requests / wall_s : 0.0)
+      .Set("p50_ms", PercentileMs(latencies, 0.50))
+      .Set("p95_ms", PercentileMs(latencies, 0.95))
+      .Set("p99_ms", PercentileMs(latencies, 0.99))
+      .Set("rss_mb", rss_mb);
+
+  std::printf("%zu conns x %zu reqs: %.0f qps, p50 %.3f ms, p95 %.3f ms, "
+              "p99 %.3f ms, rss %.1f MiB, cold start %.1f ms, %s\n",
+              conns, requests,
+              wall_s > 0 ? total_requests / wall_s : 0.0,
+              PercentileMs(latencies, 0.50), PercentileMs(latencies, 0.95),
+              PercentileMs(latencies, 0.99), rss_mb, cold_start_ms,
+              clean_exit != 0U ? "clean exit" : "UNCLEAN EXIT");
+  AEETES_CHECK(clean_exit == 1) << "server did not exit 0 on SIGTERM";
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace aeetes
+
+int main() { return aeetes::bench::Main(); }

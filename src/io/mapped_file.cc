@@ -12,33 +12,52 @@ namespace aeetes {
 
 namespace {
 
-std::string ErrnoMessage(const char* what, const std::string& path) {
-  return std::string(what) + " '" + path + "': " + std::strerror(errno);
+/// Formats an errno captured at the failing call. Takes the value
+/// explicitly — reading the global after intervening syscalls (close,
+/// logging) would report the wrong error, which is exactly the bug this
+/// file used to have on the mmap path.
+std::string ErrnoMessage(const char* what, const std::string& path,
+                         int err) {
+  return std::string(what) + " '" + path + "': " + std::strerror(err) +
+         " (errno " + std::to_string(err) + ")";
+}
+
+/// close(2) that preserves the caller's errno. Per POSIX the fd is gone
+/// even when close reports EINTR (retrying could close an unrelated fd
+/// another thread just opened), so the result is deliberately ignored.
+void CloseKeepErrno(int fd) {
+  const int saved = errno;
+  ::close(fd);
+  errno = saved;
 }
 
 }  // namespace
 
 Result<MappedFile> MappedFile::Open(const std::string& path) {
-  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  int fd;
+  do {
+    fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  } while (fd < 0 && errno == EINTR);
   if (fd < 0) {
-    return Status::IOError(ErrnoMessage("cannot open", path));
+    return Status::IOError(ErrnoMessage("cannot open", path, errno));
   }
   struct stat st = {};
   if (::fstat(fd, &st) != 0) {
-    const Status status = Status::IOError(ErrnoMessage("cannot stat", path));
-    ::close(fd);
-    return status;
+    const int err = errno;
+    CloseKeepErrno(fd);
+    return Status::IOError(ErrnoMessage("cannot stat", path, err));
   }
   if (!S_ISREG(st.st_mode) || st.st_size <= 0) {
-    ::close(fd);
+    CloseKeepErrno(fd);
     return Status::IOError("cannot map '" + path +
                            "': not a non-empty regular file");
   }
   const size_t size = static_cast<size_t>(st.st_size);
   void* data = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
-  ::close(fd);  // the mapping keeps its own reference to the file
+  const int mmap_err = errno;
+  CloseKeepErrno(fd);  // the mapping keeps its own reference to the file
   if (data == MAP_FAILED) {
-    return Status::IOError(ErrnoMessage("cannot mmap", path));
+    return Status::IOError(ErrnoMessage("cannot mmap", path, mmap_err));
   }
   // The loader checksums every section right away, touching each page
   // once; asking the kernel to read ahead turns that first pass from one

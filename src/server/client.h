@@ -1,0 +1,51 @@
+#ifndef AEETES_SERVER_CLIENT_H_
+#define AEETES_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/server/json.h"
+#include "src/server/protocol.h"
+
+namespace aeetes {
+namespace server {
+
+/// Minimal blocking client for the framed-JSON protocol — the counterpart
+/// tests, the load bench, and example callers use. One TCP connection;
+/// Send/Receive may be interleaved freely (the protocol answers in
+/// order), so a closed-loop caller pipelines by sending K requests before
+/// reading the first response.
+class Client {
+ public:
+  static Result<std::unique_ptr<Client>> Connect(
+      const std::string& host, uint16_t port,
+      size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Writes one request frame.
+  Status Send(std::string_view payload);
+
+  /// Blocks for the next response frame's payload.
+  Result<std::string> Receive();
+
+  /// Send + Receive + parse: one round trip, parsed response.
+  Result<JsonValue> Call(std::string_view payload);
+
+ private:
+  Client(int fd, size_t max_frame_bytes) : fd_(fd), reader_(max_frame_bytes) {}
+
+  int fd_;
+  FrameReader reader_;
+};
+
+}  // namespace server
+}  // namespace aeetes
+
+#endif  // AEETES_SERVER_CLIENT_H_

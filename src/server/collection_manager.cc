@@ -1,0 +1,172 @@
+#include "src/server/collection_manager.h"
+
+#include <utility>
+
+#include "src/io/snapshot.h"
+
+namespace aeetes {
+namespace server {
+
+Result<std::shared_ptr<ServingEngine>> CollectionManager::Wire(
+    std::string_view name, std::string source,
+    std::unique_ptr<Aeetes> aeetes) {
+  if (options_.enable_flight_recorder) {
+    aeetes->EnableFlightRecorder(options_.flight_recorder);
+  }
+  auto engine = std::make_shared<ServingEngine>();
+  engine->name = std::string(name);
+  engine->source = std::move(source);
+  engine->aeetes = std::move(aeetes);
+  AEETES_ASSIGN_OR_RETURN(
+      engine->extractor,
+      ParallelExtractor::Create(*engine->aeetes, options_.extractor));
+  return engine;
+}
+
+Status CollectionManager::Create(std::string_view name,
+                                 const std::vector<std::string>& entities,
+                                 const std::vector<std::string>& rules) {
+  {
+    // Fail fast (and again under the lock after the slow build — another
+    // create may have won the race meanwhile).
+    MutexLock lock(mu_);
+    if (collections_.find(name) != collections_.end()) {
+      return Status::AlreadyExists("collection '" + std::string(name) +
+                                   "' already exists");
+    }
+    if (collections_.size() >= options_.max_collections) {
+      return Status::ResourceExhausted("collection limit reached");
+    }
+  }
+  AEETES_ASSIGN_OR_RETURN(std::unique_ptr<Aeetes> aeetes,
+                          Aeetes::BuildFromText(entities, rules,
+                                                options_.engine));
+  AEETES_ASSIGN_OR_RETURN(std::shared_ptr<ServingEngine> engine,
+                          Wire(name, "build", std::move(aeetes)));
+  MutexLock lock(mu_);
+  if (collections_.find(name) != collections_.end()) {
+    return Status::AlreadyExists("collection '" + std::string(name) +
+                                 "' already exists");
+  }
+  if (collections_.size() >= options_.max_collections) {
+    return Status::ResourceExhausted("collection limit reached");
+  }
+  collections_.emplace(std::string(name), std::move(engine));
+  PublishGauge();
+  return Status::OK();
+}
+
+Status CollectionManager::Load(std::string_view name,
+                               const std::string& path) {
+  {
+    MutexLock lock(mu_);
+    if (collections_.find(name) != collections_.end()) {
+      return Status::AlreadyExists("collection '" + std::string(name) +
+                                   "' already exists");
+    }
+    if (collections_.size() >= options_.max_collections) {
+      return Status::ResourceExhausted("collection limit reached");
+    }
+  }
+  AEETES_ASSIGN_OR_RETURN(std::unique_ptr<Aeetes> aeetes,
+                          LoadSnapshot(path, options_.engine));
+  AEETES_ASSIGN_OR_RETURN(std::shared_ptr<ServingEngine> engine,
+                          Wire(name, path, std::move(aeetes)));
+  MutexLock lock(mu_);
+  if (collections_.find(name) != collections_.end()) {
+    return Status::AlreadyExists("collection '" + std::string(name) +
+                                 "' already exists");
+  }
+  if (collections_.size() >= options_.max_collections) {
+    return Status::ResourceExhausted("collection limit reached");
+  }
+  collections_.emplace(std::string(name), std::move(engine));
+  PublishGauge();
+  return Status::OK();
+}
+
+Status CollectionManager::Swap(std::string_view name,
+                               const std::string& path) {
+  {
+    MutexLock lock(mu_);
+    if (collections_.find(name) == collections_.end()) {
+      return Status::NotFound("collection '" + std::string(name) +
+                              "' not found");
+    }
+  }
+  // The expensive load runs unlocked; extractions proceed on the old
+  // engine the whole time.
+  AEETES_ASSIGN_OR_RETURN(std::unique_ptr<Aeetes> aeetes,
+                          LoadSnapshot(path, options_.engine));
+  AEETES_ASSIGN_OR_RETURN(std::shared_ptr<ServingEngine> engine,
+                          Wire(name, path, std::move(aeetes)));
+  std::shared_ptr<ServingEngine> retired;
+  {
+    MutexLock lock(mu_);
+    const auto it = collections_.find(name);
+    if (it == collections_.end()) {
+      return Status::NotFound("collection '" + std::string(name) +
+                              "' was deleted during swap");
+    }
+    engine->version = it->second->version + 1;
+    retired = std::move(it->second);
+    it->second = std::move(engine);
+  }
+  // `retired` drops here, outside the lock — if this was the last
+  // reference the old image unmaps now; otherwise the last in-flight
+  // request holding it performs the teardown.
+  return Status::OK();
+}
+
+Status CollectionManager::Delete(std::string_view name) {
+  std::shared_ptr<ServingEngine> retired;
+  MutexLock lock(mu_);
+  const auto it = collections_.find(name);
+  if (it == collections_.end()) {
+    return Status::NotFound("collection '" + std::string(name) +
+                            "' not found");
+  }
+  retired = std::move(it->second);
+  collections_.erase(it);
+  PublishGauge();
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const ServingEngine>> CollectionManager::Acquire(
+    std::string_view name) const {
+  MutexLock lock(mu_);
+  const auto it = collections_.find(name);
+  if (it == collections_.end()) {
+    return Status::NotFound("collection '" + std::string(name) +
+                            "' not found");
+  }
+  return std::shared_ptr<const ServingEngine>(it->second);
+}
+
+std::vector<CollectionManager::Info> CollectionManager::List() const {
+  MutexLock lock(mu_);
+  std::vector<Info> out;
+  out.reserve(collections_.size());
+  for (const auto& [name, engine] : collections_) {
+    Info info;
+    info.name = name;
+    info.version = engine->version;
+    info.source = engine->source;
+    out.push_back(std::move(info));
+  }
+  return out;  // map iteration is already name-sorted
+}
+
+size_t CollectionManager::size() const {
+  MutexLock lock(mu_);
+  return collections_.size();
+}
+
+void CollectionManager::PublishGauge() {
+  if (active_collections_ != nullptr) {
+    active_collections_->Set(static_cast<int64_t>(collections_.size()));
+  }
+}
+
+}  // namespace server
+}  // namespace aeetes

@@ -1,0 +1,123 @@
+#ifndef AEETES_SERVER_COLLECTION_MANAGER_H_
+#define AEETES_SERVER_COLLECTION_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/metrics.h"
+#include "src/common/mutex.h"
+#include "src/common/status.h"
+#include "src/common/telemetry.h"
+#include "src/common/thread_annotations.h"
+#include "src/core/aeetes.h"
+#include "src/runtime/parallel_extractor.h"
+
+namespace aeetes {
+namespace server {
+
+/// One live, immutable-once-published engine serving a collection. The
+/// extractor references the engine, so member order matters: `aeetes` is
+/// declared first and therefore destroyed last.
+///
+/// Published instances are shared_ptr-held; a request that acquired one
+/// keeps the whole engine (image, index, extractor pool) alive until it
+/// finishes, even if the collection is swapped or deleted meanwhile —
+/// that refcount IS the retirement protocol. After publication the engine
+/// is read-only except for Aeetes' designated-mutable members (metrics,
+/// encode interning, which the batcher serializes).
+struct ServingEngine {
+  std::string name;
+  uint64_t version = 1;  // bumps on every swap
+  std::string source;    // "build" or the snapshot path
+  std::unique_ptr<Aeetes> aeetes;
+  std::unique_ptr<ParallelExtractor> extractor;
+};
+
+/// Named dictionaries as first-class collections (ISSUE 8 tentpole #1).
+/// All verbs are safe to call concurrently; engine construction (offline
+/// build or snapshot load — the expensive part) happens outside the lock,
+/// so a slow `create` never stalls the data plane.
+class CollectionManager {
+ public:
+  struct Options {
+    /// Engine construction knobs shared by every collection.
+    AeetesOptions engine;
+    /// Per-collection extractor pool configuration.
+    ParallelExtractorOptions extractor;
+    /// Enable the flight recorder on every engine as it is published
+    /// (must happen before extraction traffic; see aeetes.h).
+    bool enable_flight_recorder = false;
+    FlightRecorderOptions flight_recorder;
+    /// Bound on simultaneously live collections.
+    size_t max_collections = 64;
+  };
+
+  /// `active_collections` (optional) is kept equal to the number of live
+  /// collections — the server wires its `server.active_collections` gauge
+  /// here.
+  explicit CollectionManager(Options options,
+                             Gauge* active_collections = nullptr)
+      : options_(std::move(options)),
+        active_collections_(active_collections) {}
+
+  /// Offline-builds a new collection from entity / "lhs <=> rhs" rule
+  /// lines. AlreadyExists when the name is taken.
+  Status Create(std::string_view name,
+                const std::vector<std::string>& entities,
+                const std::vector<std::string>& rules) AEETES_EXCLUDES(mu_);
+
+  /// Publishes a new collection from a snapshot file (v2 files mmap —
+  /// near-instant cold start). AlreadyExists when the name is taken.
+  Status Load(std::string_view name, const std::string& path)
+      AEETES_EXCLUDES(mu_);
+
+  /// Atomically replaces an existing collection's engine with one loaded
+  /// from `path`. In-flight requests holding the old engine finish on it;
+  /// the old image is destroyed when the last holder drops (refcounted
+  /// retirement). NotFound when the collection does not exist.
+  Status Swap(std::string_view name, const std::string& path)
+      AEETES_EXCLUDES(mu_);
+
+  /// Unpublishes a collection. In-flight holders finish as with Swap.
+  Status Delete(std::string_view name) AEETES_EXCLUDES(mu_);
+
+  /// Snapshot of the engine currently published under `name`; NotFound
+  /// when absent. The caller's shared_ptr pins the engine.
+  Result<std::shared_ptr<const ServingEngine>> Acquire(
+      std::string_view name) const AEETES_EXCLUDES(mu_);
+
+  struct Info {
+    std::string name;
+    uint64_t version = 0;
+    std::string source;
+  };
+  /// All live collections, sorted by name.
+  std::vector<Info> List() const AEETES_EXCLUDES(mu_);
+
+  size_t size() const AEETES_EXCLUDES(mu_);
+
+  [[nodiscard]] const Options& options() const { return options_; }
+
+ private:
+  /// Wires an engine + extractor pair ready for publication.
+  Result<std::shared_ptr<ServingEngine>> Wire(std::string_view name,
+                                              std::string source,
+                                              std::unique_ptr<Aeetes> aeetes);
+
+  void PublishGauge() AEETES_REQUIRES(mu_);
+
+  Options options_;
+  Gauge* active_collections_;
+  mutable Mutex mu_;
+  std::map<std::string, std::shared_ptr<ServingEngine>, std::less<>>
+      collections_ AEETES_GUARDED_BY(mu_);
+};
+
+}  // namespace server
+}  // namespace aeetes
+
+#endif  // AEETES_SERVER_COLLECTION_MANAGER_H_

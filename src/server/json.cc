@@ -1,0 +1,286 @@
+#include "src/server/json.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace aeetes {
+namespace server {
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    if (keys_[i] == key) return &children_[i];
+  }
+  return nullptr;
+}
+
+/// Single-pass recursive-descent parser over a string_view. Position and
+/// error state live in the object; every Parse* method leaves `pos_` on
+/// the first byte after what it consumed.
+class JsonParser {
+ public:
+  JsonParser(std::string_view text, JsonLimits limits)
+      : text_(text), limits_(limits) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue root;
+    AEETES_RETURN_IF_ERROR(ParseValue(&root, 0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing bytes after JSON document");
+    }
+    return root;
+  }
+
+ private:
+  Status Fail(const char* what) const {
+    return Status::InvalidArgument(std::string("JSON parse error at byte ") +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool AtEnd() const { return pos_ >= text_.size(); }
+
+  Status CountValue() {
+    if (++num_values_ > limits_.max_values) {
+      return Fail("too many values");
+    }
+    return Status::OK();
+  }
+
+  Status ParseValue(JsonValue* out, size_t depth) {
+    if (depth > limits_.max_depth) return Fail("nesting too deep");
+    AEETES_RETURN_IF_ERROR(CountValue());
+    SkipWhitespace();
+    if (AtEnd()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->kind_ = JsonValue::Kind::kString;
+        return ParseString(&out->string_);
+      case 't':
+        AEETES_RETURN_IF_ERROR(ParseLiteral("true"));
+        out->kind_ = JsonValue::Kind::kBool;
+        out->bool_ = true;
+        return Status::OK();
+      case 'f':
+        AEETES_RETURN_IF_ERROR(ParseLiteral("false"));
+        out->kind_ = JsonValue::Kind::kBool;
+        out->bool_ = false;
+        return Status::OK();
+      case 'n':
+        AEETES_RETURN_IF_ERROR(ParseLiteral("null"));
+        out->kind_ = JsonValue::Kind::kNull;
+        return Status::OK();
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) {
+          out->kind_ = JsonValue::Kind::kNumber;
+          return ParseNumber(&out->number_);
+        }
+        return Fail("unexpected character");
+    }
+  }
+
+  Status ParseLiteral(const char* literal) {
+    const size_t len = std::strlen(literal);
+    if (text_.size() - pos_ < len ||
+        text_.compare(pos_, len, literal) != 0) {
+      return Fail("bad literal");
+    }
+    pos_ += len;
+    return Status::OK();
+  }
+
+  Status ParseNumber(double* out) {
+    // Bound the token, then hand it NUL-terminated to strtod (strtod needs
+    // a terminator; string_view has none).
+    size_t end = pos_;
+    while (end < text_.size()) {
+      const char c = text_[end];
+      if ((c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' ||
+          c == 'e' || c == 'E') {
+        ++end;
+      } else {
+        break;
+      }
+    }
+    if (end == pos_ || end - pos_ > 64) return Fail("bad number");
+    char buf[65];
+    std::memcpy(buf, text_.data() + pos_, end - pos_);
+    buf[end - pos_] = '\0';
+    char* parse_end = nullptr;
+    const double v = std::strtod(buf, &parse_end);
+    if (parse_end != buf + (end - pos_)) return Fail("bad number");
+    pos_ = end;
+    *out = v;
+    return Status::OK();
+  }
+
+  static void AppendUtf8(std::string* out, uint32_t cp) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Status ParseHex4(uint32_t* out) {
+    if (text_.size() - pos_ < 4) return Fail("truncated \\u escape");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<size_t>(i)];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Fail("bad \\u escape");
+      }
+    }
+    pos_ += 4;
+    *out = v;
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (true) {
+      if (AtEnd()) return Fail("unterminated string");
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (AtEnd()) return Fail("truncated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          uint32_t cp = 0;
+          AEETES_RETURN_IF_ERROR(ParseHex4(&cp));
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a low surrogate escape must follow.
+            if (text_.size() - pos_ < 2 || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return Fail("lone high surrogate");
+            }
+            pos_ += 2;
+            uint32_t low = 0;
+            AEETES_RETURN_IF_ERROR(ParseHex4(&low));
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Fail("bad low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Fail("lone low surrogate");
+          }
+          AppendUtf8(out, cp);
+          break;
+        }
+        default:
+          return Fail("bad escape character");
+      }
+    }
+  }
+
+  Status ParseArray(JsonValue* out, size_t depth) {
+    ++pos_;  // '['
+    out->kind_ = JsonValue::Kind::kArray;
+    SkipWhitespace();
+    if (!AtEnd() && text_[pos_] == ']') {
+      ++pos_;
+      return Status::OK();
+    }
+    while (true) {
+      out->children_.emplace_back();
+      AEETES_RETURN_IF_ERROR(ParseValue(&out->children_.back(), depth + 1));
+      SkipWhitespace();
+      if (AtEnd()) return Fail("unterminated array");
+      const char c = text_[pos_++];
+      if (c == ']') return Status::OK();
+      if (c != ',') return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseObject(JsonValue* out, size_t depth) {
+    ++pos_;  // '{'
+    out->kind_ = JsonValue::Kind::kObject;
+    SkipWhitespace();
+    if (!AtEnd() && text_[pos_] == '}') {
+      ++pos_;
+      return Status::OK();
+    }
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd() || text_[pos_] != '"') {
+        return Fail("expected string key in object");
+      }
+      std::string key;
+      AEETES_RETURN_IF_ERROR(ParseString(&key));
+      SkipWhitespace();
+      if (AtEnd() || text_[pos_] != ':') return Fail("expected ':'");
+      ++pos_;
+      out->keys_.push_back(std::move(key));
+      out->children_.emplace_back();
+      AEETES_RETURN_IF_ERROR(ParseValue(&out->children_.back(), depth + 1));
+      SkipWhitespace();
+      if (AtEnd()) return Fail("unterminated object");
+      const char c = text_[pos_++];
+      if (c == '}') return Status::OK();
+      if (c != ',') return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view text_;
+  JsonLimits limits_;
+  size_t pos_ = 0;
+  size_t num_values_ = 0;
+};
+
+Result<JsonValue> ParseJson(std::string_view text, JsonLimits limits) {
+  return JsonParser(text, limits).Parse();
+}
+
+}  // namespace server
+}  // namespace aeetes

@@ -1,0 +1,86 @@
+#ifndef AEETES_SERVER_JSON_H_
+#define AEETES_SERVER_JSON_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace aeetes {
+namespace server {
+
+/// Minimal JSON document model for the serving protocol. Parsed values are
+/// immutable trees; objects preserve key order and allow duplicate keys
+/// (Find returns the first, matching the usual last-writer-ignored
+/// tolerance of lenient readers while keeping parsing single-pass).
+///
+/// This exists because the request surface of the daemon is untrusted
+/// bytes (DESIGN.md §12): parsing must be allocation-bounded, never throw,
+/// and fail with a Status on any malformed input. The writer side of the
+/// protocol keeps using jsonio::Append* directly — responses are built by
+/// the server from trusted values, so no tree is needed there.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Value accessors; calling the wrong one for the kind is a programming
+  /// error on the caller's side and returns the zero value rather than
+  /// trapping (protocol code branches on kind() first).
+  [[nodiscard]] bool AsBool() const { return bool_; }
+  [[nodiscard]] double AsDouble() const { return number_; }
+  [[nodiscard]] const std::string& AsString() const { return string_; }
+
+  /// Array access.
+  [[nodiscard]] size_t size() const { return children_.size(); }
+  [[nodiscard]] const JsonValue& at(size_t i) const { return children_[i]; }
+
+  /// Object access: first member named `key`, or nullptr.
+  [[nodiscard]] const JsonValue* Find(std::string_view key) const;
+  [[nodiscard]] const std::vector<std::string>& keys() const { return keys_; }
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  /// Array elements, or object member values (parallel to keys_).
+  std::vector<JsonValue> children_;
+  std::vector<std::string> keys_;  // object member names, insertion order
+};
+
+struct JsonLimits {
+  /// Maximum nesting depth of arrays/objects (recursion bound).
+  size_t max_depth = 32;
+  /// Maximum total number of values in the tree (allocation bound beyond
+  /// what the frame size cap already implies).
+  size_t max_values = 1u << 20;
+};
+
+/// Parses one JSON document covering all of `text` (trailing whitespace
+/// allowed, trailing garbage is an error). Strict grammar: double-quoted
+/// strings with the standard escapes (\uXXXX incl. surrogate pairs),
+/// numbers via strtod, true/false/null literals. Never throws; malformed
+/// or over-limit input yields InvalidArgument.
+Result<JsonValue> ParseJson(std::string_view text, JsonLimits limits = {});
+
+}  // namespace server
+}  // namespace aeetes
+
+#endif  // AEETES_SERVER_JSON_H_

@@ -1,0 +1,63 @@
+#include "src/server/rate_limiter.h"
+
+#include <algorithm>
+
+namespace aeetes {
+namespace server {
+
+namespace {
+
+void Refill(RateLimiter::Options const& options, int64_t now_us,
+            double* tokens, int64_t* last_refill_us) {
+  if (now_us <= *last_refill_us) return;  // clock went sideways: no refill
+  const double elapsed_s =
+      static_cast<double>(now_us - *last_refill_us) * 1e-6;
+  *tokens = std::min(options.burst,
+                     *tokens + elapsed_s * options.tokens_per_second);
+  *last_refill_us = now_us;
+}
+
+}  // namespace
+
+Status RateLimiter::Admit(std::string_view tenant, int64_t now_us) {
+  if (!enabled()) return Status::OK();
+  MutexLock lock(mu_);
+  auto it = buckets_.find(tenant);
+  if (it == buckets_.end()) {
+    if (buckets_.size() >= options_.max_tenants) {
+      return Status::ResourceExhausted("tenant table full");
+    }
+    Bucket fresh;
+    fresh.tokens = options_.burst;
+    fresh.last_refill_us = now_us;
+    it = buckets_.emplace(std::string(tenant), fresh).first;
+  }
+  Bucket& bucket = it->second;
+  Refill(options_, now_us, &bucket.tokens, &bucket.last_refill_us);
+  if (bucket.tokens < 1.0) {
+    return Status::ResourceExhausted("rate limit exceeded for tenant '" +
+                                     std::string(tenant) + "'");
+  }
+  bucket.tokens -= 1.0;
+  return Status::OK();
+}
+
+double RateLimiter::TokensAvailable(std::string_view tenant,
+                                    int64_t now_us) const {
+  if (!enabled()) return options_.burst;
+  MutexLock lock(mu_);
+  const auto it = buckets_.find(tenant);
+  if (it == buckets_.end()) return options_.burst;
+  double tokens = it->second.tokens;
+  int64_t last = it->second.last_refill_us;
+  Refill(options_, now_us, &tokens, &last);
+  return tokens;
+}
+
+size_t RateLimiter::tenant_count() const {
+  MutexLock lock(mu_);
+  return buckets_.size();
+}
+
+}  // namespace server
+}  // namespace aeetes

@@ -1,0 +1,65 @@
+#ifndef AEETES_SERVER_RATE_LIMITER_H_
+#define AEETES_SERVER_RATE_LIMITER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "src/common/mutex.h"
+#include "src/common/status.h"
+#include "src/common/thread_annotations.h"
+
+namespace aeetes {
+namespace server {
+
+/// Per-tenant token bucket. Each tenant owns an independent bucket of
+/// `burst` tokens refilled at `tokens_per_second`; one extract request
+/// costs one token. A drained bucket yields ResourceExhausted (surfaced to
+/// clients as a 429-style rejection) without touching any other tenant's
+/// bucket — noisy neighbours only starve themselves.
+///
+/// Time is caller-supplied (microseconds on any monotonic scale) so tests
+/// drive the clock deterministically and the server passes one timestamp
+/// per request batch instead of reading the clock per tenant.
+class RateLimiter {
+ public:
+  struct Options {
+    double tokens_per_second = 0.0;  // <= 0 disables limiting entirely
+    double burst = 1.0;              // bucket capacity, >= 1 when enabled
+    /// Bound on distinct tenant buckets; protocol-level tenant-id caps
+    /// already bound the id length, this bounds the count. At the cap,
+    /// unknown tenants are rejected rather than evicting existing ones.
+    size_t max_tenants = 4096;
+  };
+
+  explicit RateLimiter(Options options) : options_(options) {}
+
+  /// Spends one token from `tenant`'s bucket at time `now_us`. OK when the
+  /// request may proceed; ResourceExhausted when the bucket is empty or
+  /// the tenant table is full.
+  Status Admit(std::string_view tenant, int64_t now_us) AEETES_EXCLUDES(mu_);
+
+  /// Tokens currently in `tenant`'s bucket at `now_us` (refill applied,
+  /// bucket not created); full burst for tenants never seen.
+  double TokensAvailable(std::string_view tenant, int64_t now_us) const
+      AEETES_EXCLUDES(mu_);
+
+  [[nodiscard]] bool enabled() const { return options_.tokens_per_second > 0; }
+  size_t tenant_count() const AEETES_EXCLUDES(mu_);
+
+ private:
+  struct Bucket {
+    double tokens = 0.0;
+    int64_t last_refill_us = 0;
+  };
+
+  Options options_;
+  mutable Mutex mu_;
+  std::map<std::string, Bucket, std::less<>> buckets_ AEETES_GUARDED_BY(mu_);
+};
+
+}  // namespace server
+}  // namespace aeetes
+
+#endif  // AEETES_SERVER_RATE_LIMITER_H_

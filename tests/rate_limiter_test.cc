@@ -1,0 +1,102 @@
+// Deterministic-clock tests for the per-tenant token bucket. Time is
+// caller-supplied microseconds, so every refill boundary here is exact.
+#include <gtest/gtest.h>
+
+#include "src/server/rate_limiter.h"
+
+namespace aeetes {
+namespace server {
+namespace {
+
+constexpr int64_t kSecond = 1'000'000;
+
+RateLimiter::Options Limits(double rate, double burst) {
+  RateLimiter::Options options;
+  options.tokens_per_second = rate;
+  options.burst = burst;
+  return options;
+}
+
+TEST(RateLimiterTest, DisabledAdmitsEverything) {
+  RateLimiter limiter(Limits(/*rate=*/0.0, /*burst=*/1.0));
+  EXPECT_FALSE(limiter.enabled());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(limiter.Admit("anyone", /*now_us=*/0).ok());
+  }
+  EXPECT_EQ(limiter.tenant_count(), 0u);  // no buckets materialized
+}
+
+TEST(RateLimiterTest, BurstThenReject) {
+  RateLimiter limiter(Limits(/*rate=*/1.0, /*burst=*/3.0));
+  ASSERT_TRUE(limiter.enabled());
+  EXPECT_TRUE(limiter.Admit("t", 0).ok());
+  EXPECT_TRUE(limiter.Admit("t", 0).ok());
+  EXPECT_TRUE(limiter.Admit("t", 0).ok());
+  const Status rejected = limiter.Admit("t", 0);
+  EXPECT_EQ(rejected.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(RateLimiterTest, RefillsAtConfiguredRate) {
+  RateLimiter limiter(Limits(/*rate=*/2.0, /*burst=*/2.0));
+  EXPECT_TRUE(limiter.Admit("t", 0).ok());
+  EXPECT_TRUE(limiter.Admit("t", 0).ok());
+  EXPECT_FALSE(limiter.Admit("t", 0).ok());
+  // 2 tokens/s -> one full token after 500ms.
+  EXPECT_FALSE(limiter.Admit("t", kSecond / 4).ok());
+  EXPECT_TRUE(limiter.Admit("t", kSecond / 2).ok());
+  EXPECT_FALSE(limiter.Admit("t", kSecond / 2).ok());
+}
+
+TEST(RateLimiterTest, RefillCapsAtBurst) {
+  RateLimiter limiter(Limits(/*rate=*/10.0, /*burst=*/2.0));
+  EXPECT_TRUE(limiter.Admit("t", 0).ok());
+  EXPECT_TRUE(limiter.Admit("t", 0).ok());
+  // A long idle period must not bank more than `burst` tokens.
+  const int64_t later = 100 * kSecond;
+  EXPECT_DOUBLE_EQ(limiter.TokensAvailable("t", later), 2.0);
+  EXPECT_TRUE(limiter.Admit("t", later).ok());
+  EXPECT_TRUE(limiter.Admit("t", later).ok());
+  EXPECT_FALSE(limiter.Admit("t", later).ok());
+}
+
+TEST(RateLimiterTest, TenantsAreIsolated) {
+  RateLimiter limiter(Limits(/*rate=*/1.0, /*burst=*/1.0));
+  EXPECT_TRUE(limiter.Admit("noisy", 0).ok());
+  // The noisy tenant hammers an empty bucket...
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(limiter.Admit("noisy", 0).ok());
+  }
+  // ...and the quiet tenant is untouched.
+  EXPECT_TRUE(limiter.Admit("quiet", 0).ok());
+  EXPECT_EQ(limiter.tenant_count(), 2u);
+}
+
+TEST(RateLimiterTest, ClockGoingBackwardsDoesNotMintTokens) {
+  RateLimiter limiter(Limits(/*rate=*/1.0, /*burst=*/1.0));
+  EXPECT_TRUE(limiter.Admit("t", 10 * kSecond).ok());
+  // An earlier timestamp (scheduler skew, test error) must not refill.
+  EXPECT_FALSE(limiter.Admit("t", 5 * kSecond).ok());
+  EXPECT_DOUBLE_EQ(limiter.TokensAvailable("t", 5 * kSecond), 0.0);
+}
+
+TEST(RateLimiterTest, TenantTableCapRejectsNewTenantsOnly) {
+  RateLimiter::Options options = Limits(/*rate=*/1.0, /*burst=*/5.0);
+  options.max_tenants = 2;
+  RateLimiter limiter(options);
+  EXPECT_TRUE(limiter.Admit("a", 0).ok());
+  EXPECT_TRUE(limiter.Admit("b", 0).ok());
+  // Table full: a third tenant is shed, existing tenants keep working.
+  EXPECT_EQ(limiter.Admit("c", 0).code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(limiter.Admit("a", 0).ok());
+  EXPECT_EQ(limiter.tenant_count(), 2u);
+}
+
+TEST(RateLimiterTest, TokensAvailableDoesNotCreateBuckets) {
+  RateLimiter limiter(Limits(/*rate=*/1.0, /*burst=*/4.0));
+  EXPECT_DOUBLE_EQ(limiter.TokensAvailable("ghost", 0), 4.0);
+  EXPECT_EQ(limiter.tenant_count(), 0u);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace aeetes

@@ -15,7 +15,7 @@ intersection — columns only one side has (e.g. the hardware perf columns,
 emitted only where perf_event_open works) are ignored, so blobs stay
 comparable across machines.
 
-Two comparison regimes:
+Three comparison regimes:
   * count-like columns (matches, num_derived, candidate counts, recall...)
     must be EXACTLY equal — these are deterministic, and any drift is a
     correctness regression, not noise;
@@ -23,7 +23,12 @@ Two comparison regimes:
     regress only when the current value exceeds baseline * (1 + noise) AND
     by more than the absolute floor. Wall-clock on a smoke corpus is noisy,
     so the default gate (noise=1.0, floor 1 ms) only catches order-of-
-    magnitude blowups; tighten both knobs on quiet dedicated hardware.
+    magnitude blowups; tighten both knobs on quiet dedicated hardware;
+  * throughput / footprint columns (qps, *_per_s, rss_mb) are machine-
+    dependent like timing, but throughput regresses DOWNWARD: qps-like
+    columns gate when current < baseline / (1 + noise), footprint columns
+    when current > baseline * (1 + noise). No absolute floor applies —
+    these columns are never near-zero in practice.
 
 Exit status: 0 when clean, 1 on any regression or structural mismatch,
 2 on usage errors.
@@ -36,6 +41,8 @@ import re
 import sys
 
 TIMING_RE = re.compile(r"(^|_)(ms|us)(_|$)|cycles|instruction|miss")
+THROUGHPUT_RE = re.compile(r"(^|_)qps($|_)|_per_s($|_)")
+FOOTPRINT_RE = re.compile(r"(^|_)rss($|_)|_bytes_peak($|_)")
 ID_KNOBS = ("tau", "max_derived")
 
 
@@ -76,10 +83,22 @@ def compare_rows(bench, rid, base, cur, noise, abs_floor_ms, problems):
         b, c = base[key], cur[key]
         if (key, b) in rid:
             continue  # identity column, equal by construction
-        if TIMING_RE.search(key):
+        if TIMING_RE.search(key) or THROUGHPUT_RE.search(key) \
+                or FOOTPRINT_RE.search(key):
             if not isinstance(b, (int, float)) or not isinstance(c, (int, float)):
                 continue
-            if c > b * (1.0 + noise) and c - b > abs_floor_ms:
+            if THROUGHPUT_RE.search(key):
+                if c < b / (1.0 + noise):
+                    problems.append(
+                        f"{bench} {fmt_id(rid)}: {key} regressed "
+                        f"{b:.3f} -> {c:.3f} "
+                        f"(<baseline/{(1.0 + noise):.2f}, higher is better)")
+            elif FOOTPRINT_RE.search(key):
+                if c > b * (1.0 + noise):
+                    problems.append(
+                        f"{bench} {fmt_id(rid)}: {key} regressed "
+                        f"{b:.3f} -> {c:.3f} (>{(1.0 + noise):.2f}x baseline)")
+            elif c > b * (1.0 + noise) and c - b > abs_floor_ms:
                 problems.append(
                     f"{bench} {fmt_id(rid)}: {key} regressed "
                     f"{b:.3f} -> {c:.3f} (>{(1.0 + noise):.2f}x baseline)")

@@ -32,6 +32,12 @@
 #               engine image must equal the directly built run, and a
 #               deliberately corrupted snapshot must fail cleanly
 #               (DESIGN.md §11)
+#   serve-smoke Release aeetes_server end to end over real TCP: snapshot
+#               built with aeetes_cli, served from an mmap cold start,
+#               extract + healthz + list exercised with
+#               tools/serve_client.py, the metrics verb validated with
+#               tools/validate_prometheus.py (server.* families must be
+#               present), then SIGTERM must drain gracefully (exit 0)
 #   asan-ubsan  Debug + ASan/UBSan build + ctest
 #   tsan        Debug + TSan build + ctest (includes the runtime hammer
 #               test) + the --threads CLI smoke under TSan
@@ -162,6 +168,7 @@ step_fuzz() {
         >"$bindir.configure.log" 2>&1 \
      || ! cmake --build "$bindir" -j "$JOBS" \
           --target fuzz_snapshot fuzz_postings fuzz_tokenizer fuzz_tsv \
+                   fuzz_server_frame \
           >"$bindir.build.log" 2>&1; then
     tail -n 60 "$bindir.build.log" 2>/dev/null || cat "$bindir.configure.log"
     fail fuzz "harness build failed"
@@ -169,7 +176,7 @@ step_fuzz() {
   fi
   local budget="${FUZZ_SECONDS:-30}"
   local t
-  for t in snapshot postings tokenizer tsv; do
+  for t in snapshot postings tokenizer tsv server_frame; do
     local bin="$bindir/fuzz_build/fuzz_$t"
     if [ "$libfuzzer" = 1 ]; then
       # Coverage-guided from the seeds, bounded; crash artifacts land in
@@ -341,9 +348,10 @@ step_bench_smoke() {
   if ! cmake -S . -B "$bindir" -DCMAKE_BUILD_TYPE=Release \
         >"$bindir.configure.log" 2>&1 \
      || ! cmake --build "$bindir" -j "$JOBS" \
-        --target bench_fig9_end_to_end >"$bindir.build.log" 2>&1; then
+        --target bench_fig9_end_to_end bench_serve_load \
+        >"$bindir.build.log" 2>&1; then
     tail -n 60 "$bindir.build.log" 2>/dev/null || cat "$bindir.configure.log"
-    fail bench-smoke "bench_fig9_end_to_end build failed"
+    fail bench-smoke "bench build failed"
     return
   fi
   local outdir
@@ -352,6 +360,14 @@ step_bench_smoke() {
        "$bindir/bench/bench_fig9_end_to_end" >/dev/null; then
     rm -rf "$outdir"
     fail bench-smoke "bench_fig9_end_to_end run failed"
+    return
+  fi
+  # The closed-loop serving bench: a real aeetes_server process, mmap
+  # cold start, N TCP connections (baseline gates QPS/latency/RSS drift).
+  if ! AEETES_BENCH_CORPUS_DIR="$data" AEETES_BENCH_JSON_DIR="$outdir" \
+       "$bindir/bench/bench_serve_load" >/dev/null; then
+    rm -rf "$outdir"
+    fail bench-smoke "bench_serve_load run failed"
     return
   fi
   if python3 tools/bench_compare.py bench/baselines "$outdir"; then
@@ -442,6 +458,113 @@ step_snapshot() {
   pass snapshot
 }
 
+step_serve_smoke() {
+  note "serving daemon smoke (aeetes_server over TCP, drain on SIGTERM)"
+  local bindir=build/release
+  local data=data/institutions
+  if [ ! -f "$data/entities.txt" ]; then
+    skip serve-smoke "$data corpus not found"
+    return
+  fi
+  if ! command -v python3 >/dev/null 2>&1; then
+    skip serve-smoke "python3 not installed"
+    return
+  fi
+  if ! cmake -S . -B "$bindir" -DCMAKE_BUILD_TYPE=Release \
+        >"$bindir.configure.log" 2>&1 \
+     || ! cmake --build "$bindir" -j "$JOBS" \
+        --target aeetes_cli aeetes_server >"$bindir.build.log" 2>&1; then
+    tail -n 60 "$bindir.build.log" 2>/dev/null || cat "$bindir.configure.log"
+    fail serve-smoke "aeetes_cli / aeetes_server build failed"
+    return
+  fi
+  local workdir
+  workdir=$(mktemp -d /tmp/aeetes_serve_smoke.XXXXXX)
+  # Offline build once, then serve from the mmapped snapshot — the cold
+  # start the daemon is designed around.
+  if ! "$bindir/examples/aeetes_cli" "$data/entities.txt" \
+        "$data/rules.txt" "$data/documents.txt" 0.8 lazy \
+        "--save-snapshot=$workdir/inst.snap" >/dev/null 2>&1; then
+    rm -rf "$workdir"
+    fail serve-smoke "snapshot build failed"
+    return
+  fi
+  "$bindir/src/aeetes_server" --snapshot="$workdir/inst.snap" \
+    --collection=institutions --port=0 --port-file="$workdir/port" \
+    >"$workdir/server.log" 2>&1 &
+  local server_pid=$!
+  local tries=0
+  while [ ! -s "$workdir/port" ] && [ "$tries" -lt 100 ]; do
+    if ! kill -0 "$server_pid" 2>/dev/null; then break; fi
+    sleep 0.1; tries=$((tries + 1))
+  done
+  if [ ! -s "$workdir/port" ]; then
+    tail -n 20 "$workdir/server.log"
+    rm -rf "$workdir"
+    fail serve-smoke "server did not come up"
+    return
+  fi
+  # Data-plane round trips: healthz, list, a real extraction.
+  if ! python3 tools/serve_client.py --port-file "$workdir/port" \
+        '{"verb":"healthz"}' \
+        '{"verb":"list"}' \
+        '{"verb":"extract","collection":"institutions","tenant":"smoke","docs":["she studied at uc berkeley"],"tau":0.8}' \
+        >"$workdir/responses.jsonl" 2>&1 \
+     || ! python3 - "$workdir/responses.jsonl" <<'EOF'
+import json, sys
+health, listing, extraction = [
+    json.loads(line) for line in open(sys.argv[1], encoding="utf-8")
+]
+assert health["status"] == "serving", health
+assert health["collections"] == 1, health
+assert listing["collections"][0]["name"] == "institutions", listing
+assert extraction["results"][0]["matches"], "extract returned no matches"
+EOF
+  then
+    cat "$workdir/responses.jsonl" 2>/dev/null
+    kill "$server_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+    fail serve-smoke "extract/healthz/list round trips failed"
+    return
+  fi
+  # The metrics verb must expose valid Prometheus text including the
+  # server.* families (requests, batch_size, rate_limited, collections).
+  if ! python3 tools/serve_client.py --port-file "$workdir/port" \
+        '{"verb":"metrics"}' \
+      | python3 -c \
+        'import json,sys; print(json.loads(sys.stdin.read())["text"])' \
+        >"$workdir/metrics.prom" \
+     || ! python3 tools/validate_prometheus.py <"$workdir/metrics.prom"; then
+    kill "$server_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+    fail serve-smoke "metrics verb failed Prometheus validation"
+    return
+  fi
+  local family
+  for family in aeetes_server_requests_total aeetes_server_batch_size \
+                aeetes_server_rate_limited_total \
+                aeetes_server_active_collections; do
+    if ! grep -q "^$family" "$workdir/metrics.prom"; then
+      kill "$server_pid" 2>/dev/null || true
+      rm -rf "$workdir"
+      fail serve-smoke "metrics missing family $family"
+      return
+    fi
+  done
+  # Graceful drain: SIGTERM must finish in-flight work and exit 0.
+  kill -TERM "$server_pid"
+  local rc=0
+  wait "$server_pid" || rc=$?
+  if [ "$rc" -ne 0 ]; then
+    tail -n 20 "$workdir/server.log"
+    rm -rf "$workdir"
+    fail serve-smoke "server exited $rc on SIGTERM (want 0)"
+    return
+  fi
+  rm -rf "$workdir"
+  pass serve-smoke
+}
+
 step_asan_ubsan() {
   note "ASan+UBSan build + ctest"
   if ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
@@ -490,12 +613,13 @@ run_step() {
     bench-smoke) step_bench_smoke ;;
     alloc)      step_alloc ;;
     snapshot)   step_snapshot ;;
+    serve-smoke) step_serve_smoke ;;
     asan-ubsan) step_asan_ubsan ;;
     tsan)       step_tsan ;;
     fuzz)       step_fuzz ;;
     *) echo "unknown step: $1 (expected format|tidy|lint|tsa|werror|" \
-            "release|smoke|bench-smoke|alloc|snapshot|asan-ubsan|tsan|fuzz)" \
-            >&2
+            "release|smoke|bench-smoke|alloc|snapshot|serve-smoke|" \
+            "asan-ubsan|tsan|fuzz)" >&2
        exit 2 ;;
   esac
 }
@@ -503,7 +627,7 @@ run_step() {
 STEPS=("$@")
 if [ ${#STEPS[@]} -eq 0 ]; then
   STEPS=(format tidy lint tsa werror release smoke bench-smoke alloc
-         snapshot asan-ubsan tsan fuzz)
+         snapshot serve-smoke asan-ubsan tsan fuzz)
 fi
 
 mkdir -p build

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Minimal framed-JSON client for aeetes_server (tools/check.sh serve-smoke).
+
+Speaks the DESIGN.md §14 wire protocol: each request and response is a
+4-byte little-endian length prefix followed by a JSON payload. Every
+positional argument is sent as one request on a single connection (the
+protocol answers in order), and each response is printed as one line of
+JSON on stdout. Exits non-zero if any response fails to arrive, fails to
+parse, or carries "ok": false (unless --allow-errors).
+
+Usage:
+  serve_client.py --port 7071 '{"verb":"healthz"}'
+  serve_client.py --port-file /tmp/port '{"verb":"list"}' '{"verb":"metrics"}'
+"""
+import argparse
+import json
+import socket
+import struct
+import sys
+
+HEADER = struct.Struct("<I")
+
+
+def read_exact(sock: socket.socket, n: int) -> bytes:
+    buf = b""
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            raise ConnectionError("server closed the connection mid-frame")
+        buf += chunk
+    return buf
+
+
+def call(sock: socket.socket, payload: str) -> dict:
+    raw = payload.encode("utf-8")
+    sock.sendall(HEADER.pack(len(raw)) + raw)
+    (length,) = HEADER.unpack(read_exact(sock, HEADER.size))
+    return json.loads(read_exact(sock, length).decode("utf-8"))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int)
+    parser.add_argument("--port-file", help="file holding the port number "
+                        "(as written by aeetes_server --port-file)")
+    parser.add_argument("--timeout", type=float, default=30.0)
+    parser.add_argument("--allow-errors", action="store_true",
+                        help='do not exit non-zero on "ok": false responses')
+    parser.add_argument("requests", nargs="+",
+                        help="JSON request payloads, sent in order")
+    args = parser.parse_args()
+
+    if args.port is None:
+        if not args.port_file:
+            parser.error("one of --port / --port-file is required")
+        with open(args.port_file, encoding="utf-8") as f:
+            args.port = int(f.read().strip())
+
+    failed = False
+    with socket.create_connection((args.host, args.port),
+                                  timeout=args.timeout) as sock:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        for request in args.requests:
+            response = call(sock, request)
+            print(json.dumps(response, sort_keys=True))
+            if not response.get("ok", False):
+                failed = True
+    if failed and not args.allow_errors:
+        print("serve_client: a response carried ok=false", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
