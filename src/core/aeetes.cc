@@ -203,6 +203,22 @@ Result<Aeetes::ExtractionSummary> Aeetes::ExtractIntoWithStrategy(
   }
   ExtractionSummary result;
 
+  // Delta overlay: grab one snapshot for the whole call (RCU read side —
+  // mutations swap in fresh snapshots and never touch this one). An empty
+  // overlay reduces to the frozen-only fast path below.
+  std::shared_ptr<const DeltaIndex> delta;
+  if (delta_ != nullptr) {
+    delta = delta_->snapshot();
+    if (delta != nullptr && delta->passthrough()) delta.reset();
+  }
+  if (delta != nullptr && !delta->has_live_entities()) {
+    // Every entity is tombstoned and none upserted: the live dictionary is
+    // empty, so extraction is too.
+    scratch.candidates.clear();
+    scratch.matches.clear();
+    return result;
+  }
+
   // Flight recorder: when the caller did not bring a TraceRecorder and the
   // sampler picks this call, capture it into the scratch-owned recorder
   // (and bracket it with hardware counter readings). Recorder off — the
@@ -227,9 +243,24 @@ Result<Aeetes::ExtractionSummary> Aeetes::ExtractIntoWithStrategy(
       ScopedTimer timer(&pipeline_.filter_latency_us, &result.filter_ms);
       CandidateGenOptions gen_options;
       gen_options.positional_filter = options_.positional_filter;
+      if (delta != nullptr) {
+        // Enumerate the window lengths a rebuild over the live entity set
+        // would: tombstones can shrink the size range, upserts widen it.
+        gen_options.override_entity_sizes = true;
+        gen_options.entity_size_min = delta->entity_size_min();
+        gen_options.entity_size_max = delta->entity_size_max();
+      }
       result.filter_stats = GenerateCandidatesInto(
           strategy, doc, *dd_, *index_, tau, options_.metric, gen_options,
           scratch, active_trace);
+      if (delta != nullptr && delta->has_tombstones()) {
+        std::vector<Candidate>& cands = scratch.candidates;
+        cands.erase(std::remove_if(cands.begin(), cands.end(),
+                                   [&delta](const Candidate& c) {
+                                     return delta->IsTombstoned(c.origin);
+                                   }),
+                    cands.end());
+      }
     }
 
     {
@@ -241,6 +272,29 @@ Result<Aeetes::ExtractionSummary> Aeetes::ExtractIntoWithStrategy(
       VerifyCandidatesInto(scratch.candidates, doc, *dd_, tau, jopts,
                            scratch.matches, scratch.ordered_set,
                            scratch.ordered_ranks, &result.verify_stats);
+      if (delta != nullptr) {
+        // Delta matches append as a second sorted run with disjoint entity
+        // ids; one merge restores the global (begin, len, entity) order.
+        const size_t frozen_end = scratch.matches.size();
+        const LengthRange delta_win = SubstringLengthBounds(
+            options_.metric, delta->entity_size_min(),
+            delta->entity_size_max(), tau);
+        delta->CollectMatches(doc, dd_->token_dict(), tau, options_.metric,
+                              options_.weighted, delta_win, scratch.delta,
+                              scratch.matches, &result.verify_stats);
+        std::inplace_merge(
+            scratch.matches.begin(),
+            scratch.matches.begin() + static_cast<ptrdiff_t>(frozen_end),
+            scratch.matches.end(), [](const Match& a, const Match& b) {
+              if (a.token_begin != b.token_begin) {
+                return a.token_begin < b.token_begin;
+              }
+              if (a.token_len != b.token_len) {
+                return a.token_len < b.token_len;
+              }
+              return a.entity < b.entity;
+            });
+      }
       verify_span.AddStat("verified", result.verify_stats.verified);
       verify_span.AddStat("matched", result.verify_stats.matched);
     }
@@ -381,6 +435,9 @@ Result<std::vector<Aeetes::Lookup>> Aeetes::LookupString(
 }
 
 std::string Aeetes::EntityText(EntityId e) const {
+  if (delta_ != nullptr && e >= dd_->num_origins()) {
+    return delta_->EntityText(e);
+  }
   const Span<TokenId> tokens = dd_->origin_entity(e);
   std::string out;
   for (size_t i = 0; i < tokens.size(); ++i) {

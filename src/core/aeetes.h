@@ -13,6 +13,7 @@
 #include "src/common/telemetry.h"
 #include "src/common/thread_annotations.h"
 #include "src/core/candidate_generator.h"
+#include "src/core/delta_layer.h"
 #include "src/core/document.h"
 #include "src/core/engine_image.h"
 #include "src/core/scratch.h"
@@ -202,6 +203,21 @@ class Aeetes {
     return flight_.get();
   }
 
+  /// Attaches a live delta overlay (DESIGN.md §15): Extract then merges
+  /// frozen-image results with delta entities, filters tombstoned origins,
+  /// and enumerates windows under the overlay's effective entity-size
+  /// bounds — yielding exactly what a full rebuild over the live entity
+  /// set would. Attach once before extraction traffic starts (installation
+  /// is not synchronized); afterwards the layer's own snapshot swap makes
+  /// every mutation atomically visible. With a non-empty overlay the
+  /// delta half of the call is exempt from the zero-allocation contract.
+  void AttachDelta(std::shared_ptr<DeltaLayer> delta) {
+    delta_ = std::move(delta);
+  }
+
+  /// The attached overlay, or nullptr.
+  [[nodiscard]] DeltaLayer* delta_layer() const { return delta_.get(); }
+
   /// Original-entity text reconstruction (token texts joined by spaces).
   [[nodiscard]] std::string EntityText(EntityId e) const;
 
@@ -268,6 +284,8 @@ class Aeetes {
   PipelineMetrics pipeline_;
   /// Installed by EnableFlightRecorder; null when recording is off.
   std::unique_ptr<FlightRecorder> flight_;
+  /// Installed by AttachDelta; null when the engine is frozen-only.
+  std::shared_ptr<DeltaLayer> delta_;
 };
 
 }  // namespace aeetes

@@ -543,8 +543,12 @@ FilterStats GenerateCandidatesInto(FilterStrategy strategy,
   scratch.candidates.clear();
   scratch.tracker.Reserve(dd.num_origins());
   TraceScope filter_span(trace, "filter");
-  const LengthRange win_len = SubstringLengthBounds(
-      metric, dd.min_set_size(), dd.max_set_size(), tau);
+  const LengthRange win_len =
+      options.override_entity_sizes
+          ? SubstringLengthBounds(metric, options.entity_size_min,
+                                  options.entity_size_max, tau)
+          : SubstringLengthBounds(metric, dd.min_set_size(),
+                                  dd.max_set_size(), tau);
   ProbeContext ctx{doc,     dd,    index,
                    tau,     metric, options,
                    &scratch.candidates, &stats, &scratch.tracker};

@@ -56,6 +56,17 @@ struct CandidateGenOptions {
   /// (the leftmost shared token's bound is exact), reduces candidates at a
   /// small per-entry cost. Off by default to match the paper's filter set.
   bool positional_filter = false;
+  /// Window-length enumeration override: when set, windows are enumerated
+  /// for derived-set sizes spanning [entity_size_min, entity_size_max]
+  /// instead of the dictionary's own [min_set_size, max_set_size]. Used by
+  /// the delta overlay (src/core/delta_layer.h): with live upserts and
+  /// tombstones the *effective* entity-size range differs from the frozen
+  /// dictionary's, and exact rebuild equivalence requires enumerating the
+  /// same raw window lengths a rebuilt engine would. Must cover the
+  /// dictionary's own range (a narrower range would drop frozen matches).
+  bool override_entity_sizes = false;
+  size_t entity_size_min = 0;
+  size_t entity_size_max = 0;
 };
 
 struct ExtractScratch;

@@ -9,6 +9,7 @@
 #include "src/common/logging.h"
 #include "src/common/metrics.h"
 #include "src/core/candidate_generator.h"
+#include "src/core/delta_layer.h"
 #include "src/core/verifier.h"
 #include "src/core/window.h"
 #include "src/text/token.h"
@@ -145,6 +146,9 @@ struct ExtractScratch {
   std::vector<TokenRank> ordered_ranks;
   /// Verifier output, sorted by (token_begin, token_len, entity).
   std::vector<Match> matches;
+  /// Delta-overlay query buffers; untouched (zero cost) unless the engine
+  /// has a DeltaLayer attached and its current snapshot is non-empty.
+  DeltaQueryBuffers delta;
   /// Flight-recorder span capture for calls the sampler picks when the
   /// caller did not pass its own TraceRecorder. Lives in the scratch so
   /// sampled calls reuse one warm recorder per thread (Clear keeps span

@@ -1,5 +1,6 @@
 #include "src/io/snapshot.h"
 
+#include <cstdio>
 #include <fstream>
 #include <utility>
 
@@ -115,6 +116,21 @@ Status SaveSnapshot(const Aeetes& aeetes, const std::string& path) {
   if (!out) {
     return Status::IOError("write failed: " + path);
   }
+  return Status::OK();
+}
+
+Status SaveVersionedSnapshot(const Aeetes& aeetes, const std::string& dir,
+                             const std::string& name, uint64_t version,
+                             std::string* out_path) {
+  const std::string path =
+      dir + "/" + name + ".v" + std::to_string(version) + ".snap";
+  const std::string tmp = path + ".tmp";
+  AEETES_RETURN_IF_ERROR(SaveSnapshot(aeetes, tmp));
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("rename failed: " + tmp + " -> " + path);
+  }
+  if (out_path != nullptr) *out_path = path;
   return Status::OK();
 }
 

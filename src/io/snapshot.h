@@ -16,6 +16,16 @@ namespace aeetes {
 /// no index rebuild, no per-entity allocation.
 Status SaveSnapshot(const Aeetes& aeetes, const std::string& path);
 
+/// Writes a *versioned* v2 snapshot "<dir>/<name>.v<version>.snap",
+/// atomically (temp file + rename, so readers never observe a torn file)
+/// and without disturbing earlier versions — each compaction leaves the
+/// previous images behind as rollback points (load or `swap` any older
+/// version to roll back; DESIGN.md §15). On success `out_path`, when
+/// non-null, receives the final path.
+Status SaveVersionedSnapshot(const Aeetes& aeetes, const std::string& dir,
+                             const std::string& name, uint64_t version,
+                             std::string* out_path = nullptr);
+
 /// Writes the legacy v1 record format (dictionary + derived entities; the
 /// index is rebuilt at load). Kept so older deployments can still consume
 /// snapshots produced here, and as the fixture for the v1 load path.

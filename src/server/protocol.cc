@@ -87,6 +87,12 @@ bool ParseVerbName(std::string_view name, Verb* out) {
     *out = Verb::kSwap;
   } else if (name == "delete") {
     *out = Verb::kDelete;
+  } else if (name == "upsert_entities") {
+    *out = Verb::kUpsertEntities;
+  } else if (name == "remove_entities") {
+    *out = Verb::kRemoveEntities;
+  } else if (name == "compact") {
+    *out = Verb::kCompact;
   } else if (name == "list") {
     *out = Verb::kList;
   } else if (name == "healthz") {
@@ -170,7 +176,8 @@ Result<Request> ParseRequest(std::string_view payload) {
   const bool needs_collection =
       req.verb == Verb::kExtract || req.verb == Verb::kCreate ||
       req.verb == Verb::kLoad || req.verb == Verb::kSwap ||
-      req.verb == Verb::kDelete;
+      req.verb == Verb::kDelete || req.verb == Verb::kUpsertEntities ||
+      req.verb == Verb::kRemoveEntities || req.verb == Verb::kCompact;
   if (const JsonValue* coll = root.Find("collection"); coll != nullptr) {
     if (!coll->is_string()) {
       return Status::InvalidArgument("'collection' must be a string");
@@ -219,6 +226,20 @@ Result<Request> ParseRequest(std::string_view payload) {
           ReadStringArray(*entities, "'entities'", &req.entities));
       if (const JsonValue* rules = root.Find("rules"); rules != nullptr) {
         AEETES_RETURN_IF_ERROR(ReadStringArray(*rules, "'rules'", &req.rules));
+      }
+      break;
+    }
+    case Verb::kUpsertEntities:
+    case Verb::kRemoveEntities: {
+      const JsonValue* entities = root.Find("entities");
+      if (entities == nullptr) {
+        return Status::InvalidArgument(
+            "upsert_entities/remove_entities require 'entities'");
+      }
+      AEETES_RETURN_IF_ERROR(
+          ReadStringArray(*entities, "'entities'", &req.entities));
+      if (req.entities.empty()) {
+        return Status::InvalidArgument("'entities' must be nonempty");
       }
       break;
     }

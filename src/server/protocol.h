@@ -73,6 +73,9 @@ enum class Verb {
   kLoad,
   kSwap,
   kDelete,
+  kUpsertEntities,
+  kRemoveEntities,
+  kCompact,
   kList,
   kHealthz,
   kMetrics,
@@ -88,7 +91,7 @@ struct Request {
   FilterStrategy strategy = FilterStrategy::kLazy;
   bool has_strategy = false;  // absent -> collection default
   std::vector<std::string> docs;      // extract
-  std::vector<std::string> entities;  // create
+  std::vector<std::string> entities;  // create / upsert / remove
   std::vector<std::string> rules;     // create
   std::string path;                   // load / swap
 };

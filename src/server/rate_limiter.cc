@@ -9,7 +9,16 @@ namespace {
 
 void Refill(RateLimiter::Options const& options, int64_t now_us,
             double* tokens, int64_t* last_refill_us) {
-  if (now_us <= *last_refill_us) return;  // clock went sideways: no refill
+  if (now_us < *last_refill_us) {
+    // The caller's clock stepped backwards. Minting tokens for negative
+    // elapsed time is out, but so is keeping the stale future timestamp:
+    // refills would then stay frozen until the clock re-passed it,
+    // starving the tenant for the whole regression span. Clamp down so
+    // forward progress from here refills normally.
+    *last_refill_us = now_us;
+    return;
+  }
+  if (now_us == *last_refill_us) return;
   const double elapsed_s =
       static_cast<double>(now_us - *last_refill_us) * 1e-6;
   *tokens = std::min(options.burst,
@@ -25,7 +34,27 @@ Status RateLimiter::Admit(std::string_view tenant, int64_t now_us) {
   auto it = buckets_.find(tenant);
   if (it == buckets_.end()) {
     if (buckets_.size() >= options_.max_tenants) {
-      return Status::ResourceExhausted("tenant table full");
+      // The table used to poison itself: buckets were never evicted, so
+      // max_tenants distinct ids seen once — ever — locked every later
+      // tenant out for the process lifetime. Reclaim the longest-idle
+      // bucket that has fully refilled: its owner cannot distinguish
+      // eviction from an intact full bucket, so this sheds only state,
+      // never tokens. With every bucket still draining, reject as before.
+      auto victim = buckets_.end();
+      for (auto b = buckets_.begin(); b != buckets_.end(); ++b) {
+        double tokens = b->second.tokens;
+        int64_t last = b->second.last_refill_us;
+        Refill(options_, now_us, &tokens, &last);
+        if (tokens < options_.burst) continue;
+        if (victim == buckets_.end() ||
+            b->second.last_refill_us < victim->second.last_refill_us) {
+          victim = b;
+        }
+      }
+      if (victim == buckets_.end()) {
+        return Status::ResourceExhausted("tenant table full");
+      }
+      buckets_.erase(victim);
     }
     Bucket fresh;
     fresh.tokens = options_.burst;

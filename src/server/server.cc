@@ -81,11 +81,17 @@ Server::Server(Options options)
           "server.connections", "Connections accepted")),
       active_collections_(metrics_.RegisterGauge(
           "server.active_collections", "Collections currently published")),
+      delta_entities_(metrics_.RegisterGauge(
+          "collection.delta_entities",
+          "Live delta-overlay entities across all collections")),
+      compactions_(metrics_.RegisterCounter(
+          "collection.compactions", "Completed compaction swaps")),
       extract_latency_us_(metrics_.RegisterHistogram(
           "server.request_latency_us",
           "Extract latency, frame receipt to response ready")),
       collections_(std::make_unique<CollectionManager>(
-          options_.collections, &active_collections_)),
+          options_.collections, &active_collections_, &delta_entities_,
+          &compactions_)),
       rate_limiter_(options_.rate_limit),
       batcher_(std::make_unique<RequestBatcher>(metrics_, options_.batcher)) {
 }
@@ -185,8 +191,13 @@ void Server::Loop() {
     const size_t first_conn = fds.size();
     for (const auto& [id, conn] : conns_) {
       int events = 0;
-      if (!conn.closing) events |= POLLIN;
-      if (conn.out_off < conn.outbox.size()) events |= POLLOUT;
+      const size_t backlog = conn.outbox.size() - conn.out_off;
+      // Backpressure: a peer that is not draining its responses stops
+      // being read (and so stops submitting) until its backlog shrinks.
+      if (!conn.closing && backlog < options_.outbox_high_watermark) {
+        events |= POLLIN;
+      }
+      if (backlog > 0) events |= POLLOUT;
       fds.push_back({conn.fd, PollEvents(events), 0});
       fd_conn.push_back(id);
     }
@@ -306,11 +317,19 @@ bool Server::WriteReady(Connection& conn) {
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     return false;
   }
-  conn.outbox.clear();
-  conn.out_off = 0;
+  if (conn.out_off >= conn.outbox.size()) {
+    conn.outbox.clear();
+    conn.out_off = 0;
+  } else if (conn.out_off >= conn.outbox.size() / 2) {
+    // Partial flush to a slow peer: reclaim the written prefix once it
+    // dominates, so a long-lived backlog costs one copy per drain cycle
+    // rather than holding every byte ever sent (FrameReader idiom).
+    conn.outbox.erase(0, conn.out_off);
+    conn.out_off = 0;
+  }
   return true;
 }
 
@@ -379,9 +398,11 @@ void Server::HandleExtract(Connection& conn, uint64_t seq, Request req) {
 }
 
 std::string Server::HandleAdmin(const Request& req) {
-  const bool mutating = req.verb == Verb::kCreate ||
-                        req.verb == Verb::kLoad || req.verb == Verb::kSwap ||
-                        req.verb == Verb::kDelete;
+  const bool mutating =
+      req.verb == Verb::kCreate || req.verb == Verb::kLoad ||
+      req.verb == Verb::kSwap || req.verb == Verb::kDelete ||
+      req.verb == Verb::kUpsertEntities ||
+      req.verb == Verb::kRemoveEntities || req.verb == Verb::kCompact;
   if (draining_ && mutating) {
     return ErrorResponse(kDraining, "server is draining");
   }
@@ -403,6 +424,24 @@ std::string Server::HandleAdmin(const Request& req) {
       const Status st = collections_->Delete(req.collection);
       return st.ok() ? OkResponse() : ErrorResponse(st);
     }
+    case Verb::kUpsertEntities: {
+      const Result<size_t> n =
+          collections_->UpsertEntities(req.collection, req.entities);
+      if (!n.ok()) return ErrorResponse(n.status());
+      return "{\"ok\":true,\"upserted\":" + std::to_string(*n) + "}";
+    }
+    case Verb::kRemoveEntities: {
+      const Result<size_t> n =
+          collections_->RemoveEntities(req.collection, req.entities);
+      if (!n.ok()) return ErrorResponse(n.status());
+      return "{\"ok\":true,\"removed\":" + std::to_string(*n) + "}";
+    }
+    case Verb::kCompact: {
+      const Result<uint64_t> v = collections_->Compact(req.collection);
+      if (!v.ok()) return ErrorResponse(v.status());
+      return "{\"ok\":true,\"scheduled\":true,\"target_version\":" +
+             std::to_string(*v) + "}";
+    }
     case Verb::kList: {
       std::string out = "{\"ok\":true,\"collections\":[";
       bool first = true;
@@ -415,6 +454,10 @@ std::string Server::HandleAdmin(const Request& req) {
         out += std::to_string(info.version);
         out += ",\"source\":";
         jsonio::AppendString(&out, info.source);
+        out += ",\"delta_entities\":";
+        out += std::to_string(info.delta_entities);
+        out += ",\"tombstones\":";
+        out += std::to_string(info.tombstones);
         out += '}';
       }
       out += "]}";

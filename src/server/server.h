@@ -50,6 +50,14 @@ class Server {
     uint16_t port = 0;  // 0 = ephemeral; see port()
     size_t max_frame_bytes = kDefaultMaxFrameBytes;
     size_t max_connections = 256;
+    /// Per-connection backpressure: once a connection holds this many
+    /// unflushed response bytes, the loop stops reading further requests
+    /// from it (POLLIN gated off) until the peer drains below the mark.
+    /// A slow or stalled reader therefore caps its own memory footprint
+    /// instead of growing the outbox without bound, and never stalls the
+    /// poll loop or other connections. Pipelined response order is
+    /// unaffected — sequencing happens before the outbox.
+    size_t outbox_high_watermark = 4u << 20;
     RateLimiter::Options rate_limit;
     RequestBatcher::Options batcher;
     CollectionManager::Options collections;
@@ -139,6 +147,8 @@ class Server {
   Counter& bad_frames_;
   Counter& connections_accepted_;
   Gauge& active_collections_;
+  Gauge& delta_entities_;
+  Counter& compactions_;
   Histogram& extract_latency_us_;
 
   std::unique_ptr<CollectionManager> collections_;

@@ -24,6 +24,9 @@
 //   --burst=B           rate-limiter burst size (default max(R, 1))
 //   --flight-recorder=FILE  enable per-engine flight recorders; drain
 //                       writes their retained traces to FILE as JSON
+//   --snapshot-dir=DIR  where compactions persist versioned snapshots
+//                       ("<collection>.v<version>.snap"); empty (the
+//                       default) keeps compactions in-memory only
 
 #include <csignal>
 #include <cstdio>
@@ -106,6 +109,8 @@ int main(int argc, char** argv) {
       rate = std::strtod(value.c_str(), nullptr);
     } else if (FlagValue(argv[i], "--burst", &value)) {
       burst = std::strtod(value.c_str(), nullptr);
+    } else if (FlagValue(argv[i], "--snapshot-dir", &value)) {
+      options.collections.snapshot_dir = value;
     } else if (FlagValue(argv[i], "--flight-recorder", &value)) {
       options.flight_recorder_dump_path = value;
       options.collections.enable_flight_recorder = true;

@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <memory>
 #include <string>
@@ -210,6 +212,215 @@ TEST_F(CollectionManagerTest, SwapUnderLoadHammer) {
   ASSERT_TRUE(final_engine.ok());
   EXPECT_EQ((*final_engine)->version, 1u + kSwaps);
   EXPECT_GT(lookups.load(), 0u);
+}
+
+/// Extraction helper running the full online path (not LookupString), so
+/// the delta overlay participates. The document text must only use tokens
+/// already present in the engine's dictionary when called concurrently
+/// with extraction (EncodeDocument then interns nothing).
+std::vector<std::string> ExtractTexts(const ServingEngine& engine,
+                                      const std::string& text, double tau) {
+  const Document doc = engine.aeetes->EncodeDocument(text);
+  auto result = engine.aeetes->Extract(doc, tau);
+  EXPECT_TRUE(result.ok()) << result.status();
+  std::vector<std::string> texts;
+  if (!result.ok()) return texts;
+  for (const Match& m : result->matches) {
+    texts.push_back(engine.aeetes->EntityText(m.entity));
+  }
+  std::sort(texts.begin(), texts.end());
+  return texts;
+}
+
+bool Contains(const std::vector<std::string>& texts, const std::string& t) {
+  return std::find(texts.begin(), texts.end(), t) != texts.end();
+}
+
+/// Polls until "inst" publishes `version` (compactions are async).
+testing::AssertionResult WaitForVersion(CollectionManager& manager,
+                                        const std::string& name,
+                                        uint64_t version) {
+  for (int i = 0; i < 500; ++i) {
+    auto engine = manager.Acquire(name);
+    if (engine.ok() && (*engine)->version >= version) {
+      return testing::AssertionSuccess();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return testing::AssertionFailure()
+         << name << " never reached version " << version;
+}
+
+TEST_F(CollectionManagerTest, UpsertAndRemoveAreImmediatelyVisible) {
+  CollectionManager manager{CollectionManager::Options{}};
+  ASSERT_TRUE(manager.Create("inst", kEntities, kRules).ok());
+
+  EXPECT_EQ(manager.UpsertEntities("ghost", {"x"}).status().code(),
+            StatusCode::kNotFound);
+
+  auto upserted = manager.UpsertEntities(
+      "inst", {"stanford university", "carnegie mellon university"});
+  ASSERT_TRUE(upserted.ok()) << upserted.status();
+  EXPECT_EQ(*upserted, 2u);
+
+  auto engine = manager.Acquire("inst");
+  ASSERT_TRUE(engine.ok());
+  const auto hits = ExtractTexts(
+      **engine, "she left stanford university for mit", /*tau=*/0.9);
+  EXPECT_TRUE(Contains(hits, "stanford university"));
+  EXPECT_TRUE(Contains(hits, "massachusetts institute of technology"));
+
+  auto removed = manager.RemoveEntities(
+      "inst", {"massachusetts institute of technology"});
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(*removed, 1u);
+  const auto after = ExtractTexts(
+      **engine, "she left stanford university for mit", /*tau=*/0.9);
+  EXPECT_TRUE(Contains(after, "stanford university"));
+  EXPECT_FALSE(Contains(after, "massachusetts institute of technology"));
+
+  const auto infos = manager.List();
+  ASSERT_EQ(infos.size(), 1u);
+  EXPECT_EQ(infos[0].delta_entities, 2u);
+  EXPECT_EQ(infos[0].tombstones, 1u);
+}
+
+TEST_F(CollectionManagerTest, CompactionSwapsInCompactedEngine) {
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     ("aeetes_cm_compact_" + std::to_string(::getpid())))
+                        .string();
+  std::filesystem::create_directories(dir);
+  MetricsRegistry registry;
+  Gauge& delta_gauge = registry.GetOrRegisterGauge(
+      "collection.delta_entities", "live delta entities");
+  Counter& compactions = registry.GetOrRegisterCounter(
+      "collection.compactions", "completed compactions");
+  CollectionManager::Options options;
+  options.snapshot_dir = dir;
+  {
+    CollectionManager manager{options, nullptr, &delta_gauge, &compactions};
+    ASSERT_TRUE(manager.Create("inst", kEntities, kRules).ok());
+    ASSERT_TRUE(manager.UpsertEntities("inst", {"stanford university"}).ok());
+    ASSERT_TRUE(
+        manager
+            .RemoveEntities("inst",
+                            {"eidgenossische technische hochschule zurich"})
+            .ok());
+    EXPECT_EQ(delta_gauge.value(), 1);
+
+    EXPECT_EQ(manager.Compact("ghost").status().code(), StatusCode::kNotFound);
+    auto target = manager.Compact("inst");
+    ASSERT_TRUE(target.ok()) << target.status();
+    EXPECT_EQ(*target, 2u);
+    ASSERT_TRUE(WaitForVersion(manager, "inst", 2));
+
+    auto engine = manager.Acquire("inst");
+    ASSERT_TRUE(engine.ok());
+    EXPECT_EQ((*engine)->version, 2u);
+    // The compacted image carries the upsert as a frozen origin and the
+    // tombstoned origin is gone for good; the successor overlay is empty.
+    const auto infos = manager.List();
+    ASSERT_EQ(infos.size(), 1u);
+    EXPECT_EQ(infos[0].delta_entities, 0u);
+    EXPECT_EQ(infos[0].tombstones, 0u);
+    EXPECT_EQ(delta_gauge.value(), 0);
+    EXPECT_EQ(compactions.value(), 1u);
+    const auto hits = ExtractTexts(
+        **engine, "uc berkeley hosts stanford university and eth zurich",
+        /*tau=*/0.8);
+    EXPECT_TRUE(Contains(hits, "university of california berkeley"));
+    EXPECT_TRUE(Contains(hits, "stanford university"));
+    EXPECT_FALSE(
+        Contains(hits, "eidgenossische technische hochschule zurich"));
+
+    // The versioned snapshot is the rollback point: a fresh collection
+    // loaded from it serves the compacted state.
+    const std::string snap = dir + "/inst.v2.snap";
+    EXPECT_TRUE(std::filesystem::exists(snap));
+    EXPECT_EQ((*engine)->source, snap);
+    ASSERT_TRUE(manager.Load("rollback", snap).ok());
+    auto rollback = manager.Acquire("rollback");
+    ASSERT_TRUE(rollback.ok());
+    EXPECT_TRUE(Contains(
+        ExtractTexts(**rollback, "stanford university", /*tau=*/0.9),
+        "stanford university"));
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+/// The §15 live-update hammer: extractor threads run the full online path
+/// (frozen + delta merge) against acquired engines while a writer churns
+/// upserts/removals through the manager and a compaction swaps the image
+/// out from under everyone. The always-live berkeley entity must match on
+/// every single extraction, and the dance must be TSan-clean (tsan
+/// preset). The document uses only tokens present in every engine image,
+/// so concurrent EncodeDocument calls intern nothing.
+TEST_F(CollectionManagerTest, LiveUpdateCompactionHammer) {
+  CollectionManager manager{CollectionManager::Options{}};
+  ASSERT_TRUE(manager.Create("inst", kEntities, kRules).ok());
+
+  const std::string doc_text =
+      "uc berkeley of university of california berkeley technology zurich";
+  constexpr int kExtractors = 3;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> extractions{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kExtractors + 1);
+  for (int r = 0; r < kExtractors; ++r) {
+    threads.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        auto engine = manager.Acquire("inst");
+        ASSERT_TRUE(engine.ok()) << engine.status();
+        const auto hits = ExtractTexts(**engine, doc_text, /*tau=*/0.9);
+        EXPECT_TRUE(Contains(hits, "university of california berkeley"));
+        extractions.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    // Writer: churn a delta entity and a frozen tombstone. Never touches
+    // berkeley, so the extractor invariant holds through every state.
+    int i = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const bool tombstone = (i & 2) != 0;
+      if ((i & 1) == 0) {
+        ASSERT_TRUE(
+            manager.UpsertEntities("inst", {"zurich polytechnic"}).ok());
+        if (tombstone) {
+          ASSERT_TRUE(
+              manager
+                  .RemoveEntities(
+                      "inst", {"massachusetts institute of technology"})
+                  .ok());
+        }
+      } else {
+        ASSERT_TRUE(
+            manager.RemoveEntities("inst", {"zurich polytechnic"}).ok());
+        ASSERT_TRUE(
+            manager
+                .UpsertEntities("inst",
+                                {"massachusetts institute of technology"})
+                .ok());
+      }
+      ++i;
+    }
+  });
+
+  auto target = manager.Compact("inst");
+  ASSERT_TRUE(target.ok()) << target.status();
+  EXPECT_TRUE(WaitForVersion(manager, "inst", *target));
+
+  stop.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  EXPECT_GT(extractions.load(), 0u);
+
+  // Post-quiesce sanity: berkeley still resolves on the compacted engine.
+  auto engine = manager.Acquire("inst");
+  ASSERT_TRUE(engine.ok());
+  EXPECT_GE((*engine)->version, 2u);
+  EXPECT_TRUE(Contains(ExtractTexts(**engine, doc_text, /*tau=*/0.9),
+                       "university of california berkeley"));
 }
 
 }  // namespace

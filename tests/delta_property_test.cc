@@ -1,0 +1,262 @@
+// Cross-path equivalence property (the DESIGN.md §15 contract): an engine
+// serving frozen+delta must produce results bit-identical — same entity
+// text, same span, same exact double score — to an engine rebuilt offline
+// over the final logical entity set, for every filtering strategy. A
+// compacted image packed from the same overlay must match the rebuild
+// too. Randomized over entity sets, removals, upserts (including
+// out-of-vocabulary tokens, re-upserts of tombstoned entities, and
+// removals of upserted entities) and documents with planted mentions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/aeetes.h"
+#include "src/core/delta_layer.h"
+#include "src/core/engine_image.h"
+#include "tests/test_util.h"
+
+namespace aeetes {
+namespace {
+
+struct Hit {
+  std::string entity;
+  uint32_t begin = 0;
+  uint32_t len = 0;
+  double score = 0.0;
+
+  bool operator==(const Hit& o) const {
+    return entity == o.entity && begin == o.begin && len == o.len &&
+           score == o.score;  // exact doubles: both paths share arithmetic
+  }
+  bool operator<(const Hit& o) const {
+    if (begin != o.begin) return begin < o.begin;
+    if (len != o.len) return len < o.len;
+    if (entity != o.entity) return entity < o.entity;
+    return score < o.score;
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const Hit& h) {
+  return os << "{'" << h.entity << "' @" << h.begin << "+" << h.len << " s="
+            << h.score << "}";
+}
+
+std::vector<Hit> HitsOf(Aeetes& engine, const std::string& text, double tau,
+                        FilterStrategy strategy) {
+  const Document doc = engine.EncodeDocument(text);
+  auto result = engine.ExtractWithStrategy(doc, tau, strategy);
+  EXPECT_TRUE(result.ok()) << result.status();
+  std::vector<Hit> hits;
+  if (!result.ok()) return hits;
+  for (const Match& m : result->matches) {
+    hits.push_back(Hit{engine.EntityText(m.entity), m.token_begin,
+                       m.token_len, m.score});
+  }
+  std::sort(hits.begin(), hits.end());
+  return hits;
+}
+
+constexpr FilterStrategy kStrategies[] = {
+    FilterStrategy::kSimple, FilterStrategy::kSkip, FilterStrategy::kDynamic,
+    FilterStrategy::kLazy};
+constexpr double kTaus[] = {0.5, 0.75, 0.9, 1.0};
+
+/// One randomized scenario: base dictionary, mutation script, documents.
+struct Scenario {
+  std::vector<std::string> base;      // distinct entity texts
+  std::vector<std::string> rules;     // fixed for the scenario (see note)
+  std::vector<std::string> removed;   // applied in script order with...
+  std::vector<std::string> upserted;  // ...interleaving chosen by the test
+  std::vector<std::string> docs;
+  std::vector<std::string> final_set;  // what a rebuild should index
+};
+
+Scenario MakeScenario(uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  const size_t vocab = 14;
+  auto word = [](size_t i) { return testutil::NumberedName("w", i); };
+  auto novel = [](size_t i) { return testutil::NumberedName("n", i); };
+  auto rand_entity = [&](bool allow_novel) {
+    const size_t len = 1 + rng() % 4;
+    std::string text;
+    for (size_t j = 0; j < len; ++j) {
+      if (j > 0) text += ' ';
+      if (allow_novel && rng() % 3 == 0) {
+        text += novel(rng() % 6);
+      } else {
+        text += word(rng() % vocab);
+      }
+    }
+    return text;
+  };
+
+  Scenario s;
+  std::set<std::string> seen;
+  while (s.base.size() < 10) {
+    std::string e = rand_entity(/*allow_novel=*/false);
+    if (seen.insert(e).second) s.base.push_back(std::move(e));
+  }
+  // Distinct single-token lhs per rule keeps the rule set well-formed; the
+  // rule set must be identical on both paths (delta rules apply to delta
+  // entities only — the rebuild applies them to everything — so rule
+  // mutations are out of scope for this equivalence).
+  for (size_t r = 0; r < 4; ++r) {
+    std::string line = word(r);
+    line += " <=> ";
+    line += word(vocab - 1 - r);
+    if (rng() % 2 == 0) {
+      line += ' ';
+      line += word(4 + rng() % (vocab - 4));
+    }
+    s.rules.push_back(std::move(line));
+  }
+
+  // Script: remove ~3 base entities, upsert ~4 new ones (novel tokens
+  // allowed), re-upsert one removed base entity, remove one upsert.
+  for (size_t i = 0; i < 3; ++i) {
+    s.removed.push_back(s.base[rng() % s.base.size()]);
+  }
+  while (s.upserted.size() < 4) {
+    std::string e = rand_entity(/*allow_novel=*/true);
+    if (seen.insert(e).second) s.upserted.push_back(std::move(e));
+  }
+
+  // Documents plant live, removed, and upserted surfaces among noise.
+  for (size_t d = 0; d < 3; ++d) {
+    std::string text;
+    const size_t len = 24 + rng() % 16;
+    for (size_t i = 0; i < len; ++i) {
+      if (!text.empty()) text += ' ';
+      const size_t roll = rng() % 6;
+      if (roll == 0) {
+        text += s.base[rng() % s.base.size()];
+      } else if (roll == 1) {
+        text += s.upserted[rng() % s.upserted.size()];
+      } else if (roll == 2 && d > 0) {
+        text += novel(rng() % 6);
+      } else {
+        text += word(rng() % vocab);
+      }
+    }
+    s.docs.push_back(std::move(text));
+  }
+  return s;
+}
+
+/// Applies the script to a live engine (frozen base + overlay) and fills
+/// scenario.final_set with what an offline rebuild should contain.
+void ApplyScript(Scenario& s, DeltaLayer& delta) {
+  std::set<std::string> base_keys(s.base.begin(), s.base.end());
+  std::set<std::string> live(s.base.begin(), s.base.end());
+  std::vector<std::string> delta_order;
+
+  auto upsert = [&](const std::string& text) {
+    ASSERT_TRUE(delta.UpsertEntities({text}).ok());
+    if (live.insert(text).second && base_keys.count(text) == 0) {
+      delta_order.push_back(text);
+    }
+  };
+  auto remove = [&](const std::string& text) {
+    ASSERT_TRUE(delta.RemoveEntities({text}).ok());
+    live.erase(text);
+  };
+
+  for (const std::string& text : s.removed) remove(text);
+  for (const std::string& text : s.upserted) upsert(text);
+  // Re-upsert a tombstoned base entity (un-tombstone path) and drop one
+  // fresh upsert again (delta tombstone path).
+  upsert(s.removed.front());
+  remove(s.upserted.back());
+
+  for (const std::string& e : s.base) {
+    if (live.count(e) != 0) s.final_set.push_back(e);
+  }
+  for (const std::string& e : delta_order) {
+    if (live.count(e) != 0) s.final_set.push_back(e);
+  }
+}
+
+class DeltaEquivalenceTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(DeltaEquivalenceTest, FrozenPlusDeltaMatchesFullRebuildExactly) {
+  Scenario s = MakeScenario(GetParam());
+
+  auto live_or = Aeetes::BuildFromText(s.base, s.rules);
+  ASSERT_TRUE(live_or.ok()) << live_or.status();
+  std::unique_ptr<Aeetes> live = std::move(*live_or);
+  DeltaLayer::Options layer_options;
+  layer_options.derivation = live->options().derivation;
+  layer_options.tokenizer = live->options().tokenizer;
+  auto delta_or = DeltaLayer::Create(live->derived_dictionary(), s.rules,
+                                     layer_options);
+  ASSERT_TRUE(delta_or.ok()) << delta_or.status();
+  live->AttachDelta(*delta_or);
+  ApplyScript(s, **delta_or);
+  ASSERT_FALSE(s.final_set.empty());
+
+  auto rebuilt_or = Aeetes::BuildFromText(s.final_set, s.rules);
+  ASSERT_TRUE(rebuilt_or.ok()) << rebuilt_or.status();
+  std::unique_ptr<Aeetes> rebuilt = std::move(*rebuilt_or);
+
+  for (size_t d = 0; d < s.docs.size(); ++d) {
+    for (const FilterStrategy strategy : kStrategies) {
+      for (const double tau : kTaus) {
+        EXPECT_EQ(HitsOf(*live, s.docs[d], tau, strategy),
+                  HitsOf(*rebuilt, s.docs[d], tau, strategy))
+            << "doc " << d << " strategy " << FilterStrategyName(strategy)
+            << " tau " << tau;
+      }
+    }
+  }
+}
+
+TEST_P(DeltaEquivalenceTest, CompactedImageMatchesFullRebuildExactly) {
+  Scenario s = MakeScenario(GetParam());
+
+  auto live_or = Aeetes::BuildFromText(s.base, s.rules);
+  ASSERT_TRUE(live_or.ok()) << live_or.status();
+  std::unique_ptr<Aeetes> live = std::move(*live_or);
+  DeltaLayer::Options layer_options;
+  layer_options.derivation = live->options().derivation;
+  layer_options.tokenizer = live->options().tokenizer;
+  auto delta_or = DeltaLayer::Create(live->derived_dictionary(), s.rules,
+                                     layer_options);
+  ASSERT_TRUE(delta_or.ok()) << delta_or.status();
+  live->AttachDelta(*delta_or);
+  ApplyScript(s, **delta_or);
+
+  auto parts = BuildCompactedParts(live->derived_dictionary(),
+                                   *(*delta_or)->snapshot());
+  ASSERT_TRUE(parts.ok()) << parts.status();
+  auto image = EngineImage::Pack(std::move(*parts));
+  ASSERT_TRUE(image.ok()) << image.status();
+  auto compacted_or = Aeetes::FromImage(std::move(*image), live->options());
+  ASSERT_TRUE(compacted_or.ok()) << compacted_or.status();
+  std::unique_ptr<Aeetes> compacted = std::move(*compacted_or);
+
+  auto rebuilt_or = Aeetes::BuildFromText(s.final_set, s.rules);
+  ASSERT_TRUE(rebuilt_or.ok()) << rebuilt_or.status();
+  std::unique_ptr<Aeetes> rebuilt = std::move(*rebuilt_or);
+
+  for (size_t d = 0; d < s.docs.size(); ++d) {
+    for (const FilterStrategy strategy : kStrategies) {
+      for (const double tau : kTaus) {
+        EXPECT_EQ(HitsOf(*compacted, s.docs[d], tau, strategy),
+                  HitsOf(*rebuilt, s.docs[d], tau, strategy))
+            << "doc " << d << " strategy " << FilterStrategyName(strategy)
+            << " tau " << tau;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeltaEquivalenceTest,
+                         testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+}  // namespace
+}  // namespace aeetes

@@ -91,6 +91,44 @@ TEST(RateLimiterTest, TenantTableCapRejectsNewTenantsOnly) {
   EXPECT_EQ(limiter.tenant_count(), 2u);
 }
 
+// Regression: Refill used to keep a stale future `last_refill_us` after
+// the clock stepped backwards, freezing refills until the clock re-passed
+// the old timestamp — here, no tokens until t=11s although the tenant
+// waited a full refill period after the regression.
+TEST(RateLimiterTest, BackwardsClockStepDoesNotFreezeRefill) {
+  RateLimiter limiter(Limits(/*rate=*/1.0, /*burst=*/1.0));
+  EXPECT_TRUE(limiter.Admit("t", 10 * kSecond).ok());   // bucket empty
+  EXPECT_FALSE(limiter.Admit("t", 10 * kSecond).ok());
+  EXPECT_FALSE(limiter.Admit("t", 5 * kSecond).ok());   // clock regressed
+  // One refill period after the regressed timestamp must mint one token;
+  // the buggy limiter would still be waiting for t > 10s.
+  EXPECT_TRUE(limiter.Admit("t", 6 * kSecond).ok());
+  EXPECT_FALSE(limiter.Admit("t", 6 * kSecond).ok());
+}
+
+// Regression: the tenant table never evicted, so the first `max_tenants`
+// ids ever seen permanently locked out tenant N+1 — this test fails on the
+// pre-fix limiter at the first "d" Admit below.
+TEST(RateLimiterTest, FullTableEvictsLongestIdleRefilledBucket) {
+  RateLimiter::Options options = Limits(/*rate=*/1.0, /*burst=*/1.0);
+  options.max_tenants = 2;
+  RateLimiter limiter(options);
+  EXPECT_TRUE(limiter.Admit("a", 0).ok());
+  EXPECT_TRUE(limiter.Admit("b", 1).ok());
+  // Table full and neither bucket has refilled yet: still sheds.
+  EXPECT_EQ(limiter.Admit("c", 2).code(), StatusCode::kResourceExhausted);
+  // After both buckets idle back to full, a new tenant takes the
+  // longest-idle one ("a") instead of being rejected forever.
+  EXPECT_TRUE(limiter.Admit("d", 5 * kSecond).ok());
+  EXPECT_EQ(limiter.tenant_count(), 2u);
+  // "b" was spared (newer), and is itself refilled and admissible.
+  EXPECT_TRUE(limiter.Admit("b", 5 * kSecond).ok());
+  // "d" and "b" both drained at t=5s: no refilled victim, so yet another
+  // tenant is rejected — the at-the-cap contract is unchanged.
+  EXPECT_EQ(limiter.Admit("e", 5 * kSecond).code(),
+            StatusCode::kResourceExhausted);
+}
+
 TEST(RateLimiterTest, TokensAvailableDoesNotCreateBuckets) {
   RateLimiter limiter(Limits(/*rate=*/1.0, /*burst=*/4.0));
   EXPECT_DOUBLE_EQ(limiter.TokensAvailable("ghost", 0), 4.0);

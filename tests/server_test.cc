@@ -3,12 +3,20 @@
 // JSON protocol in between. Covers the collection lifecycle, batched
 // extraction, response pipelining order, per-tenant rate limiting,
 // hostile frames, and graceful drain.
+#include <arpa/inet.h>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/io/snapshot.h"
@@ -279,6 +287,183 @@ TEST_F(ServerTest, MetricsVerbExposesServerFamilies) {
   JsonValue stats = Call(*client, R"({"verb":"stats"})");
   ASSERT_TRUE(stats.Find("ok")->AsBool());
   EXPECT_NE(stats.Find("stats"), nullptr);
+}
+
+TEST_F(ServerTest, LiveUpdateVerbsOverTheWire) {
+  StartServer();
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+  ASSERT_TRUE(Call(*client, kCreateInst).Find("ok")->AsBool());
+
+  // Upserting into a missing collection is a 404.
+  JsonValue missing = Call(
+      *client,
+      R"({"verb":"upsert_entities","collection":"ghost","entities":["x"]})");
+  EXPECT_FALSE(missing.Find("ok")->AsBool());
+  EXPECT_DOUBLE_EQ(missing.Find("code")->AsDouble(), kNotFound);
+
+  JsonValue upserted = Call(
+      *client, R"({"verb":"upsert_entities","collection":"inst",)"
+               R"("entities":["stanford university"]})");
+  ASSERT_TRUE(upserted.Find("ok")->AsBool());
+  EXPECT_DOUBLE_EQ(upserted.Find("upserted")->AsDouble(), 1);
+
+  JsonValue removed = Call(
+      *client, R"({"verb":"remove_entities","collection":"inst",)"
+               R"("entities":["massachusetts institute of technology"]})");
+  ASSERT_TRUE(removed.Find("ok")->AsBool());
+  EXPECT_DOUBLE_EQ(removed.Find("removed")->AsDouble(), 1);
+
+  // The overlay is live immediately: the upsert matches, the tombstoned
+  // frozen entity does not.
+  const std::string extract =
+      R"({"verb":"extract","collection":"inst",)"
+      R"("docs":["stanford university beats mit"],"tau":0.9})";
+  auto texts_of = [](const JsonValue& extraction) {
+    std::vector<std::string> texts;
+    const JsonValue* matches =
+        extraction.Find("results")->at(0).Find("matches");
+    for (size_t m = 0; m < matches->size(); ++m) {
+      texts.push_back(matches->at(m).Find("entity_text")->AsString());
+    }
+    return texts;
+  };
+  JsonValue before = Call(*client, extract);
+  ASSERT_TRUE(before.Find("ok")->AsBool());
+  std::vector<std::string> before_texts = texts_of(before);
+  EXPECT_NE(std::find(before_texts.begin(), before_texts.end(),
+                      "stanford university"),
+            before_texts.end());
+  EXPECT_EQ(std::find(before_texts.begin(), before_texts.end(),
+                      "massachusetts institute of technology"),
+            before_texts.end());
+
+  JsonValue list = Call(*client, R"({"verb":"list"})");
+  EXPECT_DOUBLE_EQ(
+      list.Find("collections")->at(0).Find("delta_entities")->AsDouble(), 1);
+  EXPECT_DOUBLE_EQ(
+      list.Find("collections")->at(0).Find("tombstones")->AsDouble(), 1);
+
+  JsonValue compact =
+      Call(*client, R"({"verb":"compact","collection":"inst"})");
+  ASSERT_TRUE(compact.Find("ok")->AsBool());
+  EXPECT_TRUE(compact.Find("scheduled")->AsBool());
+  EXPECT_DOUBLE_EQ(compact.Find("target_version")->AsDouble(), 2);
+
+  // Compaction is async: poll list until the new image is published.
+  bool compacted = false;
+  for (int i = 0; i < 500 && !compacted; ++i) {
+    JsonValue poll = Call(*client, R"({"verb":"list"})");
+    compacted =
+        poll.Find("collections")->at(0).Find("version")->AsDouble() >= 2;
+    if (!compacted) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  ASSERT_TRUE(compacted) << "compaction never published version 2";
+
+  // Identical results from the compacted image, empty successor overlay.
+  JsonValue after = Call(*client, extract);
+  ASSERT_TRUE(after.Find("ok")->AsBool());
+  EXPECT_EQ(texts_of(after), before_texts);
+  JsonValue final_list = Call(*client, R"({"verb":"list"})");
+  EXPECT_DOUBLE_EQ(
+      final_list.Find("collections")->at(0).Find("delta_entities")
+          ->AsDouble(),
+      0);
+  EXPECT_DOUBLE_EQ(
+      final_list.Find("collections")->at(0).Find("tombstones")->AsDouble(),
+      0);
+
+  JsonValue metrics = Call(*client, R"({"verb":"metrics"})");
+  const std::string text = metrics.Find("text")->AsString();
+  EXPECT_NE(text.find("aeetes_collection_compactions_total 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("aeetes_collection_delta_entities 0"),
+            std::string::npos);
+}
+
+// Regression: a slow client used to make WriteReady spin the poll loop
+// (EAGAIN retried in a tight loop) and let the outbox grow without bound
+// while POLLIN kept accepting more work. Now the backlog gates POLLIN and
+// the responses flush incrementally on POLLOUT, in request order, while
+// other connections stay live.
+TEST_F(ServerTest, SlowClientBackpressureKeepsOrderAndServerLiveness) {
+  Server::Options options;
+  options.outbox_high_watermark = 16u << 10;  // back up after ~16 KiB
+  StartServer(std::move(options));
+  auto admin = Connect();
+  ASSERT_NE(admin, nullptr);
+  ASSERT_TRUE(Call(*admin, kCreateInst).Find("ok")->AsBool());
+
+  // A raw socket whose receive buffer is as small as the kernel allows:
+  // the server's writes hit EAGAIN almost immediately.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  const int tiny = 2048;
+  ASSERT_EQ(::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &tiny, sizeof(tiny)), 0);
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server_->port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+
+  // Pipeline many extracts without reading a byte. Request i carries
+  // (i % 7) + 1 docs, so the response ordering is observable from the
+  // results array size alone. Every doc yields several matches, so the
+  // response bytes dwarf the watermark plus both socket buffers.
+  constexpr size_t kRequests = 120;
+  std::string wire;
+  for (size_t i = 0; i < kRequests; ++i) {
+    std::string request =
+        R"({"verb":"extract","collection":"inst","docs":[)";
+    const size_t docs = i % 7 + 1;
+    for (size_t d = 0; d < docs; ++d) {
+      if (d > 0) request += ',';
+      request +=
+          R"("uc berkeley and mit and uc berkeley and mit and uc berkeley")";
+    }
+    request += "]}";
+    EncodeFrame(request, &wire);
+  }
+  size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n = ::write(fd, wire.data() + sent, wire.size() - sent);
+    ASSERT_GT(n, 0) << "short request write: " << std::strerror(errno);
+    sent += static_cast<size_t>(n);
+  }
+
+  // While the slow connection's outbox is clogged, the loop must keep
+  // serving everyone else.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(Call(*admin, R"({"verb":"healthz"})").Find("ok")->AsBool());
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // Now drain: every response arrives intact and in request order.
+  FrameReader reader;
+  std::string payload;
+  size_t received = 0;
+  char buffer[4096];
+  while (received < kRequests) {
+    FrameReader::Next next = reader.Poll(&payload);
+    if (next == FrameReader::Next::kNeedMore) {
+      const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+      ASSERT_GT(n, 0) << "connection died after " << received
+                      << " responses";
+      reader.Feed(buffer, static_cast<size_t>(n));
+      continue;
+    }
+    ASSERT_EQ(next, FrameReader::Next::kFrame);
+    auto response = ParseJson(payload);
+    ASSERT_TRUE(response.ok()) << response.status();
+    ASSERT_TRUE(response->Find("ok")->AsBool()) << payload;
+    EXPECT_EQ(response->Find("results")->size(), received % 7 + 1)
+        << "response " << received << " out of order";
+    ++received;
+  }
+  ::close(fd);
 }
 
 TEST_F(ServerTest, GracefulDrainFinishesInFlightWork) {

@@ -551,6 +551,52 @@ EOF
       return
     fi
   done
+  # Live update: upsert a brand-new entity, see it match immediately from
+  # the delta overlay, compact, wait for the swapped image (version 2),
+  # and see the same match from the compacted frozen index.
+  if ! python3 tools/serve_client.py --port-file "$workdir/port" \
+        '{"verb":"upsert_entities","collection":"institutions","entities":["zyzzyva polytechnic institute"]}' \
+        '{"verb":"extract","collection":"institutions","docs":["enrolled at zyzzyva polytechnic institute"],"tau":0.8}' \
+        '{"verb":"compact","collection":"institutions"}' \
+        --wait-version institutions=2 \
+        >"$workdir/live.jsonl" 2>&1 \
+     || ! python3 tools/serve_client.py --port-file "$workdir/port" \
+        '{"verb":"extract","collection":"institutions","docs":["enrolled at zyzzyva polytechnic institute"],"tau":0.8}' \
+        >>"$workdir/live.jsonl" 2>&1 \
+     || ! python3 - "$workdir/live.jsonl" <<'EOF'
+import json, sys
+upsert, before, compact, waited, after = [
+    json.loads(line) for line in open(sys.argv[1], encoding="utf-8")
+]
+assert upsert["upserted"] == 1, upsert
+assert before["results"][0]["matches"], "delta upsert did not match"
+assert compact["scheduled"] and compact["target_version"] == 2, compact
+assert waited["version"] >= 2 and waited["delta_entities"] == 0, waited
+assert after["results"][0]["matches"] == before["results"][0]["matches"], (
+    before, after)
+EOF
+  then
+    cat "$workdir/live.jsonl" 2>/dev/null
+    kill "$server_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+    fail serve-smoke "live upsert -> compact -> re-extract failed"
+    return
+  fi
+  # The compaction metrics families must now be live too.
+  if ! python3 tools/serve_client.py --port-file "$workdir/port" \
+        '{"verb":"metrics"}' \
+      | python3 -c \
+        'import json,sys; print(json.loads(sys.stdin.read())["text"])' \
+        >"$workdir/metrics2.prom" \
+     || ! grep -q '^aeetes_collection_compactions_total 1' \
+        "$workdir/metrics2.prom" \
+     || ! grep -q '^aeetes_collection_delta_entities 0' \
+        "$workdir/metrics2.prom"; then
+    kill "$server_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+    fail serve-smoke "compaction metrics families missing"
+    return
+  fi
   # Graceful drain: SIGTERM must finish in-flight work and exit 0.
   kill -TERM "$server_pid"
   local rc=0

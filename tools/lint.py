@@ -47,6 +47,10 @@ ALLOWLIST = {
     ("new-delete", "src/common/arena.h"):
         "AlignedBuffer is the aligned-allocation owner; ::operator "
         "new[]/delete[] with align_val_t has no smart-pointer spelling",
+    ("new-delete", "src/core/delta_layer.cc"):
+        "DeltaLayer's constructor is private so every instance goes "
+        "through Create's validation; make_shared cannot reach it, and "
+        "the raw new is handed to shared_ptr on the same line",
     ("iostream", "src/common/logging.h"):
         "the log sink itself; every other file must log through it",
     ("steady-clock", "src/common/stopwatch.h"):

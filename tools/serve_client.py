@@ -8,15 +8,27 @@ protocol answers in order), and each response is printed as one line of
 JSON on stdout. Exits non-zero if any response fails to arrive, fails to
 parse, or carries "ok": false (unless --allow-errors).
 
+Live-update verbs ride the same one-liner shape:
+  upsert_entities / remove_entities take {"collection": ..., "entities":
+  [...]} and apply immediately; compact schedules a background rebuild and
+  answers with the target_version the swap will publish. Because the swap
+  is asynchronous, --wait-version NAME=V polls {"verb":"list"} (after the
+  positional requests) until collection NAME reaches version V or
+  --timeout expires.
+
 Usage:
   serve_client.py --port 7071 '{"verb":"healthz"}'
   serve_client.py --port-file /tmp/port '{"verb":"list"}' '{"verb":"metrics"}'
+  serve_client.py --port 7071 \
+      '{"verb":"upsert_entities","collection":"c","entities":["acme corp"]}' \
+      '{"verb":"compact","collection":"c"}' --wait-version c=2
 """
 import argparse
 import json
 import socket
 import struct
 import sys
+import time
 
 HEADER = struct.Struct("<I")
 
@@ -38,6 +50,25 @@ def call(sock: socket.socket, payload: str) -> dict:
     return json.loads(read_exact(sock, length).decode("utf-8"))
 
 
+def wait_version(sock: socket.socket, spec: str, deadline: float) -> bool:
+    name, _, version = spec.rpartition("=")
+    if not name:
+        raise ValueError(f"--wait-version wants NAME=V, got {spec!r}")
+    target = int(version)
+    while True:
+        response = call(sock, '{"verb":"list"}')
+        for collection in response.get("collections", []):
+            if (collection.get("name") == name
+                    and collection.get("version", 0) >= target):
+                print(json.dumps(collection, sort_keys=True))
+                return True
+        if time.monotonic() >= deadline:
+            print(f"serve_client: {name} never reached version {target}",
+                  file=sys.stderr)
+            return False
+        time.sleep(0.05)
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--host", default="127.0.0.1")
@@ -47,9 +78,14 @@ def main() -> int:
     parser.add_argument("--timeout", type=float, default=30.0)
     parser.add_argument("--allow-errors", action="store_true",
                         help='do not exit non-zero on "ok": false responses')
-    parser.add_argument("requests", nargs="+",
+    parser.add_argument("--wait-version", metavar="NAME=V",
+                        help="after the requests, poll list until "
+                        "collection NAME publishes version >= V")
+    parser.add_argument("requests", nargs="*",
                         help="JSON request payloads, sent in order")
     args = parser.parse_args()
+    if not args.requests and not args.wait_version:
+        parser.error("nothing to do: no requests and no --wait-version")
 
     if args.port is None:
         if not args.port_file:
@@ -65,6 +101,10 @@ def main() -> int:
             response = call(sock, request)
             print(json.dumps(response, sort_keys=True))
             if not response.get("ok", False):
+                failed = True
+        if args.wait_version and not (failed and not args.allow_errors):
+            deadline = time.monotonic() + args.timeout
+            if not wait_version(sock, args.wait_version, deadline):
                 failed = True
     if failed and not args.allow_errors:
         print("serve_client: a response carried ok=false", file=sys.stderr)
